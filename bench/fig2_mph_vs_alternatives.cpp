@@ -1,0 +1,46 @@
+// Reproduces paper Figure 2: MPH versus the rejected alternatives R, G and
+// COV on four five-machine environments. Only MPH orders the environments
+// the way intuition demands (env 1 most heterogeneous, envs 2 and 3 tied,
+// env 4 in between).
+#include <iostream>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using hetero::io::format_fixed;
+  namespace core = hetero::core;
+
+  struct Row {
+    const char* label;
+    std::vector<double> performances;
+  };
+  const std::vector<Row> environments = {
+      {"1, 2, 4, 8, 16", {1, 2, 4, 8, 16}},
+      {"1, 1, 1, 1, 16", {1, 1, 1, 1, 16}},
+      {"1, 16, 16, 16, 16", {1, 16, 16, 16, 16}},
+      {"1, 4, 4, 4, 16", {1, 4, 4, 4, 16}},
+  };
+  // The values printed in the paper's Figure 2, for side-by-side comparison.
+  const char* paper[] = {
+      "MPH=0.50 R=0.06 G=0.50 COV=0.88", "MPH=0.77 R=0.06 G=0.50 COV=1.50",
+      "MPH=0.77 R=0.06 G=0.50 COV=0.46", "MPH=0.63 R=0.06 G=0.50 COV=0.90"};
+
+  std::cout << "Figure 2 — MPH vs alternative measures (5 machines)\n\n";
+  hetero::io::Table t(
+      {"environment", "MPH", "R", "G", "COV", "paper reports"});
+  for (std::size_t i = 0; i < environments.size(); ++i) {
+    const auto& p = environments[i].performances;
+    t.add_row({environments[i].label,
+               format_fixed(core::adjacent_ratio_homogeneity(p), 2),
+               format_fixed(core::min_max_ratio(p), 2),
+               format_fixed(core::adjacent_ratio_geometric_mean(p), 2),
+               format_fixed(core::value_cov(p), 2), paper[i]});
+  }
+  t.print(std::cout);
+  std::cout << "\nOnly MPH matches intuition: R and G cannot separate any of "
+               "the four;\nCOV ranks environment 3 as less heterogeneous "
+               "than environment 1's even spread.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces paper Figure 3: two ECS matrices that are completely
+// homogeneous in machine performance, yet (b)'s machines are specialized to
+// task groups — the aspect MPH misses and TMA captures. Entries are
+// reconstructed (originals lost to OCR) preserving the stated properties.
+#include <iostream>
+
+#include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using hetero::core::EcsMatrix;
+  using hetero::io::format_fixed;
+  using hetero::linalg::Matrix;
+
+  const EcsMatrix a(Matrix{{4, 4, 4}, {2, 2, 2}, {6, 6, 6}});
+  const EcsMatrix b(Matrix{{10, 1, 1}, {1, 10, 1}, {1, 1, 10}});
+
+  std::cout << "Figure 3 — task-machine affinity motivation\n\n(a) no "
+               "affinity: every machine identical for every task\n";
+  hetero::io::print_ecs(std::cout, a, 0);
+  std::cout << "\n(b) high affinity: each machine specialized, same column "
+               "sums\n";
+  hetero::io::print_ecs(std::cout, b, 0);
+
+  hetero::io::Table t({"matrix", "MPH", "TMA"});
+  t.add_row({"(a)", format_fixed(hetero::core::mph(a), 2),
+             format_fixed(hetero::core::tma(a), 2)});
+  t.add_row({"(b)", format_fixed(hetero::core::mph(b), 2),
+             format_fixed(hetero::core::tma(b), 2)});
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "\npaper: both matrices are machine-performance homogeneous "
+               "(MPH = 1);\nthe angle between columns is 0 in (a) and > 0 in "
+               "(b), so only (b) has TMA > 0.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Microbenchmarks of the dynamic simulator: immediate modes are O(N * M)
+// over N arrivals; batch-mode Min-Min re-maps the pending set at every
+// arrival and is quadratic-ish in the queue depth.
+#include <benchmark/benchmark.h>
+
+#include "etcgen/range_based.hpp"
+#include "sched/dynamic.hpp"
+
+namespace {
+
+using hetero::core::EtcMatrix;
+namespace sc = hetero::sched;
+
+struct Fixture {
+  EtcMatrix etc;
+  std::vector<sc::Arrival> arrivals;
+};
+
+Fixture make_fixture(std::size_t arrival_count) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(1234);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 16;
+  opts.machines = 8;
+  EtcMatrix etc = hetero::etcgen::generate_range_based(opts, rng);
+  // Moderate load: arrival rate ~ machines / mean-fastest-runtime.
+  auto arrivals = sc::poisson_arrivals(etc, 8.0 / 50.0, arrival_count, rng);
+  return Fixture{std::move(etc), std::move(arrivals)};
+}
+
+void BM_ImmediateMct(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = sc::simulate_immediate(f.etc, f.arrivals, sc::ImmediateMode::mct);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_ImmediateMct)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ImmediateSwitching(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = sc::simulate_immediate(f.etc, f.arrivals,
+                                    sc::ImmediateMode::switching);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_ImmediateSwitching)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BatchMinMin(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = sc::simulate_batch_min_min(f.etc, f.arrivals);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_BatchMinMin)->Arg(100)->Arg(400)->Arg(1000);
+
+}  // namespace

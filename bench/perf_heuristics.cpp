@@ -1,0 +1,68 @@
+// Microbenchmarks of the mapping heuristics across batch sizes: the list
+// heuristics are O(T*M) or O(T^2*M); the search mappers dominate runtime.
+#include <benchmark/benchmark.h>
+
+#include "etcgen/range_based.hpp"
+#include "sched/evolutionary.hpp"
+#include "sched/heuristics.hpp"
+
+namespace {
+
+using hetero::core::EtcMatrix;
+namespace sc = hetero::sched;
+
+EtcMatrix env(std::size_t tasks, std::size_t machines) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(99);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = tasks;
+  opts.machines = machines;
+  return hetero::etcgen::generate_range_based(opts, rng);
+}
+
+void BM_MinMin(benchmark::State& state) {
+  const auto etc = env(static_cast<std::size_t>(state.range(0)), 8);
+  const auto tasks = sc::one_of_each(etc);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sc::map_min_min(etc, tasks).data());
+}
+BENCHMARK(BM_MinMin)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Sufferage(benchmark::State& state) {
+  const auto etc = env(static_cast<std::size_t>(state.range(0)), 8);
+  const auto tasks = sc::one_of_each(etc);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sc::map_sufferage(etc, tasks).data());
+}
+BENCHMARK(BM_Sufferage)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Mct(benchmark::State& state) {
+  const auto etc = env(static_cast<std::size_t>(state.range(0)), 8);
+  const auto tasks = sc::one_of_each(etc);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sc::map_mct(etc, tasks).data());
+}
+BENCHMARK(BM_Mct)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SaMapper(benchmark::State& state) {
+  const auto etc = env(64, 8);
+  const auto tasks = sc::one_of_each(etc);
+  sc::SaMapperOptions opts;
+  opts.iterations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sc::map_simulated_annealing(etc, tasks, opts).data());
+}
+BENCHMARK(BM_SaMapper)->Arg(1000)->Arg(5000);
+
+void BM_GaMapper(benchmark::State& state) {
+  const auto etc = env(64, 8);
+  const auto tasks = sc::one_of_each(etc);
+  sc::GaMapperOptions opts;
+  opts.population = 40;
+  opts.generations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sc::map_genetic(etc, tasks, opts).data());
+}
+BENCHMARK(BM_GaMapper)->Arg(10)->Arg(40);
+
+}  // namespace

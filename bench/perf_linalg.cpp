@@ -1,0 +1,74 @@
+// Microbenchmarks of the direct solvers and factorizations used by the
+// regression/analysis layers.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+
+namespace {
+
+using hetero::linalg::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    auto x = hetero::linalg::solve(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LuInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    auto inv = hetero::linalg::inverse(a);
+    benchmark::DoNotOptimize(inv.data());
+  }
+}
+BENCHMARK(BM_LuInverse)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_QrFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(2 * n, n, 3);
+  for (auto _ : state) {
+    auto f = hetero::linalg::qr(a);
+    benchmark::DoNotOptimize(f.r.data());
+  }
+}
+BENCHMARK(BM_QrFactor)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_LeastSquares(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(4 * n, n, 4);
+  std::vector<double> b(4 * n, 0.5);
+  for (auto _ : state) {
+    auto x = hetero::linalg::least_squares(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LeastSquares)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PseudoInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(2 * n, n, 5);
+  for (auto _ : state) {
+    auto p = hetero::linalg::pseudo_inverse(a);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_PseudoInverse)->Arg(8)->Arg(24);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Microbenchmarks of the end-to-end measure computations, including the
+// SPEC-sized matrices of the paper's evaluation.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/measures.hpp"
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::core::EcsMatrix;
+using hetero::linalg::Matrix;
+
+EcsMatrix random_ecs(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, 0.8);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return EcsMatrix(std::move(m));
+}
+
+void BM_MphTdh(benchmark::State& state) {
+  const auto ecs = random_ecs(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hetero::core::mph(ecs));
+    benchmark::DoNotOptimize(hetero::core::tdh(ecs));
+  }
+}
+BENCHMARK(BM_MphTdh)->Args({12, 5})->Args({64, 16})->Args({256, 64});
+
+void BM_Tma(benchmark::State& state) {
+  const auto ecs = random_ecs(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)), 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hetero::core::tma(ecs));
+  }
+}
+BENCHMARK(BM_Tma)->Args({12, 5})->Args({17, 5})->Args({64, 16})->Args({128, 32});
+
+void BM_FullCharacterization(benchmark::State& state) {
+  const auto ecs = random_ecs(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)), 44);
+  for (auto _ : state) {
+    auto report = hetero::core::characterize(ecs);
+    benchmark::DoNotOptimize(report.measures.tma);
+  }
+}
+BENCHMARK(BM_FullCharacterization)->Args({12, 5})->Args({64, 16});
+
+void BM_SpecCint(benchmark::State& state) {
+  const auto ecs = hetero::spec::spec_cint2006rate().to_ecs();
+  for (auto _ : state) {
+    auto m = hetero::core::measure_set(ecs);
+    benchmark::DoNotOptimize(m.tma);
+  }
+}
+BENCHMARK(BM_SpecCint);
+
+void BM_SpecCfp(benchmark::State& state) {
+  const auto ecs = hetero::spec::spec_cfp2006rate().to_ecs();
+  for (auto _ : state) {
+    auto m = hetero::core::measure_set(ecs);
+    benchmark::DoNotOptimize(m.tma);
+  }
+}
+BENCHMARK(BM_SpecCfp);
+
+}  // namespace

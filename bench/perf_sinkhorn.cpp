@@ -1,0 +1,84 @@
+// Microbenchmarks of the Sinkhorn standardization (eq. 9) across matrix
+// sizes and zero-pattern classes, plus the pattern classifier itself.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/standard_form.hpp"
+#include "graph/structure.hpp"
+
+namespace {
+
+using hetero::linalg::Matrix;
+
+Matrix random_positive(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+void BM_SinkhornPositive(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Matrix input = random_positive(t, m, 42);
+  for (auto _ : state) {
+    auto r = hetero::core::standardize(input);
+    benchmark::DoNotOptimize(r.residual);
+  }
+  state.counters["iterations"] = static_cast<double>(
+      hetero::core::standardize(input).iterations);
+}
+BENCHMARK(BM_SinkhornPositive)
+    ->Args({4, 4})
+    ->Args({12, 5})
+    ->Args({17, 5})
+    ->Args({32, 16})
+    ->Args({64, 32})
+    ->Args({128, 64});
+
+void BM_SinkhornLimitOnlyPattern(benchmark::State& state) {
+  // Support without total support: row 0 runs only on machine 0, so the
+  // other rows' (i, 0) entries lie on no positive diagonal — exercises the
+  // core projection path.
+  Matrix input = random_positive(8, 8, 7);
+  for (std::size_t j = 1; j < 8; ++j) input(0, j) = 0.0;
+  for (auto _ : state) {
+    auto r = hetero::core::standardize(input);
+    benchmark::DoNotOptimize(r.converged);
+  }
+}
+BENCHMARK(BM_SinkhornLimitOnlyPattern);
+
+void BM_ClassifyPattern(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix input = random_positive(n, n, 11);
+  // Sparsify to make the combinatorial path non-trivial.
+  std::mt19937 rng(13);
+  std::bernoulli_distribution zero(0.4);
+  for (double& x : input.data())
+    if (zero(rng)) x = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (input.row_sum(i) == 0.0) input(i, i % n) = 1.0;
+  for (std::size_t j = 0; j < n; ++j)
+    if (input.col_sum(j) == 0.0) input(j % n, j) = 1.0;
+  for (auto _ : state) {
+    auto c = hetero::core::classify_pattern(input);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ClassifyPattern)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SupportCore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix input = random_positive(n, n, 17);
+  input(0, 1) = 0.0;
+  for (auto _ : state) {
+    auto core = hetero::graph::support_core(input);
+    benchmark::DoNotOptimize(core->data());
+  }
+}
+BENCHMARK(BM_SupportCore)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace

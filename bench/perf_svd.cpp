@@ -1,0 +1,59 @@
+// Microbenchmarks of the one-sided Jacobi SVD (the TMA kernel) and the
+// symmetric Jacobi eigensolver used to cross-check it.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/svd.hpp"
+
+namespace {
+
+using hetero::linalg::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+void BM_SingularValues(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const auto c = static_cast<std::size_t>(state.range(1));
+  const Matrix m = random_matrix(r, c, 42);
+  for (auto _ : state) {
+    auto sv = hetero::linalg::singular_values(m);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_SingularValues)
+    ->Args({12, 5})
+    ->Args({17, 5})
+    ->Args({32, 32})
+    ->Args({64, 64})
+    ->Args({128, 32});
+
+void BM_FullSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix m = random_matrix(n, n, 7);
+  for (auto _ : state) {
+    auto r = hetero::linalg::svd(m);
+    benchmark::DoNotOptimize(r.singular_values.data());
+  }
+}
+BENCHMARK(BM_FullSvd)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix m = random_matrix(n, n, 9);
+  const Matrix g = hetero::linalg::gram(m);
+  for (auto _ : state) {
+    auto vals = hetero::linalg::symmetric_eigenvalues(g);
+    benchmark::DoNotOptimize(vals.data());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Reproduces paper Section VI: the eq. 10 matrix that cannot be converted
+// to a standard ECS matrix, its eq. 11/12 block-triangular exposure, and the
+// support / total-support / full-indecomposability classification of
+// Marshall & Olkin [20] and Sinkhorn [21].
+#include <iostream>
+
+#include "core/standard_form.hpp"
+#include "graph/structure.hpp"
+#include "io/table.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+const char* name_of(hetero::core::NormalizabilityClass c) {
+  using N = hetero::core::NormalizabilityClass;
+  switch (c) {
+    case N::positive: return "positive";
+    case N::normalizable_pattern: return "normalizable pattern";
+    case N::limit_only: return "limit only (no exact scaling)";
+    case N::not_normalizable: return "not normalizable";
+  }
+  return "?";
+}
+
+void classify(const char* label, const hetero::linalg::Matrix& m) {
+  namespace g = hetero::graph;
+  std::cout << label << ":\n  support=" << (g::has_support(m) ? "yes" : "no")
+            << "  total support=" << (g::has_total_support(m) ? "yes" : "no")
+            << "  fully indecomposable="
+            << (g::is_fully_indecomposable(m) ? "yes" : "no")
+            << "  normalizable="
+            << (g::is_sinkhorn_normalizable(m) ? "yes" : "no") << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using hetero::linalg::Matrix;
+  const Matrix eq10{{0, 0, 1}, {1, 0, 1}, {0, 1, 0}};
+
+  std::cout << "Section VI — matrices without a standard form\n\n"
+               "eq. 10 matrix (reconstructed from the stated sums):\n";
+  hetero::io::print_matrix(std::cout, eq10, {"r1", "r2", "r3"},
+                           {"c1", "c2", "c3"}, 0);
+
+  classify("\neq. 10", eq10);
+
+  // eq. 12: moving the last column to the front exposes the block form.
+  const std::size_t rows[] = {0, 1, 2};
+  const std::size_t cols[] = {2, 0, 1};
+  std::cout << "\neq. 12 — last column moved to the front (block "
+               "lower-triangular, A11 = 1x1, A22 = 2x2):\n";
+  hetero::io::print_matrix(std::cout, eq10.permuted(rows, cols),
+                           {"r1", "r2", "r3"}, {"c3", "c1", "c2"}, 0);
+
+  const auto form = hetero::graph::block_triangular_form(eq10);
+  std::cout << "\nautomatic block decomposition: blocks of size";
+  for (std::size_t s : form->block_sizes) std::cout << ' ' << s;
+  std::cout << '\n';
+
+  // What the iteration does on it.
+  hetero::core::SinkhornOptions opts;
+  const auto r = hetero::core::standardize(eq10, opts);
+  std::cout << "\nSinkhorn on eq. 10: pattern = " << name_of(r.pattern)
+            << ", projected to total-support core = "
+            << (r.projected_to_core ? "yes" : "no")
+            << "\nlimit matrix (the (2,3) entry's mass vanishes):\n";
+  hetero::io::print_matrix(std::cout, r.standard, {"r1", "r2", "r3"},
+                           {"c1", "c2", "c3"}, 3);
+
+  // The paper's counterpoint: a positive-diagonal matrix is decomposable in
+  // form yet trivially normalizable.
+  const Matrix diag = Matrix::diagonal(std::vector<double>{2.0, 5.0, 9.0});
+  classify("\ndiagonal(2, 5, 9)", diag);
+  const auto d = hetero::core::standardize(diag);
+  std::cout << "  converges to the identity in " << d.iterations
+            << " iteration(s)\n";
+  return 0;
+}

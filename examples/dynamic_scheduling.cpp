@@ -1,0 +1,51 @@
+// Example: drive the dynamic (arrival-based) simulator on the SPEC CINT
+// environment and inspect how mapping policy affects flow time — then use
+// the affinity-mode analysis to explain *why* the smart policies win.
+#include <iostream>
+
+#include "core/svd_analysis.hpp"
+#include "io/table.hpp"
+#include "sched/dynamic.hpp"
+#include "spec/spec_data.hpp"
+
+int main() {
+  using hetero::io::format_fixed;
+  namespace sc = hetero::sched;
+
+  const auto& etc = hetero::spec::spec_cint2006rate();
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(99);
+
+  // Load the five machines at ~70% of aggregate service capacity.
+  const double rate = 5.0 * 0.7 / 500.0;  // runtimes are a few hundred sec
+  const auto arrivals = sc::poisson_arrivals(etc, rate, 200, rng);
+  std::cout << "200 Poisson arrivals over the SPEC CINT machines ("
+            << format_fixed(arrivals.back().time, 0) << " s horizon)\n\n";
+
+  hetero::io::Table t({"policy", "makespan (s)", "mean flow (s)",
+                       "max flow (s)"});
+  const auto add = [&](const char* name, const sc::DynamicResult& r) {
+    t.add_row({name, format_fixed(r.makespan, 0),
+               format_fixed(r.mean_flow_time, 0),
+               format_fixed(r.max_flow_time, 0)});
+  };
+  add("OLB (availability only)",
+      sc::simulate_immediate(etc, arrivals, sc::ImmediateMode::olb));
+  add("MET (speed only)",
+      sc::simulate_immediate(etc, arrivals, sc::ImmediateMode::met));
+  add("MCT (completion time)",
+      sc::simulate_immediate(etc, arrivals, sc::ImmediateMode::mct));
+  add("KPB 50%",
+      sc::simulate_immediate(etc, arrivals, sc::ImmediateMode::kpb));
+  add("batch Min-Min", sc::simulate_batch_min_min(etc, arrivals));
+  t.print(std::cout);
+
+  // Why do execution-time-aware policies matter here? The affinity modes
+  // say which benchmarks prefer which machines.
+  const auto analysis = hetero::core::affinity_analysis(etc.to_ecs(), {}, 1);
+  std::cout << '\n'
+            << hetero::core::describe_strongest_mode(analysis) << '\n'
+            << "TMA = " << format_fixed(analysis.tma, 3)
+            << ": modest affinity, so MCT's availability-awareness matters "
+               "more than per-task machine choice.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Example: generate ETC matrices three ways — range-based, CVB, and
+// measure-targeted — and verify what each produces. The measure-targeted
+// generator is the paper's application (d): spanning the heterogeneity
+// space for simulation studies.
+#include <iostream>
+
+#include "core/measures.hpp"
+#include "etcgen/cvb.hpp"
+#include "etcgen/range_based.hpp"
+#include "etcgen/target_measures.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using hetero::io::format_fixed;
+  namespace eg = hetero::etcgen;
+
+  eg::Rng rng = eg::make_rng(123);
+  hetero::io::Table t({"generator", "parameters", "MPH", "TDH", "TMA"});
+
+  // 1. Range-based (Ali et al. [4]).
+  eg::RangeBasedOptions rb;
+  rb.tasks = 12;
+  rb.machines = 6;
+  rb.task_range = 100.0;
+  rb.machine_range = 10.0;
+  rb.consistency = eg::Consistency::consistent;
+  const auto etc_rb = eg::generate_range_based(rb, rng);
+  const auto m_rb = hetero::core::measure_set(etc_rb.to_ecs());
+  t.add_row({"range-based", "Rtask=100 Rmach=10 consistent",
+             format_fixed(m_rb.mph, 2), format_fixed(m_rb.tdh, 2),
+             format_fixed(m_rb.tma, 2)});
+
+  // 2. CVB (coefficient-of-variation based).
+  eg::CvbOptions cvb;
+  cvb.tasks = 12;
+  cvb.machines = 6;
+  cvb.task_cov = 0.6;
+  cvb.machine_cov = 0.3;
+  const auto etc_cvb = eg::generate_cvb(cvb, rng);
+  const auto m_cvb = hetero::core::measure_set(etc_cvb.to_ecs());
+  t.add_row({"CVB", "Vtask=0.6 Vmach=0.3", format_fixed(m_cvb.mph, 2),
+             format_fixed(m_cvb.tdh, 2), format_fixed(m_cvb.tma, 2)});
+
+  // 3. Measure-targeted: hit (MPH, TDH, TMA) = (0.5, 0.8, 0.25) exactly.
+  eg::TargetGenOptions tg;
+  tg.tasks = 12;
+  tg.machines = 6;
+  tg.seed = 5;
+  tg.anneal_iterations = 15000;
+  tg.restarts = 2;
+  tg.tolerance = 0.01;
+  const auto gen = eg::generate_with_measures({0.5, 0.8, 0.25}, tg);
+  t.add_row({"measure-targeted", "targets MPH=.5 TDH=.8 TMA=.25",
+             format_fixed(gen.achieved.mph, 2),
+             format_fixed(gen.achieved.tdh, 2),
+             format_fixed(gen.achieved.tma, 2)});
+
+  t.print(std::cout);
+
+  std::cout << "\nThe classic generators control heterogeneity only "
+               "indirectly; the measure-targeted\ngenerator dials in the "
+               "paper's coordinates directly (max error "
+            << format_fixed(gen.error, 4) << ").\n";
+
+  // Round-trip through CSV so results feed other tools.
+  std::cout << "\nCSV of the measure-targeted environment:\n"
+            << hetero::io::write_etc_csv_string(gen.ecs.to_etc());
+  return 0;
+}

@@ -1,0 +1,236 @@
+// Command-line analyzer: characterize any ETC matrix stored as CSV.
+//
+//   hetero_cli analyze <file.csv>         full characterization report
+//   hetero_cli measures <file.csv>        one-line MPH/TDH/TMA
+//   hetero_cli json <file.csv>            machine-readable report (JSON)
+//   hetero_cli whatif <file.csv>          per-machine removal deltas
+//   hetero_cli report <file.csv>          full markdown report
+//   hetero_cli atlas <file.csv>           extreme 2x2 sub-environments
+//   hetero_cli cluster <file.csv> <k>     machine classes by column angle
+//   hetero_cli confidence <file.csv>      bootstrap intervals (10% noise)
+//   hetero_cli generate <mph> <tdh> <tma> <tasks> <machines>
+//                                         emit a CSV hitting the targets
+//   hetero_cli demo                       run on the embedded SPEC CINT data
+//
+// CSV format: optional header "task,m1,m2,...", one row per task type with
+// an optional leading name; "inf" marks machines that cannot run a task.
+#include <iostream>
+#include <string>
+
+#include "core/clustering.hpp"
+#include "core/confidence.hpp"
+#include "core/extracts.hpp"
+#include "core/measures.hpp"
+#include "core/region.hpp"
+#include "core/report.hpp"
+#include "core/standard_form.hpp"
+#include "core/whatif.hpp"
+#include "etcgen/target_measures.hpp"
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::io::format_fixed;
+
+int usage() {
+  std::cerr
+      << "usage: hetero_cli {analyze|measures|json|whatif|atlas|confidence} "
+         "<file.csv>\n"
+         "       hetero_cli cluster <file.csv> <k>\n"
+         "       hetero_cli generate <mph> <tdh> <tma> <tasks> <machines>\n"
+         "       hetero_cli demo\n";
+  return 2;
+}
+
+void atlas(const hetero::core::EtcMatrix& etc) {
+  const auto ecs = etc.to_ecs();
+  const auto result = hetero::core::extract_atlas(ecs);
+  const auto name = [&](const hetero::core::Extract& e) {
+    std::string s = "{";
+    for (std::size_t i = 0; i < e.tasks.size(); ++i)
+      s += (i ? "," : "") + ecs.task_names()[e.tasks[i]];
+    s += "}x{";
+    for (std::size_t j = 0; j < e.machines.size(); ++j)
+      s += (j ? "," : "") + ecs.machine_names()[e.machines[j]];
+    return s + "}";
+  };
+  hetero::io::Table t({"extreme", "value", "extract"});
+  t.add_row({"min MPH", format_fixed(result.min_mph.measures.mph, 3),
+             name(result.min_mph)});
+  t.add_row({"max MPH", format_fixed(result.max_mph.measures.mph, 3),
+             name(result.max_mph)});
+  t.add_row({"min TDH", format_fixed(result.min_tdh.measures.tdh, 3),
+             name(result.min_tdh)});
+  t.add_row({"max TDH", format_fixed(result.max_tdh.measures.tdh, 3),
+             name(result.max_tdh)});
+  t.add_row({"min TMA", format_fixed(result.min_tma.measures.tma, 3),
+             name(result.min_tma)});
+  t.add_row({"max TMA", format_fixed(result.max_tma.measures.tma, 3),
+             name(result.max_tma)});
+  t.print(std::cout);
+  std::cout << "(" << result.scored << " extracts scored, "
+            << (result.exhaustive ? "exhaustive" : "sampled") << ")\n";
+}
+
+void cluster(const hetero::core::EtcMatrix& etc, std::size_t k) {
+  const auto ecs = etc.to_ecs();
+  const auto c = hetero::core::cluster_machines(ecs, k);
+  for (std::size_t id = 0; id < c.cluster_count; ++id) {
+    std::cout << "class " << id << ":";
+    for (std::size_t j = 0; j < ecs.machine_count(); ++j)
+      if (c.cluster[j] == id) std::cout << ' ' << ecs.machine_names()[j];
+    std::cout << '\n';
+  }
+  std::cout << "within-class cosine " << format_fixed(c.within_cosine, 3)
+            << ", between-class " << format_fixed(c.between_cosine, 3)
+            << '\n';
+}
+
+void confidence(const hetero::core::EtcMatrix& etc) {
+  const auto c = hetero::core::measure_confidence(etc);
+  hetero::io::Table t({"measure", "point", "mean", "95% interval"});
+  const auto row = [&](const char* label,
+                       const hetero::core::MeasureInterval& i) {
+    t.add_row({label, format_fixed(i.point, 3), format_fixed(i.mean, 3),
+               "[" + format_fixed(i.lower, 3) + ", " +
+                   format_fixed(i.upper, 3) + "]"});
+  };
+  row("MPH", c.mph);
+  row("TDH", c.tdh);
+  row("TMA", c.tma);
+  t.print(std::cout);
+}
+
+int generate(int argc, char** argv) {
+  if (argc < 7) return usage();
+  hetero::etcgen::TargetMeasures target;
+  target.mph = std::stod(argv[2]);
+  target.tdh = std::stod(argv[3]);
+  target.tma = std::stod(argv[4]);
+  hetero::etcgen::TargetGenOptions opts;
+  opts.tasks = std::stoul(argv[5]);
+  opts.machines = std::stoul(argv[6]);
+  opts.scale = 0.01;  // ECS scale -> runtimes in the hundreds
+  const auto result = hetero::etcgen::generate_with_measures(target, opts);
+  hetero::io::write_etc_csv(std::cout, result.ecs.to_etc());
+  std::cerr << "achieved MPH=" << format_fixed(result.achieved.mph, 3)
+            << " TDH=" << format_fixed(result.achieved.tdh, 3)
+            << " TMA=" << format_fixed(result.achieved.tma, 3)
+            << " (max error " << format_fixed(result.error, 4) << ")\n";
+  return 0;
+}
+
+void print_measures_line(const hetero::core::EcsMatrix& ecs) {
+  const auto m = hetero::core::measure_set(ecs);
+  std::cout << "MPH=" << format_fixed(m.mph, 4)
+            << " TDH=" << format_fixed(m.tdh, 4)
+            << " TMA=" << format_fixed(m.tma, 4) << '\n';
+}
+
+void analyze(const hetero::core::EtcMatrix& etc) {
+  std::cout << "ETC matrix: " << etc.task_count() << " task types x "
+            << etc.machine_count() << " machines\n\n";
+  hetero::io::print_etc(std::cout, etc, 1);
+
+  const auto ecs = etc.to_ecs();
+  const auto report = hetero::core::characterize(ecs);
+  std::cout << "\nmeasures:\n  MPH = " << format_fixed(report.measures.mph, 4)
+            << "   (alternatives: R=" << format_fixed(report.mph_alt_ratio, 4)
+            << " G=" << format_fixed(report.mph_alt_geometric, 4)
+            << " COV=" << format_fixed(report.mph_alt_cov, 4) << ")\n  TDH = "
+            << format_fixed(report.measures.tdh, 4)
+            << "\n  TMA = " << format_fixed(report.measures.tma, 4)
+            << (report.tma_detail.used_standard_form
+                    ? "   (standard form, eq. 8)"
+                    : "   (column-normalized fallback, eq. 5 — no standard "
+                      "form exists)")
+            << '\n';
+
+  const auto& sf = report.tma_detail.standard_form;
+  if (report.tma_detail.used_standard_form) {
+    std::cout << "  standard form: " << sf.iterations
+              << " Sinkhorn iterations, residual "
+              << hetero::io::format_general(sf.residual) << '\n';
+  }
+
+  hetero::io::Table mp({"machine", "MP"});
+  for (std::size_t j = 0; j < ecs.machine_count(); ++j)
+    mp.add_row({ecs.machine_names()[j],
+                format_fixed(report.machine_performances[j], 5)});
+  std::cout << "\nmachine performances:\n";
+  mp.print(std::cout);
+
+  hetero::io::Table td({"task", "TD"});
+  for (std::size_t i = 0; i < ecs.task_count(); ++i)
+    td.add_row(
+        {ecs.task_names()[i], format_fixed(report.task_difficulties[i], 5)});
+  std::cout << "\ntask difficulties:\n";
+  td.print(std::cout);
+
+  const auto region = hetero::core::classify_region(report.measures);
+  const auto rec = hetero::core::recommend_heuristic(region);
+  std::cout << "\nregion: " << hetero::core::region_name(region)
+            << "\nrecommended mapping heuristic: " << rec.heuristic << "\n  ("
+            << rec.rationale << ")\n";
+}
+
+void whatif(const hetero::core::EtcMatrix& etc) {
+  const auto ecs = etc.to_ecs();
+  hetero::io::Table t({"change", "dMPH", "dTDH", "dTMA"});
+  for (const auto& d : hetero::core::whatif_remove_each_machine(ecs))
+    t.add_row({d.description, format_fixed(d.mph_delta(), 4),
+               format_fixed(d.tdh_delta(), 4),
+               format_fixed(d.tma_delta(), 4)});
+  for (const auto& d : hetero::core::whatif_remove_each_task(ecs))
+    t.add_row({d.description, format_fixed(d.mph_delta(), 4),
+               format_fixed(d.tdh_delta(), 4),
+               format_fixed(d.tma_delta(), 4)});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "demo") {
+      analyze(hetero::spec::spec_cint2006rate());
+      return 0;
+    }
+    if (command == "generate") return generate(argc, argv);
+    if (argc < 3) return usage();
+    const auto etc = hetero::io::read_etc_csv_file(argv[2]);
+    if (command == "analyze") {
+      analyze(etc);
+    } else if (command == "measures") {
+      print_measures_line(etc.to_ecs());
+    } else if (command == "json") {
+      const auto ecs = etc.to_ecs();
+      std::cout << hetero::io::to_json(hetero::core::characterize(ecs), ecs)
+                << '\n';
+    } else if (command == "whatif") {
+      whatif(etc);
+    } else if (command == "report") {
+      hetero::core::ReportOptions opts;
+      opts.title = std::string("Environment report: ") + argv[2];
+      std::cout << hetero::core::markdown_report(etc, opts);
+    } else if (command == "atlas") {
+      atlas(etc);
+    } else if (command == "cluster") {
+      if (argc < 4) return usage();
+      cluster(etc, std::stoul(argv[3]));
+    } else if (command == "confidence") {
+      confidence(etc);
+    } else {
+      return usage();
+    }
+  } catch (const hetero::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

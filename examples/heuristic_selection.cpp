@@ -1,0 +1,63 @@
+// Example: use the heterogeneity measures to pick a mapping heuristic.
+// Characterizes an environment, then shows how the measure values predict
+// which scheduling heuristic wins — the decision procedure of paper
+// application (b).
+#include <iostream>
+
+#include "core/measures.hpp"
+#include "etcgen/range_based.hpp"
+#include "io/table.hpp"
+#include "sched/evolutionary.hpp"
+#include "sched/heuristics.hpp"
+
+int main() {
+  using hetero::io::format_fixed;
+  namespace eg = hetero::etcgen;
+  namespace sc = hetero::sched;
+
+  // Two contrasting environments from the range-based generator.
+  eg::Rng rng = eg::make_rng(7);
+  eg::RangeBasedOptions mild;
+  mild.tasks = 16;
+  mild.machines = 6;
+  mild.task_range = 5.0;
+  mild.machine_range = 1.5;  // near-homogeneous machines
+  eg::RangeBasedOptions harsh = mild;
+  harsh.task_range = 100.0;
+  harsh.machine_range = 50.0;  // wildly heterogeneous
+
+  for (const auto& [label, opts] :
+       {std::pair{"near-homogeneous", mild}, std::pair{"heterogeneous", harsh}}) {
+    const auto etc = eg::generate_range_based(opts, rng);
+    const auto m = hetero::core::measure_set(etc.to_ecs());
+    std::cout << label << " environment: MPH=" << format_fixed(m.mph, 2)
+              << " TDH=" << format_fixed(m.tdh, 2)
+              << " TMA=" << format_fixed(m.tma, 2) << "\n";
+
+    // Three instances of every task type.
+    sc::TaskList tasks;
+    for (int rep = 0; rep < 3; ++rep)
+      for (std::size_t i = 0; i < etc.task_count(); ++i) tasks.push_back(i);
+    const double lb = sc::makespan_lower_bound(etc, tasks);
+
+    hetero::io::Table t({"heuristic", "makespan / lower bound"});
+    for (const auto& h : sc::standard_heuristics()) {
+      const double ms = sc::makespan(etc, tasks, h.map(etc, tasks));
+      t.add_row({h.name, format_fixed(ms / lb, 3)});
+    }
+    // A search mapper as the quality yardstick.
+    sc::SaMapperOptions sa;
+    sa.iterations = 10000;
+    const double sa_ms = sc::makespan(
+        etc, tasks, sc::map_simulated_annealing(etc, tasks, sa));
+    t.add_row({"SA (search)", format_fixed(sa_ms / lb, 3)});
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Reading the tables: when MPH is high every heuristic is "
+               "close; as MPH drops and TMA rises,\nload-blind OLB/MET fall "
+               "behind and batch heuristics (Min-Min/Sufferage/Duplex) are "
+               "the safe choice.\n";
+  return 0;
+}

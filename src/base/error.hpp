@@ -1,0 +1,51 @@
+// Error types shared by every hetero substrate.
+//
+// The library reports contract violations (bad dimensions, invalid values)
+// and algorithmic failures (non-convergence) through exceptions derived from
+// hetero::Error, so callers can distinguish library failures from generic
+// std::exception sources.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hetero {
+
+/// Root of the hetero exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A matrix/vector dimension did not match the operation's contract.
+class DimensionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An argument value violated a precondition (e.g. negative ETC entry).
+class ValueError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An iterative algorithm failed to converge within its iteration budget.
+class ConvergenceError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+/// Throws DimensionError with a formatted message when `ok` is false.
+inline void require_dims(bool ok, const std::string& what) {
+  if (!ok) throw DimensionError(what);
+}
+
+/// Throws ValueError with a formatted message when `ok` is false.
+inline void require_value(bool ok, const std::string& what) {
+  if (!ok) throw ValueError(what);
+}
+
+}  // namespace detail
+}  // namespace hetero

@@ -1,0 +1,109 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::core {
+namespace {
+
+using linalg::Matrix;
+
+// Cosine-similarity matrix between the columns of `values`.
+Matrix column_cosines(const Matrix& values) {
+  const std::size_t n = values.cols();
+  Matrix cos(n, n, 1.0);
+  std::vector<std::vector<double>> cols(n);
+  std::vector<double> norms(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    cols[j] = values.col(j);
+    norms[j] = linalg::norm2(cols[j]);
+  }
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double c =
+          linalg::dot(cols[a], cols[b]) / (norms[a] * norms[b]);
+      cos(a, b) = cos(b, a) = c;
+    }
+  return cos;
+}
+
+// Average-linkage agglomeration down to k clusters on distance 1 - cosine.
+std::vector<std::size_t> agglomerate(const Matrix& cosine, std::size_t k) {
+  const std::size_t n = cosine.rows();
+  std::vector<std::vector<std::size_t>> clusters(n);
+  for (std::size_t j = 0; j < n; ++j) clusters[j] = {j};
+
+  const auto linkage = [&](const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b) {
+    double acc = 0.0;
+    for (std::size_t x : a)
+      for (std::size_t y : b) acc += 1.0 - cosine(x, y);
+    return acc / static_cast<double>(a.size() * b.size());
+  };
+
+  while (clusters.size() > k) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t ba = 0, bb = 1;
+    for (std::size_t a = 0; a < clusters.size(); ++a)
+      for (std::size_t b = a + 1; b < clusters.size(); ++b) {
+        const double d = linkage(clusters[a], clusters[b]);
+        if (d < best) {
+          best = d;
+          ba = a;
+          bb = b;
+        }
+      }
+    clusters[ba].insert(clusters[ba].end(), clusters[bb].begin(),
+                        clusters[bb].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bb));
+  }
+
+  std::vector<std::size_t> labels(n, 0);
+  for (std::size_t c = 0; c < clusters.size(); ++c)
+    for (std::size_t j : clusters[c]) labels[j] = c;
+  return labels;
+}
+
+MachineClustering cluster_columns(const Matrix& values, std::size_t k) {
+  detail::require_value(k >= 1 && k <= values.cols(),
+                        "cluster: k must be in [1, count]");
+  const Matrix cosine = column_cosines(values);
+  MachineClustering out;
+  out.cluster = agglomerate(cosine, k);
+  out.cluster_count = k;
+
+  double within = 0.0, between = 0.0;
+  std::size_t within_pairs = 0, between_pairs = 0;
+  for (std::size_t a = 0; a < values.cols(); ++a)
+    for (std::size_t b = a + 1; b < values.cols(); ++b) {
+      if (out.cluster[a] == out.cluster[b]) {
+        within += cosine(a, b);
+        ++within_pairs;
+      } else {
+        between += cosine(a, b);
+        ++between_pairs;
+      }
+    }
+  out.within_cosine = within_pairs ? within / static_cast<double>(within_pairs)
+                                   : 1.0;
+  out.between_cosine =
+      between_pairs ? between / static_cast<double>(between_pairs) : 1.0;
+  return out;
+}
+
+}  // namespace
+
+MachineClustering cluster_machines(const EcsMatrix& ecs, std::size_t k,
+                                   const Weights& w) {
+  return cluster_columns(ecs.weighted_values(w), k);
+}
+
+MachineClustering cluster_tasks(const EcsMatrix& ecs, std::size_t k,
+                                const Weights& w) {
+  return cluster_columns(ecs.weighted_values(w).transposed(), k);
+}
+
+}  // namespace hetero::core

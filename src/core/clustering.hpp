@@ -1,0 +1,40 @@
+// Affinity-based machine clustering.
+//
+// TMA > 0 means machine columns point in different directions — there are
+// *classes* of machines specialized to classes of tasks. This module
+// recovers those classes explicitly: agglomerative (average-linkage)
+// clustering of machines under cosine distance between ECS columns, the
+// same column-angle geometry the paper uses to motivate TMA (Section II-E).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/weights.hpp"
+
+namespace hetero::core {
+
+struct MachineClustering {
+  /// cluster[j] = cluster id of machine j, ids in [0, cluster_count).
+  std::vector<std::size_t> cluster;
+  std::size_t cluster_count = 0;
+  /// Mean within-cluster pairwise cosine similarity (1 when every cluster
+  /// is internally parallel; singleton clusters contribute 1).
+  double within_cosine = 1.0;
+  /// Mean between-cluster pairwise cosine similarity (lower = better
+  /// separated).
+  double between_cosine = 1.0;
+};
+
+/// Groups machines into `k` clusters by average-linkage agglomeration on
+/// cosine distance (1 - cosine similarity) between weighted ECS columns.
+/// Throws ValueError unless 1 <= k <= machine_count.
+MachineClustering cluster_machines(const EcsMatrix& ecs, std::size_t k,
+                                   const Weights& w = {});
+
+/// Task-side clustering: identical procedure on ECS rows.
+MachineClustering cluster_tasks(const EcsMatrix& ecs, std::size_t k,
+                                const Weights& w = {});
+
+}  // namespace hetero::core

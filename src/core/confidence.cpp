@@ -1,0 +1,67 @@
+#include "core/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "etcgen/noise.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::core {
+namespace {
+
+MeasureInterval summarize(double point, std::vector<double> samples,
+                          double coverage) {
+  MeasureInterval interval;
+  interval.point = point;
+  interval.mean = linalg::mean(samples);
+  interval.stddev = samples.size() > 1 ? linalg::stddev_sample(samples) : 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double tail = (1.0 - coverage) / 2.0;
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  interval.lower = at(tail);
+  interval.upper = at(1.0 - tail);
+  return interval;
+}
+
+}  // namespace
+
+MeasureConfidence measure_confidence(const EtcMatrix& etc,
+                                     const ConfidenceOptions& options) {
+  detail::require_value(options.noise_cov >= 0.0,
+                        "measure_confidence: noise_cov must be >= 0");
+  detail::require_value(options.replications >= 2,
+                        "measure_confidence: need at least 2 replications");
+  detail::require_value(options.coverage > 0.0 && options.coverage < 1.0,
+                        "measure_confidence: coverage must be in (0, 1)");
+
+  const MeasureSet point = measure_set(etc.to_ecs());
+  etcgen::Rng rng = etcgen::make_rng(options.seed);
+
+  std::vector<double> mph_samples, tdh_samples, tma_samples;
+  mph_samples.reserve(options.replications);
+  tdh_samples.reserve(options.replications);
+  tma_samples.reserve(options.replications);
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    const auto noisy = etcgen::perturb_lognormal(etc, options.noise_cov, rng);
+    const MeasureSet m = measure_set(noisy.to_ecs());
+    mph_samples.push_back(m.mph);
+    tdh_samples.push_back(m.tdh);
+    tma_samples.push_back(m.tma);
+  }
+
+  MeasureConfidence out;
+  out.replications = options.replications;
+  out.mph = summarize(point.mph, std::move(mph_samples), options.coverage);
+  out.tdh = summarize(point.tdh, std::move(tdh_samples), options.coverage);
+  out.tma = summarize(point.tma, std::move(tma_samples), options.coverage);
+  return out;
+}
+
+}  // namespace hetero::core

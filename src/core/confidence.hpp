@@ -1,0 +1,48 @@
+// Bootstrap confidence intervals for the heterogeneity measures.
+//
+// ETC entries are estimates; a point value of MPH/TDH/TMA hides how
+// sensitive it is to estimation error. Given a noise model (coefficient of
+// variation of the entry estimates), this module replays the measurement
+// under resampled noise and reports per-measure mean, standard deviation,
+// and central quantile intervals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
+
+namespace hetero::core {
+
+/// Summary of one measure's bootstrap distribution.
+struct MeasureInterval {
+  double point = 0.0;   // measure of the unperturbed environment
+  double mean = 0.0;    // bootstrap mean
+  double stddev = 0.0;  // bootstrap standard deviation
+  double lower = 0.0;   // central-interval lower quantile
+  double upper = 0.0;   // central-interval upper quantile
+};
+
+struct MeasureConfidence {
+  MeasureInterval mph;
+  MeasureInterval tdh;
+  MeasureInterval tma;
+  std::size_t replications = 0;
+};
+
+struct ConfidenceOptions {
+  /// Lognormal estimation-noise COV applied to every finite ETC entry.
+  double noise_cov = 0.1;
+  std::size_t replications = 200;
+  /// Central-interval coverage, e.g. 0.95 gives the 2.5%/97.5% quantiles.
+  double coverage = 0.95;
+  std::uint64_t seed = 1;
+};
+
+/// Bootstraps the three measures of an ETC environment under the noise
+/// model. Throws ValueError for bad options.
+MeasureConfidence measure_confidence(const EtcMatrix& etc,
+                                     const ConfidenceOptions& options = {});
+
+}  // namespace hetero::core

@@ -1,0 +1,122 @@
+// ETC and ECS matrix types (paper Sections I and II-B).
+//
+// An ETC (estimated time to compute) matrix has entry (i, j) = estimated
+// runtime of task type i on machine j when run alone; an entry of +infinity
+// means machine j cannot run task type i. The ECS (estimated computation
+// speed) matrix is the entrywise reciprocal (eq. 1), with 0 in place of
+// +infinity. Both carry task-type and machine labels so SPEC-derived
+// environments keep their benchmark/machine names through every analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/weights.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hetero::core {
+
+class EcsMatrix;
+
+/// Estimated-time-to-compute matrix: T task types (rows) x M machines
+/// (columns). Invariants: entries are positive (possibly +infinity); no row
+/// is all-infinite (a task no machine can run) and no column is all-infinite
+/// (a machine that can run nothing).
+class EtcMatrix {
+ public:
+  /// Validates and takes ownership. Labels may be empty (auto-generated as
+  /// "t1".."tT" / "m1".."mM"); if given, sizes must match.
+  explicit EtcMatrix(linalg::Matrix values,
+                     std::vector<std::string> task_names = {},
+                     std::vector<std::string> machine_names = {});
+
+  std::size_t task_count() const noexcept { return values_.rows(); }
+  std::size_t machine_count() const noexcept { return values_.cols(); }
+
+  const linalg::Matrix& values() const noexcept { return values_; }
+  double operator()(std::size_t i, std::size_t j) const {
+    return values_(i, j);
+  }
+
+  const std::vector<std::string>& task_names() const noexcept {
+    return task_names_;
+  }
+  const std::vector<std::string>& machine_names() const noexcept {
+    return machine_names_;
+  }
+
+  /// Reciprocal conversion (eq. 1); +infinity entries become 0.
+  EcsMatrix to_ecs() const;
+
+  /// Submatrix selecting the given task rows and machine columns, keeping
+  /// labels. Indices may not repeat requirements are not enforced, but the
+  /// result must satisfy the EtcMatrix invariants.
+  EtcMatrix submatrix(std::span<const std::size_t> tasks,
+                      std::span<const std::size_t> machines) const;
+
+  /// Index of the named task/machine. Throws ValueError when absent.
+  std::size_t task_index(const std::string& name) const;
+  std::size_t machine_index(const std::string& name) const;
+
+ private:
+  linalg::Matrix values_;
+  std::vector<std::string> task_names_;
+  std::vector<std::string> machine_names_;
+};
+
+/// Estimated-computation-speed matrix: entry (i, j) is the amount of task
+/// type i completed per unit time on machine j; 0 means "cannot run".
+/// Invariants: entries are finite and nonnegative; no all-zero row or
+/// column (paper Section II-B).
+class EcsMatrix {
+ public:
+  explicit EcsMatrix(linalg::Matrix values,
+                     std::vector<std::string> task_names = {},
+                     std::vector<std::string> machine_names = {});
+
+  std::size_t task_count() const noexcept { return values_.rows(); }
+  std::size_t machine_count() const noexcept { return values_.cols(); }
+
+  const linalg::Matrix& values() const noexcept { return values_; }
+  double operator()(std::size_t i, std::size_t j) const {
+    return values_(i, j);
+  }
+
+  const std::vector<std::string>& task_names() const noexcept {
+    return task_names_;
+  }
+  const std::vector<std::string>& machine_names() const noexcept {
+    return machine_names_;
+  }
+
+  /// Reciprocal conversion back to runtimes; 0 entries become +infinity.
+  EtcMatrix to_etc() const;
+
+  /// The weighted view diag(w_t) * ECS * diag(w_m) consumed by all measures
+  /// (paper eqs. 4 and 6 fold the weights into MP/TD; applying them as a
+  /// diagonal congruence gives the same MP/TD and extends them to TMA).
+  linalg::Matrix weighted_values(const Weights& w) const;
+
+  /// Submatrix selecting the given task rows and machine columns (keeps
+  /// labels); the result must satisfy the EcsMatrix invariants.
+  EcsMatrix submatrix(std::span<const std::size_t> tasks,
+                      std::span<const std::size_t> machines) const;
+
+  /// Row/column permuted copy (labels follow).
+  EcsMatrix permuted(std::span<const std::size_t> task_perm,
+                     std::span<const std::size_t> machine_perm) const;
+
+  std::size_t task_index(const std::string& name) const;
+  std::size_t machine_index(const std::string& name) const;
+
+ private:
+  linalg::Matrix values_;
+  std::vector<std::string> task_names_;
+  std::vector<std::string> machine_names_;
+};
+
+/// Convenience: default task labels "t1".."tT" or machine labels "m1".."mM".
+std::vector<std::string> default_labels(std::size_t count, char prefix);
+
+}  // namespace hetero::core

@@ -1,0 +1,119 @@
+#include "core/extracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "base/error.hpp"
+
+namespace hetero::core {
+namespace {
+
+// Count of r-subsets of n, saturating at `cap + 1` to avoid overflow.
+double binomial_capped(std::size_t n, std::size_t r, double cap) {
+  double c = 1.0;
+  for (std::size_t k = 1; k <= r; ++k) {
+    c *= static_cast<double>(n - r + k) / static_cast<double>(k);
+    if (c > cap) return cap + 1.0;
+  }
+  return c;
+}
+
+// Lexicographic next combination; false when exhausted.
+bool next_combination(std::vector<std::size_t>& pick, std::size_t n) {
+  const std::size_t r = pick.size();
+  std::size_t i = r;
+  while (i-- > 0) {
+    if (pick[i] != i + n - r) {
+      ++pick[i];
+      for (std::size_t j = i + 1; j < r; ++j) pick[j] = pick[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> first_combination(std::size_t r) {
+  std::vector<std::size_t> pick(r);
+  for (std::size_t i = 0; i < r; ++i) pick[i] = i;
+  return pick;
+}
+
+std::vector<std::size_t> random_subset(std::size_t n, std::size_t r,
+                                       std::mt19937_64& rng) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  std::shuffle(all.begin(), all.end(), rng);
+  all.resize(r);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+Extract score_extract(const EcsMatrix& ecs, std::vector<std::size_t> tasks,
+                      std::vector<std::size_t> machines) {
+  Extract e;
+  e.measures = measure_set(ecs.submatrix(tasks, machines));
+  e.tasks = std::move(tasks);
+  e.machines = std::move(machines);
+  return e;
+}
+
+ExtractAtlas extract_atlas(const EcsMatrix& ecs,
+                           const ExtractAtlasOptions& options) {
+  detail::require_value(
+      options.tasks >= 1 && options.tasks <= ecs.task_count() &&
+          options.machines >= 1 && options.machines <= ecs.machine_count(),
+      "extract_atlas: extract shape does not fit the environment");
+
+  ExtractAtlas atlas;
+  bool first = true;
+  const auto consider = [&](const std::vector<std::size_t>& tasks,
+                            const std::vector<std::size_t>& machines) {
+    Extract e;
+    try {
+      e = score_extract(ecs, tasks, machines);
+    } catch (const Error&) {
+      return;  // invalid sub-environment (all-zero row/column)
+    }
+    ++atlas.scored;
+    if (first) {
+      atlas.min_mph = atlas.max_mph = atlas.min_tdh = atlas.max_tdh =
+          atlas.min_tma = atlas.max_tma = e;
+      first = false;
+      return;
+    }
+    if (e.measures.mph < atlas.min_mph.measures.mph) atlas.min_mph = e;
+    if (e.measures.mph > atlas.max_mph.measures.mph) atlas.max_mph = e;
+    if (e.measures.tdh < atlas.min_tdh.measures.tdh) atlas.min_tdh = e;
+    if (e.measures.tdh > atlas.max_tdh.measures.tdh) atlas.max_tdh = e;
+    if (e.measures.tma < atlas.min_tma.measures.tma) atlas.min_tma = e;
+    if (e.measures.tma > atlas.max_tma.measures.tma) atlas.max_tma = e;
+  };
+
+  const double cap = static_cast<double>(options.max_exhaustive);
+  const double total =
+      binomial_capped(ecs.task_count(), options.tasks, cap) *
+      binomial_capped(ecs.machine_count(), options.machines, cap);
+  if (total <= cap) {
+    atlas.exhaustive = true;
+    auto task_pick = first_combination(options.tasks);
+    do {
+      auto machine_pick = first_combination(options.machines);
+      do {
+        consider(task_pick, machine_pick);
+      } while (next_combination(machine_pick, ecs.machine_count()));
+    } while (next_combination(task_pick, ecs.task_count()));
+  } else {
+    std::mt19937_64 rng(options.seed);
+    for (std::size_t s = 0; s < options.samples; ++s)
+      consider(random_subset(ecs.task_count(), options.tasks, rng),
+               random_subset(ecs.machine_count(), options.machines, rng));
+  }
+  detail::require_value(atlas.scored > 0,
+                        "extract_atlas: no valid extract found");
+  return atlas;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,59 @@
+// Extreme sub-environment discovery (automating paper Figure 8).
+//
+// Section V shows two hand-picked 2x2 ETC extracts whose measures sit at
+// opposite extremes of the full environments'. This module automates the
+// search: enumerate (or sample) r x c sub-environments and report the ones
+// minimizing / maximizing each measure — useful for spotting which machine
+// and task subsets drive an environment's heterogeneity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
+
+namespace hetero::core {
+
+/// One scored sub-environment.
+struct Extract {
+  std::vector<std::size_t> tasks;     // row indices into the parent
+  std::vector<std::size_t> machines;  // column indices into the parent
+  MeasureSet measures;
+};
+
+struct ExtractAtlasOptions {
+  std::size_t tasks = 2;     // extract height
+  std::size_t machines = 2;  // extract width
+  /// Exhaustive enumeration is used while C(T, r) * C(M, c) stays at or
+  /// below this cap; beyond it, `samples` random extracts are scored
+  /// (seeded, reproducible).
+  std::size_t max_exhaustive = 100000;
+  std::size_t samples = 20000;
+  std::uint64_t seed = 1;
+};
+
+/// The extremes over all (enumerated or sampled) extracts.
+struct ExtractAtlas {
+  Extract min_mph, max_mph;
+  Extract min_tdh, max_tdh;
+  Extract min_tma, max_tma;
+  /// How many extracts were scored.
+  std::size_t scored = 0;
+  /// True when the enumeration was exhaustive.
+  bool exhaustive = false;
+};
+
+/// Scores sub-environments of `ecs` and returns the per-measure extremes.
+/// Extracts whose submatrix violates the EcsMatrix invariants (all-zero
+/// line) are skipped. Throws ValueError when the requested extract shape
+/// does not fit in the parent.
+ExtractAtlas extract_atlas(const EcsMatrix& ecs,
+                           const ExtractAtlasOptions& options = {});
+
+/// Measures of one specific extract (convenience).
+Extract score_extract(const EcsMatrix& ecs, std::vector<std::size_t> tasks,
+                      std::vector<std::size_t> machines);
+
+}  // namespace hetero::core

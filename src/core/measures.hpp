@@ -1,0 +1,107 @@
+// The three heterogeneity measures (paper Sections II-C/E, III) plus the
+// rejected alternatives the paper compares against (Section II-D, Fig. 2).
+//
+//   MPH — machine performance homogeneity (eq. 3 / weighted eq. 4)
+//   TDH — task type difficulty homogeneity (eq. 7 / weighted eq. 6)
+//   TMA — task-machine affinity: mean non-maximum singular value of the
+//         standard-form ECS matrix (eq. 8), falling back to the
+//         column-normalized form of [2] (eq. 5) when no standard form
+//         exists (Section VI).
+//
+// MPH and TDH lie in (0, 1]; TMA lies in [0, 1]. All three are invariant to
+// scaling the ECS matrix by a positive factor, and the standard form makes
+// them mutually independent (the paper's three required properties).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/standard_form.hpp"
+#include "core/weights.hpp"
+
+namespace hetero::core {
+
+// ---------------------------------------------------------------------------
+// Homogeneity of a positive value vector (shared by MPH and TDH).
+
+/// Mean of v_(i) / v_(i+1) over the ascending-sorted values (eqs. 3 and 7).
+/// A single value is perfectly homogeneous (returns 1). All values must be
+/// positive.
+double adjacent_ratio_homogeneity(std::span<const double> values);
+
+/// Alternative homogeneity measures the paper evaluates and rejects
+/// (Section II-D): they miss the spread of intermediate values (R, G) or
+/// fail to match intuition (COV).
+double min_max_ratio(std::span<const double> values);                // R
+double adjacent_ratio_geometric_mean(std::span<const double> values); // G
+double value_cov(std::span<const double> values);                    // COV
+
+// ---------------------------------------------------------------------------
+// The paper's measures.
+
+/// Machine performance homogeneity (eq. 3, weighted via eq. 4).
+double mph(const EcsMatrix& ecs, const Weights& w = {});
+
+/// Task type difficulty homogeneity (eq. 7, weighted via eq. 6).
+double tdh(const EcsMatrix& ecs, const Weights& w = {});
+
+struct TmaOptions {
+  SinkhornOptions sinkhorn;
+  /// When the standard form does not exist / does not converge, fall back to
+  /// the column-normalized TMA of [2] (eq. 5) instead of throwing.
+  bool allow_column_normalized_fallback = true;
+};
+
+/// Full TMA computation record.
+struct TmaResult {
+  double value = 0.0;
+  /// True when eq. 8 on the standard form was used; false when the eq. 5
+  /// column-normalized fallback was taken.
+  bool used_standard_form = true;
+  /// Singular values of the matrix the measure was computed from, sorted
+  /// descending (sigma_1 ~= 1 in the standard-form case, Theorem 2).
+  std::vector<double> singular_values;
+  /// The Sinkhorn record (meaningful when a standard form was attempted).
+  StandardFormResult standard_form;
+};
+
+/// Task-machine affinity with full diagnostics.
+TmaResult tma_detailed(const EcsMatrix& ecs, const Weights& w = {},
+                       const TmaOptions& options = {});
+
+/// Task-machine affinity (eq. 8; eq. 5 fallback for non-normalizable
+/// patterns).
+double tma(const EcsMatrix& ecs, const Weights& w = {});
+
+/// The original column-normalized TMA of [2] (eq. 5): columns are scaled to
+/// unit 1-norm (no row normalization), and TMA = mean(sigma_i / sigma_1,
+/// i >= 2).
+double tma_column_normalized(const EcsMatrix& ecs, const Weights& w = {});
+
+// ---------------------------------------------------------------------------
+// Aggregate characterization.
+
+/// The (MPH, TDH, TMA) triple.
+struct MeasureSet {
+  double mph = 0.0;
+  double tdh = 0.0;
+  double tma = 0.0;
+};
+
+MeasureSet measure_set(const EcsMatrix& ecs, const Weights& w = {});
+
+/// Everything an analyst wants about one environment in a single pass.
+struct EnvironmentReport {
+  MeasureSet measures;
+  std::vector<double> machine_performances;  // MP_j, original machine order
+  std::vector<double> task_difficulties;     // TD_i, original task order
+  double mph_alt_ratio = 0.0;                // R on MPs
+  double mph_alt_geometric = 0.0;            // G on MPs
+  double mph_alt_cov = 0.0;                  // COV on MPs
+  TmaResult tma_detail;
+};
+
+EnvironmentReport characterize(const EcsMatrix& ecs, const Weights& w = {});
+
+}  // namespace hetero::core

@@ -1,0 +1,61 @@
+#include "core/performance.hpp"
+
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::core {
+
+std::vector<double> machine_performances(const EcsMatrix& ecs,
+                                         const Weights& w) {
+  w.validate(ecs.task_count(), ecs.machine_count());
+  std::vector<double> mp(ecs.machine_count(), 0.0);
+  for (std::size_t j = 0; j < ecs.machine_count(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < ecs.task_count(); ++i)
+      s += w.task_weight(i) * ecs(i, j);
+    mp[j] = w.machine_weight(j) * s;
+  }
+  return mp;
+}
+
+std::vector<double> task_difficulties(const EcsMatrix& ecs, const Weights& w) {
+  w.validate(ecs.task_count(), ecs.machine_count());
+  std::vector<double> td(ecs.task_count(), 0.0);
+  for (std::size_t i = 0; i < ecs.task_count(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < ecs.machine_count(); ++j)
+      s += w.machine_weight(j) * ecs(i, j);
+    td[i] = w.task_weight(i) * s;
+  }
+  return td;
+}
+
+double machine_performance(const EcsMatrix& ecs, std::size_t machine,
+                           const Weights& w) {
+  detail::require_dims(machine < ecs.machine_count(),
+                       "machine_performance: index out of range");
+  return machine_performances(ecs, w)[machine];
+}
+
+double task_difficulty(const EcsMatrix& ecs, std::size_t task,
+                       const Weights& w) {
+  detail::require_dims(task < ecs.task_count(),
+                       "task_difficulty: index out of range");
+  return task_difficulties(ecs, w)[task];
+}
+
+CanonicalForm canonical_form(const EcsMatrix& ecs, const Weights& w) {
+  const auto mp = machine_performances(ecs, w);
+  const auto td = task_difficulties(ecs, w);
+  auto task_order = linalg::ascending_order(td);
+  auto machine_order = linalg::ascending_order(mp);
+  EcsMatrix canonical = ecs.permuted(task_order, machine_order);
+  return CanonicalForm{std::move(canonical), std::move(task_order),
+                       std::move(machine_order)};
+}
+
+bool is_canonical(const EcsMatrix& ecs, const Weights& w) {
+  return linalg::is_ascending(machine_performances(ecs, w)) &&
+         linalg::is_ascending(task_difficulties(ecs, w));
+}
+
+}  // namespace hetero::core

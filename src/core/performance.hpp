@@ -1,0 +1,47 @@
+// Machine performance, task difficulty, and the canonical ECS form
+// (paper Sections II-C, III-A/B).
+//
+// MP_j = w_mj * sum_i w_ti * ECS(i, j)   (eq. 4; eq. 2 when unweighted)
+// TD_i = w_ti * sum_j w_mj * ECS(i, j)   (eq. 6)
+//
+// The canonical form sorts machines by ascending MP and task types by
+// ascending TD, which is the ordering MPH/TDH's adjacent-ratio averages are
+// defined over.
+#pragma once
+
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/weights.hpp"
+
+namespace hetero::core {
+
+/// MP_j for every machine (eq. 4).
+std::vector<double> machine_performances(const EcsMatrix& ecs,
+                                         const Weights& w = {});
+
+/// TD_i for every task type (eq. 6).
+std::vector<double> task_difficulties(const EcsMatrix& ecs,
+                                      const Weights& w = {});
+
+/// MP of one machine / TD of one task type.
+double machine_performance(const EcsMatrix& ecs, std::size_t machine,
+                           const Weights& w = {});
+double task_difficulty(const EcsMatrix& ecs, std::size_t task,
+                       const Weights& w = {});
+
+/// Canonical ECS form: machines sorted by ascending MP, tasks by ascending
+/// TD, plus the permutations that were applied (canonical.values()(i, j) ==
+/// original(task_order[i], machine_order[j])).
+struct CanonicalForm {
+  EcsMatrix matrix;
+  std::vector<std::size_t> task_order;
+  std::vector<std::size_t> machine_order;
+};
+
+CanonicalForm canonical_form(const EcsMatrix& ecs, const Weights& w = {});
+
+/// True if machines are sorted by ascending MP and tasks by ascending TD.
+bool is_canonical(const EcsMatrix& ecs, const Weights& w = {});
+
+}  // namespace hetero::core

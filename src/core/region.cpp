@@ -1,0 +1,77 @@
+#include "core/region.hpp"
+
+#include "base/error.hpp"
+
+namespace hetero::core {
+namespace {
+
+Level split(double value, double low, double high) {
+  if (value < low) return Level::low;
+  if (value < high) return Level::medium;
+  return Level::high;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::low: return "low";
+    case Level::medium: return "medium";
+    case Level::high: return "high";
+  }
+  return "?";
+}
+
+}  // namespace
+
+HeterogeneityRegion classify_region(const MeasureSet& measures,
+                                    const RegionThresholds& t) {
+  detail::require_value(t.homogeneity_low < t.homogeneity_high &&
+                            t.tma_low < t.tma_high,
+                        "classify_region: thresholds must be increasing");
+  HeterogeneityRegion region;
+  region.mph = split(measures.mph, t.homogeneity_low, t.homogeneity_high);
+  region.tdh = split(measures.tdh, t.homogeneity_low, t.homogeneity_high);
+  region.tma = split(measures.tma, t.tma_low, t.tma_high);
+  return region;
+}
+
+std::string region_name(const HeterogeneityRegion& region) {
+  return std::string(level_name(region.mph)) + " MPH / " +
+         level_name(region.tdh) + " TDH / " + level_name(region.tma) +
+         " TMA";
+}
+
+HeuristicRecommendation recommend_heuristic(const HeterogeneityRegion& region) {
+  // Distilled from app_heuristic_selection: affinity first, then machine
+  // heterogeneity.
+  if (region.tma == Level::high) {
+    return {"Sufferage",
+            "high task-machine affinity: tasks losing their preferred "
+            "machine suffer most, so map by sufferage"};
+  }
+  if (region.mph == Level::high) {
+    if (region.tma == Level::low)
+      return {"MCT",
+              "near-homogeneous machines with little affinity: cheap "
+              "completion-time greed is within a few percent of batch "
+              "heuristics"};
+    return {"Sufferage",
+            "homogeneous machines but non-trivial affinity: protect the "
+            "tasks with strong machine preferences"};
+  }
+  if (region.mph == Level::low) {
+    return {"Min-Min (check Duplex)",
+            "strongly heterogeneous machines: batch-mode mapping is "
+            "essential; Min-Min leads, and Duplex hedges against "
+            "long-task-starvation cases where Max-Min wins"};
+  }
+  return {"Min-Min",
+          "moderately heterogeneous machines: batch-mode Min-Min "
+          "dominates the load-blind heuristics"};
+}
+
+HeuristicRecommendation recommend_heuristic(const EcsMatrix& ecs,
+                                            const Weights& w) {
+  return recommend_heuristic(classify_region(measure_set(ecs, w)));
+}
+
+}  // namespace hetero::core

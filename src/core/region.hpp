@@ -1,0 +1,59 @@
+// Heterogeneity-region classification and heuristic recommendation.
+//
+// The applications the paper motivates (Section I(b), ref [3]) boil down
+// to: discretize the (MPH, TDH, TMA) space into named regions and attach
+// policy to each. This module provides that discretization plus a mapping
+// from region to a recommended scheduling heuristic, distilled from the
+// library's own application study (bench/app_heuristic_selection):
+// homogeneous environments tolerate cheap availability-based mapping;
+// heterogeneous and high-affinity ones need completion-time-aware batch
+// heuristics.
+#pragma once
+
+#include <string>
+
+#include "core/measures.hpp"
+
+namespace hetero::core {
+
+enum class Level { low, medium, high };
+
+/// Thresholds splitting each measure into low/medium/high. Defaults: the
+/// homogeneity measures split at 0.45/0.8 (low MPH = very heterogeneous);
+/// TMA splits at 0.1/0.35.
+struct RegionThresholds {
+  double homogeneity_low = 0.45;
+  double homogeneity_high = 0.80;
+  double tma_low = 0.10;
+  double tma_high = 0.35;
+};
+
+struct HeterogeneityRegion {
+  Level mph = Level::high;
+  Level tdh = Level::high;
+  Level tma = Level::low;
+};
+
+/// Classifies a measure set into a region.
+HeterogeneityRegion classify_region(const MeasureSet& measures,
+                                    const RegionThresholds& thresholds = {});
+
+/// "high MPH / medium TDH / low TMA"-style rendering.
+std::string region_name(const HeterogeneityRegion& region);
+
+/// Recommended static mapping heuristic for the region, with a one-line
+/// rationale. The mapping encodes the shape observed in
+/// bench/app_heuristic_selection: MCT when machines are near-homogeneous,
+/// Sufferage for significant affinity, Min-Min otherwise.
+struct HeuristicRecommendation {
+  std::string heuristic;
+  std::string rationale;
+};
+
+HeuristicRecommendation recommend_heuristic(const HeterogeneityRegion& region);
+
+/// Convenience: classify + recommend straight from an environment.
+HeuristicRecommendation recommend_heuristic(const EcsMatrix& ecs,
+                                            const Weights& w = {});
+
+}  // namespace hetero::core

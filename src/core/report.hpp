@@ -1,0 +1,31 @@
+// One-call markdown report for an environment: measures, alternatives,
+// region + heuristic recommendation, affinity modes, machine classes,
+// extreme extracts, and bootstrap confidence — everything an analyst would
+// paste into a ticket. Used by `hetero_cli report`.
+#pragma once
+
+#include <string>
+
+#include "core/etc_matrix.hpp"
+
+namespace hetero::core {
+
+struct ReportOptions {
+  /// Title line of the document.
+  std::string title = "Environment characterization";
+  /// Include the bootstrap confidence section (costs ~200 measure
+  /// evaluations).
+  bool with_confidence = true;
+  /// Include the extreme-extract atlas (costs an exhaustive/sampled scan).
+  bool with_atlas = true;
+  /// Machine classes to report (0 disables the clustering section).
+  std::size_t machine_classes = 2;
+};
+
+/// Renders a markdown report of the environment. All sections degrade
+/// gracefully (e.g. the affinity section notes when no standard form
+/// exists instead of failing).
+std::string markdown_report(const EtcMatrix& etc,
+                            const ReportOptions& options = {});
+
+}  // namespace hetero::core

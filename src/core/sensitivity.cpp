@@ -1,0 +1,55 @@
+#include "core/sensitivity.hpp"
+
+#include <cmath>
+
+namespace hetero::core {
+
+SensitivityMap measure_sensitivity(const EtcMatrix& etc,
+                                   const SensitivityOptions& options) {
+  detail::require_value(options.relative_step > 0.0 &&
+                            options.relative_step < 1.0,
+                        "measure_sensitivity: step must be in (0, 1)");
+  const std::size_t t = etc.task_count();
+  const std::size_t m = etc.machine_count();
+  SensitivityMap map{linalg::Matrix(t, m, 0.0), linalg::Matrix(t, m, 0.0),
+                     linalg::Matrix(t, m, 0.0)};
+
+  const double up = 1.0 + options.relative_step;
+  const double down = 1.0 - options.relative_step;
+  // d measure / d log(etc) ~ (f(up) - f(down)) / (log(up) - log(down)).
+  const double dlog = std::log(up) - std::log(down);
+
+  linalg::Matrix values = etc.values();
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double original = values(i, j);
+      if (!std::isfinite(original)) continue;
+      values(i, j) = original * up;
+      const MeasureSet high = measure_set(
+          EtcMatrix(values, etc.task_names(), etc.machine_names()).to_ecs());
+      values(i, j) = original * down;
+      const MeasureSet low = measure_set(
+          EtcMatrix(values, etc.task_names(), etc.machine_names()).to_ecs());
+      values(i, j) = original;
+
+      map.mph(i, j) = (high.mph - low.mph) / dlog;
+      map.tdh(i, j) = (high.tdh - low.tdh) / dlog;
+      map.tma(i, j) = (high.tma - low.tma) / dlog;
+    }
+  }
+  return map;
+}
+
+MostSensitiveEntry most_sensitive(const linalg::Matrix& sensitivity) {
+  MostSensitiveEntry best;
+  for (std::size_t i = 0; i < sensitivity.rows(); ++i)
+    for (std::size_t j = 0; j < sensitivity.cols(); ++j)
+      if (std::abs(sensitivity(i, j)) > std::abs(best.elasticity)) {
+        best.task = i;
+        best.machine = j;
+        best.elasticity = sensitivity(i, j);
+      }
+  return best;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,48 @@
+// Entry-level sensitivity of the measures.
+//
+// Which runtime estimate matters most? This module computes the
+// finite-difference elasticity of each measure with respect to each ETC
+// entry: d(measure) / d(log ETC(i, j)), i.e. the measure change per 1%
+// relative change of one runtime. High-|elasticity| entries are the ones
+// worth re-benchmarking first, and the TMA map highlights the task-machine
+// pairs that *create* the affinity.
+#pragma once
+
+#include <cstddef>
+
+#include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hetero::core {
+
+struct SensitivityOptions {
+  /// Relative perturbation step for the central difference (e.g. 0.01 = 1%).
+  double relative_step = 0.01;
+};
+
+/// Per-entry elasticities of the three measures: matrix (i, j) holds
+/// d(measure)/d(log ETC(i, j)) estimated by a central difference.
+/// Infinite ("cannot run") entries get elasticity 0.
+struct SensitivityMap {
+  linalg::Matrix mph;
+  linalg::Matrix tdh;
+  linalg::Matrix tma;
+};
+
+/// Computes all three maps (2*T*M measure evaluations; fine for the
+/// paper-scale matrices). Throws ValueError for a non-positive step.
+SensitivityMap measure_sensitivity(const EtcMatrix& etc,
+                                   const SensitivityOptions& options = {});
+
+/// The (task, machine, elasticity) entry with the largest |elasticity| in
+/// a sensitivity matrix.
+struct MostSensitiveEntry {
+  std::size_t task = 0;
+  std::size_t machine = 0;
+  double elasticity = 0.0;
+};
+
+MostSensitiveEntry most_sensitive(const linalg::Matrix& sensitivity);
+
+}  // namespace hetero::core

@@ -1,0 +1,96 @@
+// Standard ECS form via iterative row/column normalization (paper eq. 9,
+// Theorem 1, Theorem 2; Sinkhorn [21], Marshall & Olkin [20]).
+//
+// A *standard* ECS matrix has every row summing to sqrt(M/T) and every
+// column summing to sqrt(T/M) (Theorem 1 with k = 1/sqrt(TM)); by Theorem 2
+// its largest singular value is exactly 1, which reduces the TMA measure to
+// the mean of the non-maximum singular values (eq. 8). The standard form is
+// computed by alternating column and row normalization until the maximum
+// row/column-sum error drops below the tolerance (the paper stops at 1e-8).
+//
+// For matrices with zero entries the iteration is not guaranteed to
+// converge (Section VI); StandardFormResult reports convergence, iteration
+// count, residual, and the zero-pattern diagnosis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/weights.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hetero::core {
+
+struct SinkhornOptions {
+  /// Stop when every row sum is within `tolerance` of sqrt(M/T) and every
+  /// column sum within `tolerance` of sqrt(T/M) (paper: 1e-8).
+  double tolerance = 1e-8;
+  /// One iteration = one column normalization followed by one row
+  /// normalization (paper Section V).
+  std::size_t max_iterations = 10000;
+  /// When true, a non-convergent input throws ConvergenceError instead of
+  /// returning converged == false.
+  bool throw_on_failure = false;
+  /// Normalization order within one iteration: the paper's eq. 9 does the
+  /// column pass first (default). Row-first converges to the same standard
+  /// form (the scaling is unique up to a scalar); exposed for the ordering
+  /// ablation.
+  bool row_first = false;
+};
+
+/// Zero-pattern diagnosis attached to non-convergent inputs (Section VI).
+enum class NormalizabilityClass {
+  /// All entries positive: Theorem 1 guarantees a standard form.
+  positive,
+  /// Zeros present, but the pattern has total support (square case) or its
+  /// Appendix-A square tiling does: an exact standard form exists.
+  normalizable_pattern,
+  /// The limit of the iteration exists but only as a limit: some entries
+  /// decay to zero and the scaling diverges (support without total
+  /// support). TMA of the limit matrix is still well defined.
+  limit_only,
+  /// No support: the iteration cannot even approach equal sums.
+  not_normalizable,
+};
+
+struct StandardFormResult {
+  /// The (approximately) standard matrix after the final iteration.
+  linalg::Matrix standard;
+  /// Accumulated diagonal scalings: standard ~= diag(row_scale) * input *
+  /// diag(col_scale). Exact when the pattern is normalizable; divergent
+  /// (but still the applied scaling) in the limit_only case.
+  std::vector<double> row_scale;
+  std::vector<double> col_scale;
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// Final max row/column-sum error.
+  double residual = 0.0;
+  NormalizabilityClass pattern = NormalizabilityClass::positive;
+  /// True when the input was projected onto its total-support core before
+  /// iterating (limit_only patterns): the Sinkhorn limit is unchanged but
+  /// convergence becomes geometric instead of O(1/k).
+  bool projected_to_core = false;
+
+  /// Target sums for the standard form.
+  double target_row_sum = 0.0;
+  double target_col_sum = 0.0;
+};
+
+/// Runs eq. 9 on a raw nonnegative matrix (no all-zero rows/columns).
+StandardFormResult standardize(const linalg::Matrix& ecs,
+                               const SinkhornOptions& options = {});
+
+/// Runs eq. 9 on the weighted view of an ECS matrix.
+StandardFormResult standardize(const EcsMatrix& ecs, const Weights& w = {},
+                               const SinkhornOptions& options = {});
+
+/// Classifies the zero pattern without iterating (Section VI analysis).
+NormalizabilityClass classify_pattern(const linalg::Matrix& ecs);
+
+/// Max deviation of row sums from `row_target` and column sums from
+/// `col_target` (the convergence residual).
+double standard_form_residual(const linalg::Matrix& m, double row_target,
+                              double col_target);
+
+}  // namespace hetero::core

@@ -1,0 +1,113 @@
+#include "core/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::core {
+namespace {
+
+// COV over the finite entries of a range; 0 when fewer than two remain.
+double finite_cov(const std::vector<double>& values) {
+  std::vector<double> finite;
+  finite.reserve(values.size());
+  for (double v : values)
+    if (std::isfinite(v)) finite.push_back(v);
+  if (finite.size() < 2) return 0.0;
+  return linalg::coefficient_of_variation(finite);
+}
+
+}  // namespace
+
+std::vector<double> task_heterogeneity_per_machine(const EtcMatrix& etc) {
+  std::vector<double> out(etc.machine_count(), 0.0);
+  for (std::size_t j = 0; j < etc.machine_count(); ++j) {
+    std::vector<double> column(etc.task_count());
+    for (std::size_t i = 0; i < etc.task_count(); ++i) column[i] = etc(i, j);
+    out[j] = finite_cov(column);
+  }
+  return out;
+}
+
+std::vector<double> machine_heterogeneity_per_task(const EtcMatrix& etc) {
+  std::vector<double> out(etc.task_count(), 0.0);
+  for (std::size_t i = 0; i < etc.task_count(); ++i) {
+    std::vector<double> row(etc.machine_count());
+    for (std::size_t j = 0; j < etc.machine_count(); ++j) row[j] = etc(i, j);
+    out[i] = finite_cov(row);
+  }
+  return out;
+}
+
+double consistency_index(const EtcMatrix& etc) {
+  const std::size_t m = etc.machine_count();
+  if (m < 2) return 1.0;
+  double agreement_sum = 0.0;
+  std::size_t pair_count = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = j + 1; k < m; ++k) {
+      std::size_t votes = 0, j_wins = 0;
+      for (std::size_t i = 0; i < etc.task_count(); ++i) {
+        const double a = etc(i, j);
+        const double b = etc(i, k);
+        if (!std::isfinite(a) || !std::isfinite(b)) continue;
+        ++votes;
+        if (a <= b) ++j_wins;
+      }
+      if (votes == 0) continue;
+      const double f = static_cast<double>(j_wins) / static_cast<double>(votes);
+      agreement_sum += std::max(f, 1.0 - f);
+      ++pair_count;
+    }
+  }
+  if (pair_count == 0) return 1.0;
+  const double mean_agreement =
+      agreement_sum / static_cast<double>(pair_count);
+  return 2.0 * (mean_agreement - 0.5);
+}
+
+bool is_consistent(const EtcMatrix& etc) {
+  const std::size_t m = etc.machine_count();
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < m; ++k) {
+      if (j == k) continue;
+      // Does j dominate k on the first comparable task? Then it must on all.
+      bool j_le_k_everywhere = true;
+      for (std::size_t i = 0; i < etc.task_count(); ++i) {
+        const double a = etc(i, j);
+        const double b = etc(i, k);
+        if (!std::isfinite(a) || !std::isfinite(b)) continue;
+        if (a > b) {
+          j_le_k_everywhere = false;
+          break;
+        }
+      }
+      if (j_le_k_everywhere) continue;
+      bool k_le_j_everywhere = true;
+      for (std::size_t i = 0; i < etc.task_count(); ++i) {
+        const double a = etc(i, j);
+        const double b = etc(i, k);
+        if (!std::isfinite(a) || !std::isfinite(b)) continue;
+        if (b > a) {
+          k_le_j_everywhere = false;
+          break;
+        }
+      }
+      if (!k_le_j_everywhere) return false;  // neither order holds
+    }
+  }
+  return true;
+}
+
+EtcStatistics etc_statistics(const EtcMatrix& etc) {
+  EtcStatistics s;
+  const auto task_h = task_heterogeneity_per_machine(etc);
+  const auto mach_h = machine_heterogeneity_per_task(etc);
+  s.mean_task_heterogeneity = linalg::mean(task_h);
+  s.mean_machine_heterogeneity = linalg::mean(mach_h);
+  s.consistency = consistency_index(etc);
+  return s;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,58 @@
+// Classical statistical heterogeneity measures on ETC matrices.
+//
+// Before this paper's MPH/TDH/TMA, heterogeneity was usually described by
+// coefficient-of-variation statistics (Ali et al. [4]; Al-Qawasmeh et al.
+// [3], "Statistical measures for quantifying task and machine
+// heterogeneity") and by the matrix's *consistency* class. These measures
+// are implemented here both for comparison studies (the library's ablation
+// benches pit them against MPH/TDH/TMA) and because simulation papers still
+// report them.
+//
+// Conventions ([3, 4]):
+//   task heterogeneity    — variability among execution times of different
+//                           task types on one machine: COV of an ETC column;
+//   machine heterogeneity — variability of one task type's execution time
+//                           across machines: COV of an ETC row.
+#pragma once
+
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+
+namespace hetero::core {
+
+/// COV of each ETC column (task heterogeneity seen by each machine).
+/// Infinite entries ("cannot run") are excluded from the statistics; a
+/// column needs at least two finite entries, else its COV is 0.
+std::vector<double> task_heterogeneity_per_machine(const EtcMatrix& etc);
+
+/// COV of each ETC row (machine heterogeneity seen by each task type).
+std::vector<double> machine_heterogeneity_per_task(const EtcMatrix& etc);
+
+/// Aggregate statistics of an ETC matrix.
+struct EtcStatistics {
+  /// Mean over machines of the column COVs.
+  double mean_task_heterogeneity = 0.0;
+  /// Mean over task types of the row COVs.
+  double mean_machine_heterogeneity = 0.0;
+  /// Consistency index in [0, 1]: 1 means fully consistent (machine
+  /// orderings agree for every task type), 0 means orderings are as mixed
+  /// as a coin flip. See consistency_index() below.
+  double consistency = 0.0;
+};
+
+EtcStatistics etc_statistics(const EtcMatrix& etc);
+
+/// Consistency index: for every machine pair (j, k), the fraction of task
+/// types on which j is at least as fast as k is computed; the pair's
+/// agreement is max(f, 1 - f), which is 1 when all task types agree and 1/2
+/// when they split evenly. The index rescales the mean agreement from
+/// [1/2, 1] to [0, 1]. A single machine yields 1 (vacuously consistent).
+/// Pairs where either entry is infinite are skipped per task type.
+double consistency_index(const EtcMatrix& etc);
+
+/// True when every row orders the machines identically (the strict
+/// consistency class of Braun et al. [6]); ties are allowed.
+bool is_consistent(const EtcMatrix& etc);
+
+}  // namespace hetero::core

@@ -1,0 +1,121 @@
+#include "core/svd_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::core {
+
+AffinityAnalysis affinity_analysis(const EcsMatrix& ecs, const Weights& w,
+                                   std::size_t max_modes,
+                                   const SinkhornOptions& options) {
+  SinkhornOptions opts = options;
+  opts.throw_on_failure = true;
+  const StandardFormResult sf = standardize(ecs, w, opts);
+  const linalg::SvdResult svd = linalg::svd(sf.standard);
+
+  AffinityAnalysis out;
+  out.task_names = ecs.task_names();
+  out.machine_names = ecs.machine_names();
+
+  const std::size_t r = svd.singular_values.size();
+  const std::size_t mode_count = r > 1 ? r - 1 : 0;
+  const std::size_t keep =
+      max_modes == 0 ? mode_count : std::min(max_modes, mode_count);
+
+  double sigma_sum = 0.0;
+  for (std::size_t k = 1; k < r; ++k) sigma_sum += svd.singular_values[k];
+  out.tma = mode_count == 0
+                ? 0.0
+                : sigma_sum / static_cast<double>(mode_count);
+
+  for (std::size_t k = 1; k <= keep; ++k) {
+    AffinityMode mode;
+    mode.sigma = svd.singular_values[k];
+    mode.task_component.resize(ecs.task_count());
+    for (std::size_t i = 0; i < ecs.task_count(); ++i)
+      mode.task_component[i] = svd.u(i, k);
+    mode.machine_component.resize(ecs.machine_count());
+    for (std::size_t j = 0; j < ecs.machine_count(); ++j)
+      mode.machine_component[j] = svd.v(j, k);
+    out.modes.push_back(std::move(mode));
+  }
+  return out;
+}
+
+linalg::Matrix machine_column_cosines(const EcsMatrix& ecs, const Weights& w) {
+  const linalg::Matrix values = ecs.weighted_values(w);
+  const std::size_t m = values.cols();
+  linalg::Matrix cos(m, m, 1.0);
+  std::vector<std::vector<double>> cols(m);
+  std::vector<double> norms(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    cols[j] = values.col(j);
+    norms[j] = linalg::norm2(cols[j]);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = j + 1; k < m; ++k) {
+      const double c = linalg::dot(cols[j], cols[k]) / (norms[j] * norms[k]);
+      cos(j, k) = cos(k, j) = c;
+    }
+  }
+  return cos;
+}
+
+double max_column_angle(const EcsMatrix& ecs, const Weights& w) {
+  const linalg::Matrix cos = machine_column_cosines(ecs, w);
+  double min_cos = 1.0;
+  for (std::size_t j = 0; j < cos.rows(); ++j)
+    for (std::size_t k = j + 1; k < cos.cols(); ++k)
+      min_cos = std::min(min_cos, cos(j, k));
+  return std::acos(std::clamp(min_cos, -1.0, 1.0));
+}
+
+std::string describe_strongest_mode(const AffinityAnalysis& analysis,
+                                    std::size_t top_k) {
+  if (analysis.modes.empty()) return "no affinity modes (TMA = 0 regime)";
+  const AffinityMode& mode = analysis.modes.front();
+
+  // Orient so the largest-magnitude machine component is positive.
+  double orient = 1.0;
+  double best_mag = 0.0;
+  for (double v : mode.machine_component)
+    if (std::abs(v) > best_mag) {
+      best_mag = std::abs(v);
+      orient = v >= 0 ? 1.0 : -1.0;
+    }
+
+  const auto top_indices = [&](const std::vector<double>& comp, bool positive) {
+    std::vector<std::size_t> idx(comp.size());
+    for (std::size_t i = 0; i < comp.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return orient * comp[a] * (positive ? 1 : -1) >
+             orient * comp[b] * (positive ? 1 : -1);
+    });
+    idx.resize(std::min(top_k, idx.size()));
+    return idx;
+  };
+
+  std::ostringstream os;
+  os << "strongest affinity mode (sigma = " << mode.sigma << "): tasks {";
+  bool first = true;
+  for (std::size_t i : top_indices(mode.task_component, true)) {
+    if (orient * mode.task_component[i] <= 0) continue;
+    os << (first ? "" : ", ") << analysis.task_names[i];
+    first = false;
+  }
+  os << "} run disproportionately well on machines {";
+  first = true;
+  for (std::size_t j : top_indices(mode.machine_component, true)) {
+    if (orient * mode.machine_component[j] <= 0) continue;
+    os << (first ? "" : ", ") << analysis.machine_names[j];
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace hetero::core

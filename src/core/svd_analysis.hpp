@@ -1,0 +1,68 @@
+// Spectral analysis of task-machine affinity structure.
+//
+// The TMA measure compresses the non-maximum singular values of the
+// standard-form ECS matrix into one number (eq. 8). The underlying SVD
+// carries more: each non-maximum singular triplet is an *affinity mode* — a
+// pattern of task types that run disproportionately well on a pattern of
+// machines. This module exposes those modes with their labels, plus the
+// column-angle view the paper uses to build intuition ("column correlation,
+// which is quantified by the angle between the column vectors ...
+// represents task-machine affinity", Section II-E).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/standard_form.hpp"
+#include "core/weights.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hetero::core {
+
+/// One affinity mode: the k-th singular triplet (k >= 2) of the standard
+/// form. Positive task components paired with positive machine components
+/// (and negative with negative) mark "runs better than average" affinity.
+struct AffinityMode {
+  double sigma = 0.0;
+  /// Component per task type (input order), with labels.
+  std::vector<double> task_component;
+  /// Component per machine (input order), with labels.
+  std::vector<double> machine_component;
+};
+
+struct AffinityAnalysis {
+  /// Modes 2..min(T, M) of the standard form, strongest first. Mode 1 (the
+  /// uniform vector, Theorem 2) is excluded: it carries no affinity.
+  std::vector<AffinityMode> modes;
+  /// The TMA value (mean of the mode sigmas).
+  double tma = 0.0;
+  /// Labels carried through from the input.
+  std::vector<std::string> task_names;
+  std::vector<std::string> machine_names;
+};
+
+/// Computes the affinity modes of an environment. `max_modes` truncates the
+/// list (0 = all). Throws ConvergenceError when no standard form exists
+/// (analyze classify_pattern first for such inputs).
+AffinityAnalysis affinity_analysis(const EcsMatrix& ecs, const Weights& w = {},
+                                   std::size_t max_modes = 0,
+                                   const SinkhornOptions& options = {});
+
+/// Cosine similarity between every pair of machine columns of the ECS
+/// matrix: entry (j, k) = cos(angle between columns j and k). 1 on the
+/// diagonal; 1 everywhere means zero affinity (paper Fig. 3(a)).
+linalg::Matrix machine_column_cosines(const EcsMatrix& ecs,
+                                      const Weights& w = {});
+
+/// Smallest pairwise column angle complement: the largest angle (radians)
+/// between any two machine columns. 0 means perfectly correlated machines.
+double max_column_angle(const EcsMatrix& ecs, const Weights& w = {});
+
+/// Human-readable report of the strongest affinity mode: which task types
+/// prefer which machines. Intended for CLI/examples.
+std::string describe_strongest_mode(const AffinityAnalysis& analysis,
+                                    std::size_t top_k = 3);
+
+}  // namespace hetero::core

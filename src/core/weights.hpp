@@ -1,0 +1,50 @@
+// Task-type and machine weighting factors (paper eqs. 4 and 6).
+//
+// w_t[i] can encode task-type importance, execution frequency, or execution
+// probability; w_m[j] can encode machine characteristics such as security
+// level. All measures consume the weighted view diag(w_t) * ECS * diag(w_m).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace hetero::core {
+
+/// Positive weighting factors for task types and machines. An empty vector
+/// means "all ones" for that dimension.
+struct Weights {
+  std::vector<double> task;
+  std::vector<double> machine;
+
+  /// Unweighted (all ones).
+  static Weights uniform() { return {}; }
+
+  /// Validates against a T x M environment: sizes must match (or be empty)
+  /// and every weight must be positive. Throws DimensionError/ValueError.
+  void validate(std::size_t task_count, std::size_t machine_count) const {
+    detail::require_dims(task.empty() || task.size() == task_count,
+                         "Weights: task weight count mismatch");
+    detail::require_dims(machine.empty() || machine.size() == machine_count,
+                         "Weights: machine weight count mismatch");
+    for (double w : task)
+      detail::require_value(w > 0.0, "Weights: task weight must be positive");
+    for (double w : machine)
+      detail::require_value(w > 0.0, "Weights: machine weight must be positive");
+  }
+
+  /// Task weight for row i (1.0 when unweighted).
+  double task_weight(std::size_t i) const {
+    return task.empty() ? 1.0 : task[i];
+  }
+
+  /// Machine weight for column j (1.0 when unweighted).
+  double machine_weight(std::size_t j) const {
+    return machine.empty() ? 1.0 : machine[j];
+  }
+
+  bool is_uniform() const { return task.empty() && machine.empty(); }
+};
+
+}  // namespace hetero::core

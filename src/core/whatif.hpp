@@ -1,0 +1,69 @@
+// What-if studies (paper Section I, application c): the effect of adding or
+// removing task types or machines on the environment's heterogeneity.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
+
+namespace hetero::core {
+
+/// ECS with task row `task` removed. Throws ValueError if it was the last
+/// task or removal would leave an all-zero column.
+EcsMatrix remove_task(const EcsMatrix& ecs, std::size_t task);
+
+/// ECS with machine column `machine` removed. Throws ValueError if it was
+/// the last machine or removal would leave an all-zero row (a task only
+/// that machine could run).
+EcsMatrix remove_machine(const EcsMatrix& ecs, std::size_t machine);
+
+/// ECS with a new task row appended (speeds per machine; 0 = cannot run).
+EcsMatrix add_task(const EcsMatrix& ecs, std::span<const double> speeds,
+                   std::string name = {});
+
+/// ECS with a new machine column appended (speeds per task; 0 = cannot run).
+EcsMatrix add_machine(const EcsMatrix& ecs, std::span<const double> speeds,
+                      std::string name = {});
+
+/// Before/after record for one hypothetical change.
+struct WhatIfDelta {
+  std::string description;
+  MeasureSet before;
+  MeasureSet after;
+
+  double mph_delta() const { return after.mph - before.mph; }
+  double tdh_delta() const { return after.tdh - before.tdh; }
+  double tma_delta() const { return after.tma - before.tma; }
+};
+
+/// Measures before and after removing each machine in turn (machines whose
+/// removal would invalidate the matrix are skipped).
+std::vector<WhatIfDelta> whatif_remove_each_machine(const EcsMatrix& ecs,
+                                                    const Weights& w = {});
+
+/// Measures before and after removing each task type in turn (tasks whose
+/// removal would invalidate the matrix are skipped).
+std::vector<WhatIfDelta> whatif_remove_each_task(const EcsMatrix& ecs,
+                                                 const Weights& w = {});
+
+/// Greedy homogenization: repeatedly removes the machine whose removal
+/// raises MPH the most, until `removals` machines are gone (or no legal
+/// removal improves MPH further). Returns the indices (into the original
+/// environment) of the removed machines in removal order, plus the final
+/// environment. A decision-support tool for "which machines make this
+/// system heterogeneous?".
+struct HomogenizationResult {
+  std::vector<std::size_t> removed_machines;  // original indices, in order
+  EcsMatrix result;
+  double mph_before = 0.0;
+  double mph_after = 0.0;
+};
+
+HomogenizationResult greedy_homogenize(const EcsMatrix& ecs,
+                                       std::size_t removals,
+                                       const Weights& w = {});
+
+}  // namespace hetero::core

@@ -1,0 +1,18 @@
+#include "etcgen/anneal.hpp"
+
+#include "base/error.hpp"
+
+namespace hetero::etcgen {
+
+double anneal_temperature(const AnnealOptions& options, std::size_t it) {
+  detail::require_value(options.t0 > 0.0 && options.t1 > 0.0 &&
+                            options.t0 >= options.t1,
+                        "anneal_temperature: need t0 >= t1 > 0");
+  if (options.iterations <= 1) return options.t0;
+  const double frac = static_cast<double>(it) /
+                      static_cast<double>(options.iterations - 1);
+  // Geometric interpolation t0 -> t1.
+  return options.t0 * std::pow(options.t1 / options.t0, frac);
+}
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,63 @@
+// Generic simulated annealing over a user-supplied state.
+//
+// Used by the measure-targeted generator (and by the SA task mapper in
+// sched/). The algorithm is the textbook Metropolis scheme with a geometric
+// temperature schedule.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "etcgen/rng.hpp"
+
+namespace hetero::etcgen {
+
+struct AnnealOptions {
+  std::size_t iterations = 20000;
+  /// Initial and final temperatures of the geometric schedule (t0 > t1 > 0).
+  double t0 = 1.0;
+  double t1 = 1e-6;
+  /// Stop early when the energy drops to or below this target.
+  double target_energy = 0.0;
+};
+
+/// Geometric temperature at step `it` of `total`.
+double anneal_temperature(const AnnealOptions& options, std::size_t it);
+
+/// Minimizes `energy` over states of type S.
+///
+/// `neighbor(state, temperature, rng)` returns a perturbed candidate;
+/// `energy(state)` scores it (lower is better). Returns the best state seen
+/// together with its energy.
+template <typename S>
+std::pair<S, double> simulated_annealing(
+    S initial, const std::function<double(const S&)>& energy,
+    const std::function<S(const S&, double, Rng&)>& neighbor,
+    const AnnealOptions& options, Rng& rng) {
+  S current = initial;
+  double current_e = energy(current);
+  S best = current;
+  double best_e = current_e;
+
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    if (best_e <= options.target_energy) break;
+    const double temp = anneal_temperature(options, it);
+    S candidate = neighbor(current, temp, rng);
+    const double cand_e = energy(candidate);
+    const double delta = cand_e - current_e;
+    if (delta <= 0.0 ||
+        uniform(rng, 0.0, 1.0) < std::exp(-delta / std::max(temp, 1e-300))) {
+      current = std::move(candidate);
+      current_e = cand_e;
+      if (current_e < best_e) {
+        best = current;
+        best_e = current_e;
+      }
+    }
+  }
+  return {std::move(best), best_e};
+}
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,84 @@
+#include "etcgen/correlation.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace hetero::etcgen {
+namespace {
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+double mean_pairwise_column_correlation(const linalg::Matrix& m) {
+  detail::require_value(m.cols() >= 2 && m.rows() >= 2,
+                        "column correlation: need at least 2x2");
+  double acc = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < m.cols(); ++a)
+    for (std::size_t b = a + 1; b < m.cols(); ++b) {
+      acc += pearson(m.col(a), m.col(b));
+      ++pairs;
+    }
+  return acc / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+core::EtcMatrix generate_correlated(const CorrelationOptions& options,
+                                    Rng& rng) {
+  detail::require_value(options.tasks >= 2 && options.machines >= 2,
+                        "generate_correlated: need at least 2 tasks and "
+                        "2 machines");
+  detail::require_value(options.column_correlation >= 0.0 &&
+                            options.column_correlation < 1.0,
+                        "generate_correlated: correlation must be in [0, 1)");
+  detail::require_value(options.mean_runtime > 0.0,
+                        "generate_correlated: mean_runtime must be positive");
+
+  // Solve r = w^2 / (w^2 + (1-w)^2) for w in [0, 1).
+  const double r = options.column_correlation;
+  const double w = std::sqrt(r) / (std::sqrt(r) + std::sqrt(1.0 - r));
+
+  linalg::Matrix etc(options.tasks, options.machines);
+  for (std::size_t i = 0; i < options.tasks; ++i) {
+    const double shared = uniform(rng, 0.0, 1.0);
+    for (std::size_t j = 0; j < options.machines; ++j) {
+      const double noise = uniform(rng, 0.0, 1.0);
+      // Mixture mean is 1/2; scale so the expected entry is mean_runtime.
+      // A small floor keeps entries strictly positive.
+      const double mix = w * shared + (1.0 - w) * noise;
+      etc(i, j) = std::max(2.0 * options.mean_runtime * mix,
+                           options.mean_runtime * 1e-6);
+    }
+  }
+  return core::EtcMatrix(std::move(etc));
+}
+
+double mean_column_correlation(const core::EtcMatrix& etc) {
+  detail::require_value(!etc.values().has_nonfinite(),
+                        "mean_column_correlation: infinite entries");
+  return mean_pairwise_column_correlation(etc.values());
+}
+
+double mean_row_correlation(const core::EtcMatrix& etc) {
+  detail::require_value(!etc.values().has_nonfinite(),
+                        "mean_row_correlation: infinite entries");
+  return mean_pairwise_column_correlation(etc.values().transposed());
+}
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,48 @@
+// Correlation-controlled ETC generation (Canon & Philippe lineage:
+// "Controlling and Assessing Correlations of Cost Matrices in
+// Heterogeneous Scheduling").
+//
+// Post-2011 work characterizes ETC matrices by the average Pearson
+// correlation between machine columns instead of range/COV parameters.
+// This generator dials that correlation directly: entries combine a shared
+// per-task component with independent noise,
+//
+//   ETC(i, j) = mu * (w * u_i + (1 - w) * e_ij),   u, e ~ U(0, 1) iid,
+//
+// where the mixing weight w is solved from the target correlation
+// r = w^2 / (w^2 + (1 - w)^2). Column correlation is the *opposite* axis
+// to TMA: perfectly correlated columns are proportional (no affinity),
+// uncorrelated ones are specialized — bench/app_correlation_vs_tma maps
+// the relation.
+#pragma once
+
+#include <cstddef>
+
+#include "core/etc_matrix.hpp"
+#include "etcgen/rng.hpp"
+
+namespace hetero::etcgen {
+
+struct CorrelationOptions {
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  /// Target mean pairwise column correlation in [0, 1).
+  double column_correlation = 0.5;
+  /// Mean runtime scale (> 0).
+  double mean_runtime = 500.0;
+};
+
+/// Generates an ETC matrix whose expected mean pairwise column Pearson
+/// correlation equals `column_correlation`.
+core::EtcMatrix generate_correlated(const CorrelationOptions& options,
+                                    Rng& rng);
+
+/// Measured mean pairwise Pearson correlation between machine columns of an
+/// ETC matrix (the statistic the generator targets). Requires at least two
+/// machines and two tasks.
+double mean_column_correlation(const core::EtcMatrix& etc);
+
+/// Mean pairwise correlation between task rows.
+double mean_row_correlation(const core::EtcMatrix& etc);
+
+}  // namespace hetero::etcgen

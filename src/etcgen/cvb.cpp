@@ -1,0 +1,43 @@
+#include "etcgen/cvb.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace hetero::etcgen {
+
+core::EtcMatrix generate_cvb(const CvbOptions& options, Rng& rng) {
+  detail::require_value(options.tasks > 0 && options.machines > 0,
+                        "generate_cvb: need tasks > 0, machines > 0");
+  detail::require_value(options.task_mean > 0.0,
+                        "generate_cvb: task_mean must be positive");
+  detail::require_value(options.task_cov > 0.0 && options.machine_cov > 0.0,
+                        "generate_cvb: coefficients of variation must be > 0");
+
+  const double alpha_task = 1.0 / (options.task_cov * options.task_cov);
+  const double beta_task = options.task_mean / alpha_task;
+  const double alpha_mach = 1.0 / (options.machine_cov * options.machine_cov);
+
+  linalg::Matrix etc(options.tasks, options.machines);
+  for (std::size_t i = 0; i < options.tasks; ++i) {
+    double q = gamma(rng, alpha_task, beta_task);
+    // Gamma can produce values arbitrarily close to zero; ETC entries must
+    // stay positive, so clamp to a sane floor relative to the mean.
+    q = std::max(q, options.task_mean * 1e-9);
+    const double beta_mach = q / alpha_mach;
+    for (std::size_t j = 0; j < options.machines; ++j)
+      etc(i, j) = std::max(gamma(rng, alpha_mach, beta_mach), q * 1e-9);
+  }
+  core::EtcMatrix result{std::move(etc)};
+  switch (options.consistency) {
+    case Consistency::inconsistent:
+      return result;
+    case Consistency::consistent:
+      return make_consistent(result);
+    case Consistency::semi_consistent:
+      return make_semi_consistent(result, options.semi_fraction, rng);
+  }
+  return result;
+}
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,34 @@
+// Coefficient-of-variation-based (CVB) ETC generation (Ali et al. [4]).
+//
+// Heterogeneity is controlled by coefficients of variation instead of
+// ranges: a task weight q_i ~ Gamma(alpha_task, beta_task) with
+// alpha_task = 1 / V_task^2 and beta_task = mu_task / alpha_task, then
+// ETC(i, j) ~ Gamma(alpha_mach, q_i / alpha_mach) with
+// alpha_mach = 1 / V_mach^2. Larger V -> more heterogeneous.
+#pragma once
+
+#include <cstddef>
+
+#include "core/etc_matrix.hpp"
+#include "etcgen/range_based.hpp"
+#include "etcgen/rng.hpp"
+
+namespace hetero::etcgen {
+
+struct CvbOptions {
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  /// Mean task execution time mu_task (> 0).
+  double task_mean = 1000.0;
+  /// Task-heterogeneity coefficient of variation V_task (> 0).
+  double task_cov = 0.5;
+  /// Machine-heterogeneity coefficient of variation V_mach (> 0).
+  double machine_cov = 0.5;
+  Consistency consistency = Consistency::inconsistent;
+  double semi_fraction = 0.5;
+};
+
+/// Generates an ETC matrix with the CVB method.
+core::EtcMatrix generate_cvb(const CvbOptions& options, Rng& rng);
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,74 @@
+#include "etcgen/noise.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace hetero::etcgen {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+template <typename FactorFn>
+core::EtcMatrix perturb(const core::EtcMatrix& etc, FactorFn&& factor) {
+  linalg::Matrix values = etc.values();
+  for (double& x : values.data())
+    if (std::isfinite(x)) x *= factor();
+  return core::EtcMatrix(std::move(values), etc.task_names(),
+                         etc.machine_names());
+}
+
+}  // namespace
+
+core::EtcMatrix perturb_lognormal(const core::EtcMatrix& etc, double cov,
+                                  Rng& rng) {
+  detail::require_value(cov >= 0.0, "perturb_lognormal: cov must be >= 0");
+  if (cov == 0.0) return etc;
+  // Lognormal with sigma chosen so the COV matches: cov^2 = exp(sigma^2)-1.
+  const double sigma = std::sqrt(std::log1p(cov * cov));
+  return perturb(etc, [&] { return std::exp(normal(rng, 0.0, sigma)); });
+}
+
+core::EtcMatrix perturb_uniform(const core::EtcMatrix& etc, double spread,
+                                Rng& rng) {
+  detail::require_value(spread >= 0.0 && spread < 1.0,
+                        "perturb_uniform: spread must be in [0, 1)");
+  if (spread == 0.0) return etc;
+  return perturb(etc, [&] { return uniform(rng, 1.0 - spread, 1.0 + spread); });
+}
+
+core::EtcMatrix drop_capabilities(const core::EtcMatrix& etc, double p,
+                                  Rng& rng) {
+  detail::require_value(p >= 0.0 && p < 1.0,
+                        "drop_capabilities: p must be in [0, 1)");
+  linalg::Matrix values = etc.values();
+  const std::size_t t = values.rows();
+  const std::size_t m = values.cols();
+
+  const auto finite_in_row = [&](std::size_t i) {
+    std::size_t n = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      if (std::isfinite(values(i, j))) ++n;
+    return n;
+  };
+  const auto finite_in_col = [&](std::size_t j) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < t; ++i)
+      if (std::isfinite(values(i, j))) ++n;
+    return n;
+  };
+
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!std::isfinite(values(i, j))) continue;
+      if (uniform(rng, 0.0, 1.0) >= p) continue;
+      if (finite_in_row(i) <= 1 || finite_in_col(j) <= 1) continue;
+      values(i, j) = kInf;
+    }
+  }
+  return core::EtcMatrix(std::move(values), etc.task_names(),
+                         etc.machine_names());
+}
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,31 @@
+// ETC estimation-error models.
+//
+// ETC values are *estimates* (user-supplied, profiled, or benchmarked —
+// paper Section I), so any measure computed from them inherits estimation
+// error. These perturbation models let studies quantify how robust
+// MPH/TDH/TMA are to realistic estimate noise (bench/ablation_noise).
+#pragma once
+
+#include "core/etc_matrix.hpp"
+#include "etcgen/rng.hpp"
+
+namespace hetero::etcgen {
+
+/// Multiplies every finite entry by an independent lognormal factor with
+/// unit median and the given coefficient of variation. Infinite entries
+/// ("cannot run") are preserved.
+core::EtcMatrix perturb_lognormal(const core::EtcMatrix& etc, double cov,
+                                  Rng& rng);
+
+/// Multiplies every finite entry by an independent U(1 - spread, 1 + spread)
+/// factor, spread in [0, 1). Infinite entries are preserved.
+core::EtcMatrix perturb_uniform(const core::EtcMatrix& etc, double spread,
+                                Rng& rng);
+
+/// Sets each finite entry to +infinity ("machine loses the capability")
+/// with probability p, skipping changes that would violate the EtcMatrix
+/// invariants (each task must keep one machine, each machine one task).
+core::EtcMatrix drop_capabilities(const core::EtcMatrix& etc, double p,
+                                  Rng& rng);
+
+}  // namespace hetero::etcgen

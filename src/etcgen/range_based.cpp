@@ -1,0 +1,70 @@
+#include "etcgen/range_based.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace hetero::etcgen {
+
+core::EtcMatrix generate_range_based(const RangeBasedOptions& options,
+                                     Rng& rng) {
+  detail::require_value(options.tasks > 0 && options.machines > 0,
+                        "generate_range_based: need tasks > 0, machines > 0");
+  detail::require_value(options.task_range >= 1.0 &&
+                            options.machine_range >= 1.0,
+                        "generate_range_based: ranges must be >= 1");
+
+  linalg::Matrix etc(options.tasks, options.machines);
+  for (std::size_t i = 0; i < options.tasks; ++i) {
+    const double q = uniform(rng, 1.0, options.task_range);
+    for (std::size_t j = 0; j < options.machines; ++j)
+      etc(i, j) = q * uniform(rng, 1.0, options.machine_range);
+  }
+  core::EtcMatrix result{std::move(etc)};
+  switch (options.consistency) {
+    case Consistency::inconsistent:
+      return result;
+    case Consistency::consistent:
+      return make_consistent(result);
+    case Consistency::semi_consistent:
+      return make_semi_consistent(result, options.semi_fraction, rng);
+  }
+  return result;
+}
+
+core::EtcMatrix make_consistent(const core::EtcMatrix& etc) {
+  linalg::Matrix values = etc.values();
+  for (std::size_t i = 0; i < values.rows(); ++i) {
+    auto row = values.row(i);
+    std::sort(row.begin(), row.end());
+  }
+  return core::EtcMatrix(std::move(values), etc.task_names(),
+                         etc.machine_names());
+}
+
+core::EtcMatrix make_semi_consistent(const core::EtcMatrix& etc,
+                                     double fraction, Rng& rng) {
+  detail::require_value(fraction >= 0.0 && fraction <= 1.0,
+                        "make_semi_consistent: fraction must be in [0, 1]");
+  const std::size_t m = etc.machine_count();
+  const auto chosen_count =
+      static_cast<std::size_t>(fraction * static_cast<double>(m));
+  std::vector<std::size_t> cols(m);
+  for (std::size_t j = 0; j < m; ++j) cols[j] = j;
+  std::shuffle(cols.begin(), cols.end(), rng);
+  cols.resize(chosen_count);
+  std::sort(cols.begin(), cols.end());
+
+  linalg::Matrix values = etc.values();
+  std::vector<double> buf(chosen_count);
+  for (std::size_t i = 0; i < values.rows(); ++i) {
+    for (std::size_t k = 0; k < chosen_count; ++k) buf[k] = values(i, cols[k]);
+    std::sort(buf.begin(), buf.end());
+    for (std::size_t k = 0; k < chosen_count; ++k) values(i, cols[k]) = buf[k];
+  }
+  return core::EtcMatrix(std::move(values), etc.task_names(),
+                         etc.machine_names());
+}
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,48 @@
+// Range-based ETC matrix generation (Ali, Siegel, Maheswaran, Hensgen, Ali
+// [4]; used by Braun et al. [6] and many follow-ups — the method the paper
+// contrasts its characterization against).
+//
+// A task-heterogeneity vector q_i ~ U(1, R_task) is drawn per task type;
+// entry ETC(i, j) = q_i * U(1, R_mach). R_task and R_mach control task and
+// machine heterogeneity. Consistency describes whether a machine that is
+// faster for one task type is faster for all: a *consistent* matrix sorts
+// each row, an *inconsistent* one leaves entries random, and a
+// *semi-consistent* one sorts a random subset of columns within each row.
+#pragma once
+
+#include <cstddef>
+
+#include "core/etc_matrix.hpp"
+#include "etcgen/rng.hpp"
+
+namespace hetero::etcgen {
+
+enum class Consistency { consistent, semi_consistent, inconsistent };
+
+struct RangeBasedOptions {
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  /// Task heterogeneity range R_task (>= 1).
+  double task_range = 100.0;
+  /// Machine heterogeneity range R_mach (>= 1).
+  double machine_range = 10.0;
+  Consistency consistency = Consistency::inconsistent;
+  /// Fraction of columns sorted per row for semi_consistent (default: the
+  /// customary one half).
+  double semi_fraction = 0.5;
+};
+
+/// Generates an ETC matrix with the range-based method.
+core::EtcMatrix generate_range_based(const RangeBasedOptions& options, Rng& rng);
+
+/// Sorts each row descending-speed left-to-right (ascending ETC), producing
+/// a consistent matrix from any ETC matrix.
+core::EtcMatrix make_consistent(const core::EtcMatrix& etc);
+
+/// Sorts a random subset of `fraction` of the columns within every row,
+/// producing a semi-consistent matrix. The chosen column subset is the same
+/// for all rows (per [4]).
+core::EtcMatrix make_semi_consistent(const core::EtcMatrix& etc,
+                                     double fraction, Rng& rng);
+
+}  // namespace hetero::etcgen

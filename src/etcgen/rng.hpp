@@ -1,0 +1,35 @@
+// Seeded random-number helpers for reproducible matrix generation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hetero::etcgen {
+
+/// The library's generator type; all etcgen functions take one of these so
+/// every experiment is reproducible from a single seed.
+using Rng = std::mt19937_64;
+
+inline Rng make_rng(std::uint64_t seed) { return Rng{seed}; }
+
+/// U(lo, hi).
+inline double uniform(Rng& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+/// Gamma with the given shape and scale.
+inline double gamma(Rng& rng, double shape, double scale) {
+  return std::gamma_distribution<double>(shape, scale)(rng);
+}
+
+/// N(mean, stddev).
+inline double normal(Rng& rng, double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(rng);
+}
+
+/// Uniform integer in [0, n).
+inline std::size_t uniform_index(Rng& rng, std::size_t n) {
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+}
+
+}  // namespace hetero::etcgen

@@ -1,0 +1,53 @@
+#include "etcgen/suite.hpp"
+
+#include "base/error.hpp"
+
+namespace hetero::etcgen {
+namespace {
+
+const char* consistency_name(Consistency c) {
+  switch (c) {
+    case Consistency::consistent: return "consistent";
+    case Consistency::semi_consistent: return "semi-consistent";
+    case Consistency::inconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<SuiteCase> braun_suite(const BraunSuiteOptions& options) {
+  detail::require_value(options.tasks > 0 && options.machines > 0,
+                        "braun_suite: need tasks > 0, machines > 0");
+  Rng rng = make_rng(options.seed);
+  std::vector<SuiteCase> suite;
+  suite.reserve(12);
+
+  for (const bool hi_task : {true, false}) {
+    for (const bool hi_machine : {true, false}) {
+      for (const Consistency consistency :
+           {Consistency::consistent, Consistency::semi_consistent,
+            Consistency::inconsistent}) {
+        RangeBasedOptions gen;
+        gen.tasks = options.tasks;
+        gen.machines = options.machines;
+        gen.task_range =
+            hi_task ? options.task_range_high : options.task_range_low;
+        gen.machine_range = hi_machine ? options.machine_range_high
+                                       : options.machine_range_low;
+        gen.consistency = consistency;
+
+        SuiteCase entry{
+            std::string(hi_task ? "hi" : "lo") + "-" +
+                (hi_machine ? "hi" : "lo") + "-" +
+                consistency_name(consistency),
+            hi_task, hi_machine, consistency,
+            generate_range_based(gen, rng)};
+        suite.push_back(std::move(entry));
+      }
+    }
+  }
+  return suite;
+}
+
+}  // namespace hetero::etcgen

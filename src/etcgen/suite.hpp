@@ -1,0 +1,44 @@
+// The canonical 12-category ETC benchmark suite of Braun et al. [6].
+//
+// Simulation studies since 2001 evaluate mapping heuristics on twelve ETC
+// classes: {high, low} task heterogeneity x {high, low} machine
+// heterogeneity x {consistent, semi-consistent, inconsistent}. This module
+// generates that suite with the range-based method, so the paper's measures
+// can be laid over the classic taxonomy (bench/app_braun_taxonomy) and
+// heuristic studies can sweep the standard cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "etcgen/range_based.hpp"
+
+namespace hetero::etcgen {
+
+/// One generated suite entry.
+struct SuiteCase {
+  std::string name;  // e.g. "hi-hi-consistent"
+  bool high_task_heterogeneity = false;
+  bool high_machine_heterogeneity = false;
+  Consistency consistency = Consistency::inconsistent;
+  core::EtcMatrix etc;
+};
+
+struct BraunSuiteOptions {
+  std::size_t tasks = 512;
+  std::size_t machines = 16;
+  std::uint64_t seed = 1;
+  /// The customary range parameters of [6]: task 1e5 (hi) / 100 (lo),
+  /// machine 100 (hi) / 10 (lo).
+  double task_range_high = 1e5;
+  double task_range_low = 100.0;
+  double machine_range_high = 100.0;
+  double machine_range_low = 10.0;
+};
+
+/// Generates all 12 categories in the conventional order (hi-hi, hi-lo,
+/// lo-hi, lo-lo) x (consistent, semi-consistent, inconsistent).
+std::vector<SuiteCase> braun_suite(const BraunSuiteOptions& options = {});
+
+}  // namespace hetero::etcgen

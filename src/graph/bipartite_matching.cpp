@@ -1,0 +1,103 @@
+#include "graph/bipartite_matching.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "base/error.hpp"
+
+namespace hetero::graph {
+
+BipartiteGraph::BipartiteGraph(std::size_t left_count, std::size_t right_count)
+    : right_count_(right_count), adj_(left_count) {}
+
+void BipartiteGraph::add_edge(std::size_t u, std::size_t v) {
+  detail::require_dims(u < adj_.size() && v < right_count_,
+                       "BipartiteGraph::add_edge: vertex out of range");
+  adj_[u].push_back(v);
+}
+
+namespace {
+
+constexpr std::size_t kNpos = MatchingResult::npos;
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+struct HopcroftKarp {
+  const BipartiteGraph& g;
+  std::vector<std::size_t> match_l, match_r, dist;
+
+  explicit HopcroftKarp(const BipartiteGraph& graph)
+      : g(graph),
+        match_l(graph.left_count(), kNpos),
+        match_r(graph.right_count(), kNpos),
+        dist(graph.left_count(), kInf) {}
+
+  bool bfs() {
+    std::queue<std::size_t> q;
+    bool reachable_free = false;
+    for (std::size_t u = 0; u < g.left_count(); ++u) {
+      if (match_l[u] == kNpos) {
+        dist[u] = 0;
+        q.push(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      for (std::size_t v : g.neighbors(u)) {
+        const std::size_t w = match_r[v];
+        if (w == kNpos) {
+          reachable_free = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[u] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return reachable_free;
+  }
+
+  bool dfs(std::size_t u) {
+    for (std::size_t v : g.neighbors(u)) {
+      const std::size_t w = match_r[v];
+      if (w == kNpos || (dist[w] == dist[u] + 1 && dfs(w))) {
+        match_l[u] = v;
+        match_r[v] = u;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  }
+
+  std::size_t run() {
+    std::size_t matched = 0;
+    while (bfs()) {
+      for (std::size_t u = 0; u < g.left_count(); ++u)
+        if (match_l[u] == kNpos && dfs(u)) ++matched;
+    }
+    return matched;
+  }
+};
+
+}  // namespace
+
+MatchingResult maximum_matching(const BipartiteGraph& g) {
+  HopcroftKarp hk(g);
+  MatchingResult r;
+  r.size = hk.run();
+  r.match_left = std::move(hk.match_l);
+  r.match_right = std::move(hk.match_r);
+  return r;
+}
+
+std::optional<std::vector<std::size_t>> perfect_matching(
+    const BipartiteGraph& g) {
+  if (g.left_count() != g.right_count()) return std::nullopt;
+  MatchingResult r = maximum_matching(g);
+  if (r.size != g.left_count()) return std::nullopt;
+  return std::move(r.match_left);
+}
+
+}  // namespace hetero::graph

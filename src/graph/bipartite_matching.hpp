@@ -1,0 +1,54 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// Zero-pattern analysis of ECS matrices (paper Section VI) reduces to
+// matching questions: a square matrix has *support* iff its bipartite
+// row-column graph has a perfect matching (a positive diagonal), and *total
+// support* iff every edge lies on some perfect matching.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace hetero::graph {
+
+/// Bipartite graph with `left` and `right` vertex sets, edges from left to
+/// right stored as adjacency lists.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left_count, std::size_t right_count);
+
+  /// Adds an edge (u in left, v in right). Duplicate edges are allowed and
+  /// harmless. Throws DimensionError for out-of-range vertices.
+  void add_edge(std::size_t u, std::size_t v);
+
+  std::size_t left_count() const noexcept { return adj_.size(); }
+  std::size_t right_count() const noexcept { return right_count_; }
+  const std::vector<std::size_t>& neighbors(std::size_t u) const {
+    return adj_[u];
+  }
+
+ private:
+  std::size_t right_count_;
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+/// Result of a maximum matching: match_left[u] is the right vertex matched
+/// to u or npos, and symmetrically for match_right.
+struct MatchingResult {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> match_left;
+  std::vector<std::size_t> match_right;
+  std::size_t size = 0;
+};
+
+/// Hopcroft–Karp maximum matching in O(E sqrt(V)).
+MatchingResult maximum_matching(const BipartiteGraph& g);
+
+/// Perfect matching of a square bipartite graph (left_count == right_count),
+/// or nullopt if none exists. The returned vector maps each left vertex to
+/// its matched right vertex.
+std::optional<std::vector<std::size_t>> perfect_matching(
+    const BipartiteGraph& g);
+
+}  // namespace hetero::graph

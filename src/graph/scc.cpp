@@ -1,0 +1,87 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace hetero::graph {
+
+void Digraph::add_edge(std::size_t u, std::size_t v) {
+  detail::require_dims(u < adj_.size() && v < adj_.size(),
+                       "Digraph::add_edge: vertex out of range");
+  adj_[u].push_back(v);
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+
+  std::vector<std::size_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> component(n, kUnvisited);
+  std::size_t next_index = 0;
+  std::size_t component_count = 0;
+
+  // Explicit DFS stack of (vertex, next-neighbor-offset).
+  struct Frame {
+    std::size_t v;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& nbrs = g.neighbors(f.v);
+      if (f.edge < nbrs.size()) {
+        const std::size_t w = nbrs[f.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const std::size_t v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty())
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          // Pop one complete component (Tarjan emits sinks first).
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = component_count;
+            if (w == v) break;
+          }
+          ++component_count;
+        }
+      }
+    }
+  }
+
+  // Tarjan assigns sink components the smallest ids; flip so ids form a
+  // topological order of the condensation (edges low id -> high id).
+  for (std::size_t v = 0; v < n; ++v)
+    component[v] = component_count - 1 - component[v];
+
+  return SccResult{std::move(component), component_count};
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.vertex_count() <= 1) return true;
+  return strongly_connected_components(g).component_count == 1;
+}
+
+}  // namespace hetero::graph

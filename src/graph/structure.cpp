@@ -1,0 +1,241 @@
+#include "graph/structure.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/error.hpp"
+#include "graph/bipartite_matching.hpp"
+#include "graph/scc.hpp"
+
+namespace hetero::graph {
+namespace {
+
+using linalg::Matrix;
+
+BipartiteGraph pattern_graph(const Matrix& m) {
+  BipartiteGraph g(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (m(i, j) > 0.0) g.add_edge(i, j);
+  return g;
+}
+
+void require_square(const Matrix& m, const char* who) {
+  detail::require_value(m.rows() == m.cols(),
+                        std::string(who) + ": matrix must be square");
+  detail::require_value(m.all_nonnegative(),
+                        std::string(who) + ": matrix must be nonnegative");
+}
+
+// Digraph over rows induced by a perfect matching sigma (row -> column):
+// edge u -> v iff m(u, sigma[v]) > 0, u != v. Cycles of this digraph are
+// exactly the alternating cycles that exchange matched edges, so an entry
+// m(i, sigma[v]) lies on a positive diagonal iff i == v or i and v share a
+// strongly connected component.
+Digraph matching_digraph(const Matrix& m, const std::vector<std::size_t>& sigma) {
+  Digraph d(m.rows());
+  for (std::size_t u = 0; u < m.rows(); ++u)
+    for (std::size_t v = 0; v < m.rows(); ++v)
+      if (u != v && m(u, sigma[v]) > 0.0) d.add_edge(u, v);
+  return d;
+}
+
+// Boolean mask of entries lying on some positive diagonal of a square
+// matrix; nullopt when there is no positive diagonal at all.
+std::optional<std::vector<bool>> on_diagonal_mask(const Matrix& m) {
+  const auto sigma = perfect_matching(pattern_graph(m));
+  if (!sigma) return std::nullopt;
+  const SccResult scc =
+      strongly_connected_components(matching_digraph(m, *sigma));
+  std::vector<std::size_t> row_of_col(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) row_of_col[(*sigma)[i]] = i;
+
+  std::vector<bool> mask(m.rows() * m.cols(), false);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) <= 0.0) continue;
+      const std::size_t v = row_of_col[j];
+      mask[i * m.cols() + j] =
+          (i == v) || scc.component[i] == scc.component[v];
+    }
+  return mask;
+}
+
+// Appendix-A tiling of a T x M matrix into an lcm(T, M) square.
+Matrix lcm_tiling(const Matrix& m) {
+  const std::size_t t = m.rows();
+  const std::size_t mm = m.cols();
+  const std::size_t l = std::lcm(t, mm);
+  detail::require_value(l <= 4096, "lcm tiling: lcm(T, M) too large");
+  Matrix tiled(l, l, 0.0);
+  for (std::size_t bi = 0; bi < l / t; ++bi)
+    for (std::size_t bj = 0; bj < l / mm; ++bj)
+      for (std::size_t i = 0; i < t; ++i)
+        for (std::size_t j = 0; j < mm; ++j)
+          tiled(bi * t + i, bj * mm + j) = m(i, j);
+  return tiled;
+}
+
+}  // namespace
+
+bool has_support(const Matrix& m) {
+  require_square(m, "has_support");
+  if (m.rows() == 0) return true;
+  return perfect_matching(pattern_graph(m)).has_value();
+}
+
+bool has_total_support(const Matrix& m) {
+  require_square(m, "has_total_support");
+  if (m.rows() == 0) return true;
+  const auto sigma = perfect_matching(pattern_graph(m));
+  if (!sigma) return false;
+
+  const SccResult scc = strongly_connected_components(matching_digraph(m, *sigma));
+  // Row matched to column j.
+  std::vector<std::size_t> row_of_col(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) row_of_col[(*sigma)[i]] = i;
+
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) <= 0.0) continue;
+      const std::size_t v = row_of_col[j];
+      if (i != v && scc.component[i] != scc.component[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_fully_indecomposable(const Matrix& m) {
+  require_square(m, "is_fully_indecomposable");
+  if (m.rows() == 0) return true;
+  if (m.rows() == 1) return m(0, 0) > 0.0;
+  const auto sigma = perfect_matching(pattern_graph(m));
+  if (!sigma) return false;
+  // With a positive diagonal (after permuting columns by sigma), full
+  // indecomposability is equivalent to irreducibility, i.e. strong
+  // connectivity of the matching digraph.
+  return is_strongly_connected(matching_digraph(m, *sigma));
+}
+
+bool is_fully_indecomposable_rect(const Matrix& m,
+                                  std::size_t max_combinations) {
+  detail::require_value(m.all_nonnegative(),
+                        "is_fully_indecomposable_rect: matrix must be nonnegative");
+  if (m.rows() == m.cols()) return is_fully_indecomposable(m);
+  const Matrix b = m.rows() < m.cols() ? m : m.transposed();
+  const std::size_t r = b.rows();
+  const std::size_t n = b.cols();
+
+  // Count C(n, r) with overflow-free early exit against the guard.
+  double combos = 1.0;
+  for (std::size_t k = 1; k <= r; ++k)
+    combos *= static_cast<double>(n - r + k) / static_cast<double>(k);
+  detail::require_value(combos <= static_cast<double>(max_combinations),
+                        "is_fully_indecomposable_rect: too many submatrices");
+
+  // Enumerate r-subsets of columns in lexicographic order.
+  std::vector<std::size_t> pick(r);
+  std::iota(pick.begin(), pick.end(), std::size_t{0});
+  const std::vector<std::size_t> all_rows = [&] {
+    std::vector<std::size_t> v(r);
+    std::iota(v.begin(), v.end(), std::size_t{0});
+    return v;
+  }();
+  while (true) {
+    if (!is_fully_indecomposable(b.submatrix(all_rows, pick))) return false;
+    // Advance combination.
+    std::size_t i = r;
+    while (i > 0) {
+      --i;
+      if (pick[i] != i + n - r) break;
+      if (i == 0) return true;
+    }
+    if (pick[i] == i + n - r) return true;
+    ++pick[i];
+    for (std::size_t j = i + 1; j < r; ++j) pick[j] = pick[j - 1] + 1;
+  }
+}
+
+bool is_sinkhorn_normalizable(const Matrix& m) {
+  detail::require_value(m.all_nonnegative(),
+                        "is_sinkhorn_normalizable: matrix must be nonnegative");
+  detail::require_value(!m.empty(), "is_sinkhorn_normalizable: empty matrix");
+  if (m.all_positive()) return true;
+  if (m.rows() == m.cols()) return has_total_support(m);
+
+  // Appendix A construction: tile copies of the T x M matrix into an
+  // lcm(T, M) square block matrix; the rectangular scaling exists iff the
+  // square tiling has total support.
+  return has_total_support(lcm_tiling(m));
+}
+
+std::optional<Matrix> support_core(const Matrix& m) {
+  detail::require_value(m.all_nonnegative(),
+                        "support_core: matrix must be nonnegative");
+  detail::require_value(!m.empty(), "support_core: empty matrix");
+
+  if (m.rows() == m.cols()) {
+    const auto mask = on_diagonal_mask(m);
+    if (!mask) return std::nullopt;
+    Matrix core = m;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j)
+        if (!(*mask)[i * m.cols() + j]) core(i, j) = 0.0;
+    return core;
+  }
+
+  const Matrix tiled = lcm_tiling(m);
+  const auto mask = on_diagonal_mask(tiled);
+  if (!mask) return std::nullopt;
+  const std::size_t l = tiled.rows();
+  const std::size_t t = m.rows();
+  const std::size_t mm = m.cols();
+  Matrix core = m;
+  // Keep an entry only if every tiled copy of it lies on a positive diagonal.
+  for (std::size_t i = 0; i < t; ++i)
+    for (std::size_t j = 0; j < mm; ++j) {
+      bool keep = m(i, j) > 0.0;
+      for (std::size_t bi = 0; keep && bi < l / t; ++bi)
+        for (std::size_t bj = 0; keep && bj < l / mm; ++bj)
+          keep = (*mask)[(bi * t + i) * l + (bj * mm + j)];
+      if (!keep) core(i, j) = 0.0;
+    }
+  return core;
+}
+
+std::optional<BlockTriangularForm> block_triangular_form(const Matrix& m) {
+  require_square(m, "block_triangular_form");
+  if (m.rows() == 0) return BlockTriangularForm{};
+  const auto sigma = perfect_matching(pattern_graph(m));
+  if (!sigma) return std::nullopt;
+
+  const SccResult scc = strongly_connected_components(matching_digraph(m, *sigma));
+
+  // Order rows by *descending* component id. Component ids are a topological
+  // order of the condensation (edges low -> high), so descending order puts
+  // every edge's source at or below its target: block lower-triangular.
+  std::vector<std::size_t> rows(m.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  std::stable_sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+    return scc.component[a] > scc.component[b];
+  });
+
+  BlockTriangularForm form;
+  form.row_perm = rows;
+  form.col_perm.resize(m.cols());
+  for (std::size_t k = 0; k < rows.size(); ++k)
+    form.col_perm[k] = (*sigma)[rows[k]];
+
+  std::size_t run = 0;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    ++run;
+    const bool last = k + 1 == rows.size();
+    if (last || scc.component[rows[k + 1]] != scc.component[rows[k]]) {
+      form.block_sizes.push_back(run);
+      run = 0;
+    }
+  }
+  return form;
+}
+
+}  // namespace hetero::graph

@@ -1,0 +1,87 @@
+// Zero-pattern structure analysis of nonnegative matrices (paper Section VI).
+//
+// Whether an ECS matrix with zero entries can be converted to standard form
+// (equal row sums and equal column sums) by diagonal scaling is a purely
+// combinatorial property of its zero pattern:
+//
+//  * support        — a positive diagonal exists (perfect matching between
+//                     rows and columns through positive entries);
+//  * total support  — every positive entry lies on some positive diagonal;
+//                     this is exactly the condition for the Sinkhorn
+//                     iteration (eq. 9) to converge [Sinkhorn & Knopp 1967];
+//  * full indecomposability — no permutations P, Q put the matrix in the
+//                     block-triangular form of eq. 11; a *sufficient*
+//                     condition for normalizability [Marshall & Olkin, 20].
+//
+// For rectangular T x M matrices the paper (Appendix A) reduces to the
+// square case by tiling copies of the matrix into an lcm(T, M)-sized square
+// block matrix; full indecomposability is defined via square submatrices.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hetero::graph {
+
+/// True if the square matrix has *support*: some permutation sigma with
+/// m(i, sigma(i)) > 0 for all i. Throws ValueError if not square.
+bool has_support(const linalg::Matrix& m);
+
+/// True if the square matrix has *total support*: every positive entry lies
+/// on a positive diagonal. (The zero matrix is defined to have total
+/// support vacuously only if it has no positive entries, but it lacks
+/// support.) Throws ValueError if not square.
+bool has_total_support(const linalg::Matrix& m);
+
+/// True if the square matrix is fully indecomposable: there are no
+/// permutation matrices P, Q such that PMQ has the 2x2 block-triangular form
+/// of paper eq. 11. Uses the classical characterization: a matrix with a
+/// positive diagonal is fully indecomposable iff its digraph is strongly
+/// connected. Throws ValueError if not square.
+bool is_fully_indecomposable(const linalg::Matrix& m);
+
+/// Rectangular full indecomposability as defined in the paper (Section VI):
+/// an m x n matrix with m < n is fully indecomposable if every m x m
+/// submatrix is. Square inputs defer to is_fully_indecomposable; for
+/// m > n the transpose is analyzed. Brute-force over submatrices — throws
+/// ValueError when C(max(m,n), min(m,n)) exceeds `max_combinations`.
+bool is_fully_indecomposable_rect(const linalg::Matrix& m,
+                                  std::size_t max_combinations = 200000);
+
+/// True if the (square or rectangular) nonnegative matrix can be scaled by
+/// positive diagonal matrices D1, D2 to have equal row sums and equal column
+/// sums (i.e. the Sinkhorn iteration converges to a standard ECS matrix).
+/// Rectangular inputs are tiled to an lcm(T, M) square block matrix per the
+/// paper's Appendix A and checked for total support.
+bool is_sinkhorn_normalizable(const linalg::Matrix& m);
+
+/// Block-triangular (Frobenius normal form) exposure of a decomposable
+/// square matrix: permutations such that m.permuted(row_perm, col_perm) is
+/// block lower-triangular with square, fully indecomposable diagonal blocks.
+struct BlockTriangularForm {
+  std::vector<std::size_t> row_perm;
+  std::vector<std::size_t> col_perm;
+  /// Sizes of the diagonal blocks, in order; size() == 1 means the matrix is
+  /// fully indecomposable (no nontrivial decomposition).
+  std::vector<std::size_t> block_sizes;
+};
+
+/// Computes a block-triangular form for a square matrix with support.
+/// Returns nullopt when the matrix has no support (no positive diagonal, so
+/// the construction below does not apply).
+std::optional<BlockTriangularForm> block_triangular_form(
+    const linalg::Matrix& m);
+
+/// The *total-support core*: a copy of the (square or rectangular) matrix
+/// with every positive entry that lies on no positive diagonal zeroed out.
+/// The Sinkhorn iteration's limit on the original matrix equals its limit on
+/// the core, but on the core (which has total support) convergence is
+/// geometric instead of O(1/k). Rectangular matrices are analyzed through
+/// the Appendix-A lcm tiling. Returns nullopt when the matrix has no
+/// support (and the limit does not exist at all).
+std::optional<linalg::Matrix> support_core(const linalg::Matrix& m);
+
+}  // namespace hetero::graph

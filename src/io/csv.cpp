@@ -1,0 +1,137 @@
+#include "io/csv.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace hetero::io {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto notspace = [](unsigned char c) { return !std::isspace(c); };
+  const auto b = std::find_if(s.begin(), s.end(), notspace);
+  const auto e = std::find_if(s.rbegin(), s.rend(), notspace).base();
+  return b < e ? std::string(b, e) : std::string();
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(trim(cell));
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  std::string lower = s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "inf" || lower == "+inf" || lower == "infinity") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+core::EtcMatrix read_etc_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    rows.push_back(split_csv_line(line));
+  }
+  detail::require_value(!rows.empty(), "read_etc_csv: empty input");
+
+  // A header is present when the first row's second cell is not numeric.
+  double probe = 0.0;
+  const bool has_header =
+      rows.front().size() >= 2 && !parse_double(rows.front()[1], probe);
+
+  std::vector<std::string> machine_names;
+  std::size_t first_data_row = 0;
+  if (has_header) {
+    machine_names.assign(rows.front().begin() + 1, rows.front().end());
+    first_data_row = 1;
+    detail::require_value(rows.size() > 1, "read_etc_csv: header but no data");
+  }
+
+  // A label column is present when the first data cell is not numeric.
+  const bool has_labels =
+      !rows[first_data_row].empty() &&
+      !parse_double(rows[first_data_row][0], probe);
+  const std::size_t col_offset = has_labels ? 1 : 0;
+  const std::size_t machine_count = rows[first_data_row].size() - col_offset;
+  detail::require_value(machine_count > 0, "read_etc_csv: no machine columns");
+  detail::require_value(
+      machine_names.empty() || machine_names.size() == machine_count,
+      "read_etc_csv: header width does not match data width");
+
+  const std::size_t task_count = rows.size() - first_data_row;
+  linalg::Matrix values(task_count, machine_count);
+  std::vector<std::string> task_names;
+  for (std::size_t r = first_data_row; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    detail::require_value(cells.size() == machine_count + col_offset,
+                          "read_etc_csv: ragged row");
+    if (has_labels) task_names.push_back(cells[0]);
+    for (std::size_t j = 0; j < machine_count; ++j) {
+      double v = 0.0;
+      detail::require_value(parse_double(cells[j + col_offset], v),
+                            "read_etc_csv: non-numeric cell '" +
+                                cells[j + col_offset] + "'");
+      values(r - first_data_row, j) = v;
+    }
+  }
+  return core::EtcMatrix(std::move(values), std::move(task_names),
+                         std::move(machine_names));
+}
+
+core::EtcMatrix read_etc_csv_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_etc_csv(in);
+}
+
+core::EtcMatrix read_etc_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  detail::require_value(in.good(), "read_etc_csv_file: cannot open " + path);
+  return read_etc_csv(in);
+}
+
+void write_etc_csv(std::ostream& out, const core::EtcMatrix& etc) {
+  out << "task";
+  for (const auto& m : etc.machine_names()) out << ',' << m;
+  out << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < etc.task_count(); ++i) {
+    out << etc.task_names()[i];
+    for (std::size_t j = 0; j < etc.machine_count(); ++j) {
+      const double v = etc(i, j);
+      if (std::isinf(v))
+        out << ",inf";
+      else
+        out << ',' << v;
+    }
+    out << '\n';
+  }
+}
+
+std::string write_etc_csv_string(const core::EtcMatrix& etc) {
+  std::ostringstream out;
+  write_etc_csv(out, etc);
+  return out.str();
+}
+
+}  // namespace hetero::io

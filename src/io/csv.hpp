@@ -1,0 +1,32 @@
+// CSV import/export for ETC matrices.
+//
+// Format: first row = header with a corner label followed by machine names;
+// each following row = task name followed by runtimes. The literal "inf"
+// (case-insensitive) marks a task type a machine cannot run. Plain numeric
+// matrices without headers are also accepted (labels auto-generated).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/etc_matrix.hpp"
+
+namespace hetero::io {
+
+/// Parses an ETC matrix from CSV text. Throws ValueError on malformed
+/// input (ragged rows, non-numeric cells, empty payload).
+core::EtcMatrix read_etc_csv(std::istream& in);
+
+/// Parses from a string (convenience for tests and embedded data).
+core::EtcMatrix read_etc_csv_string(const std::string& text);
+
+/// Reads a file; throws ValueError when the file cannot be opened.
+core::EtcMatrix read_etc_csv_file(const std::string& path);
+
+/// Writes an ETC matrix with header row and task-name column.
+void write_etc_csv(std::ostream& out, const core::EtcMatrix& etc);
+
+/// Serializes to a string.
+std::string write_etc_csv_string(const core::EtcMatrix& etc);
+
+}  // namespace hetero::io

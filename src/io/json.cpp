@@ -1,0 +1,109 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hetero::io {
+namespace {
+
+void append_number_array(std::ostringstream& os,
+                         const std::vector<double>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os << (i ? "," : "") << json_number(values[i]);
+  os << ']';
+}
+
+void append_string_array(std::ostringstream& os,
+                         const std::vector<std::string>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os << (i ? "," : "") << '"' << json_escape(values[i]) << '"';
+  os << ']';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string to_json(const core::MeasureSet& measures) {
+  std::ostringstream os;
+  os << "{\"mph\":" << json_number(measures.mph)
+     << ",\"tdh\":" << json_number(measures.tdh)
+     << ",\"tma\":" << json_number(measures.tma) << '}';
+  return os.str();
+}
+
+std::string to_json(const core::EnvironmentReport& report,
+                    const core::EcsMatrix& ecs) {
+  std::ostringstream os;
+  os << "{\"measures\":" << to_json(report.measures);
+  os << ",\"alternatives\":{\"ratio\":" << json_number(report.mph_alt_ratio)
+     << ",\"geometric\":" << json_number(report.mph_alt_geometric)
+     << ",\"cov\":" << json_number(report.mph_alt_cov) << '}';
+  os << ",\"machines\":";
+  append_string_array(os, ecs.machine_names());
+  os << ",\"machine_performances\":";
+  append_number_array(os, report.machine_performances);
+  os << ",\"tasks\":";
+  append_string_array(os, ecs.task_names());
+  os << ",\"task_difficulties\":";
+  append_number_array(os, report.task_difficulties);
+  const auto& sf = report.tma_detail.standard_form;
+  os << ",\"tma_detail\":{\"used_standard_form\":"
+     << (report.tma_detail.used_standard_form ? "true" : "false")
+     << ",\"singular_values\":";
+  append_number_array(os, report.tma_detail.singular_values);
+  os << ",\"sinkhorn_iterations\":" << sf.iterations
+     << ",\"converged\":" << (sf.converged ? "true" : "false")
+     << ",\"residual\":" << json_number(sf.residual) << "}}";
+  return os.str();
+}
+
+std::string to_json(const core::EtcMatrix& etc) {
+  std::ostringstream os;
+  os << "{\"tasks\":";
+  append_string_array(os, etc.task_names());
+  os << ",\"machines\":";
+  append_string_array(os, etc.machine_names());
+  os << ",\"etc\":[";
+  for (std::size_t i = 0; i < etc.task_count(); ++i) {
+    os << (i ? "," : "") << '[';
+    for (std::size_t j = 0; j < etc.machine_count(); ++j)
+      os << (j ? "," : "") << json_number(etc(i, j));
+    os << ']';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hetero::io

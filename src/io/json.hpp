@@ -1,0 +1,34 @@
+// Minimal JSON emission for machine-readable experiment output.
+//
+// Only a writer (no parser): benches and the CLI dump measure reports that
+// downstream notebooks/scripts can consume without screen-scraping the
+// console tables.
+#pragma once
+
+#include <string>
+
+#include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
+
+namespace hetero::io {
+
+/// Escapes a string for inclusion in JSON (quotes, backslashes, control
+/// characters).
+std::string json_escape(const std::string& s);
+
+/// Renders a double as JSON (finite -> shortest round-trip decimal;
+/// infinities/NaN -> null, since JSON has no representation for them).
+std::string json_number(double value);
+
+/// {"mph": ..., "tdh": ..., "tma": ...}
+std::string to_json(const core::MeasureSet& measures);
+
+/// Full environment report including per-machine/per-task vectors, the
+/// alternative measures, and the standard-form diagnostics.
+std::string to_json(const core::EnvironmentReport& report,
+                    const core::EcsMatrix& ecs);
+
+/// ETC matrix with labels; "cannot run" entries serialize as null.
+std::string to_json(const core::EtcMatrix& etc);
+
+}  // namespace hetero::io

@@ -1,0 +1,137 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace hetero::io {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool parse_value(const std::string& token, double& out) {
+  std::string lower = token;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "inf" || lower == "+inf" || lower == "infinity") {
+    out = kInf;
+    return true;
+  }
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+void write_etc_matrix_market(std::ostream& out, const core::EtcMatrix& etc) {
+  out << "%%MatrixMarket matrix array real general\n";
+  for (const auto& t : etc.task_names()) out << "%%task " << t << '\n';
+  for (const auto& m : etc.machine_names()) out << "%%machine " << m << '\n';
+  out << etc.task_count() << ' ' << etc.machine_count() << '\n';
+  out.precision(17);
+  // Array format is column-major.
+  for (std::size_t j = 0; j < etc.machine_count(); ++j)
+    for (std::size_t i = 0; i < etc.task_count(); ++i) {
+      const double v = etc(i, j);
+      if (std::isinf(v))
+        out << "inf\n";
+      else
+        out << v << '\n';
+    }
+}
+
+std::string write_etc_matrix_market_string(const core::EtcMatrix& etc) {
+  std::ostringstream out;
+  write_etc_matrix_market(out, etc);
+  return out.str();
+}
+
+core::EtcMatrix read_etc_matrix_market(std::istream& in) {
+  std::string line;
+  detail::require_value(static_cast<bool>(std::getline(in, line)),
+                        "matrix_market: empty input");
+  {
+    std::string header = line;
+    std::transform(header.begin(), header.end(), header.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    detail::require_value(
+        header.rfind("%%matrixmarket", 0) == 0 &&
+            header.find("array") != std::string::npos &&
+            header.find("real") != std::string::npos,
+        "matrix_market: expected '%%MatrixMarket matrix array real ...'");
+  }
+
+  std::vector<std::string> task_names, machine_names;
+  std::size_t rows = 0, cols = 0;
+  bool have_dims = false;
+  std::vector<double> values;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '%') {
+      if (line.rfind("%%task ", 0) == 0) task_names.push_back(line.substr(7));
+      if (line.rfind("%%machine ", 0) == 0)
+        machine_names.push_back(line.substr(10));
+      continue;
+    }
+    const auto tokens = split_ws(line);
+    if (!have_dims) {
+      detail::require_value(tokens.size() == 2,
+                            "matrix_market: expected 'rows cols' size line");
+      double r = 0, c = 0;
+      detail::require_value(parse_value(tokens[0], r) &&
+                                parse_value(tokens[1], c) && r > 0 && c > 0,
+                            "matrix_market: bad dimensions");
+      rows = static_cast<std::size_t>(r);
+      cols = static_cast<std::size_t>(c);
+      have_dims = true;
+      values.reserve(rows * cols);
+      continue;
+    }
+    for (const auto& tok : tokens) {
+      double v = 0.0;
+      detail::require_value(parse_value(tok, v),
+                            "matrix_market: non-numeric entry '" + tok + "'");
+      values.push_back(v);
+    }
+  }
+  detail::require_value(have_dims, "matrix_market: missing size line");
+  detail::require_value(values.size() == rows * cols,
+                        "matrix_market: entry count does not match size");
+
+  // Column-major -> row-major.
+  linalg::Matrix m(rows, cols);
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < rows; ++i) m(i, j) = values[j * rows + i];
+  if (!task_names.empty())
+    detail::require_value(task_names.size() == rows,
+                          "matrix_market: %%task count mismatch");
+  if (!machine_names.empty())
+    detail::require_value(machine_names.size() == cols,
+                          "matrix_market: %%machine count mismatch");
+  return core::EtcMatrix(std::move(m), std::move(task_names),
+                         std::move(machine_names));
+}
+
+core::EtcMatrix read_etc_matrix_market_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_etc_matrix_market(in);
+}
+
+}  // namespace hetero::io

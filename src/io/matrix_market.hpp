@@ -1,0 +1,30 @@
+// Matrix Market (array format) import/export for ETC matrices.
+//
+// The NIST Matrix Market "array" format is the lingua franca of dense
+// matrix exchange in scientific tooling; emitting it lets generated
+// environments flow into MATLAB/SciPy/Julia analyses without custom
+// parsing. Labels do not fit the format and are carried in comment lines
+// (%%task / %%machine), which this reader also understands.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/etc_matrix.hpp"
+
+namespace hetero::io {
+
+/// Writes "%%MatrixMarket matrix array real general" with the runtimes in
+/// column-major order (the format's requirement); +inf entries are written
+/// as "inf". Labels are embedded as %%task/%%machine comments.
+void write_etc_matrix_market(std::ostream& out, const core::EtcMatrix& etc);
+
+std::string write_etc_matrix_market_string(const core::EtcMatrix& etc);
+
+/// Reads the array format back (labels restored from the comments when
+/// present). Throws ValueError on malformed input or non-array headers.
+core::EtcMatrix read_etc_matrix_market(std::istream& in);
+
+core::EtcMatrix read_etc_matrix_market_string(const std::string& text);
+
+}  // namespace hetero::io

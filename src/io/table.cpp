@@ -1,0 +1,92 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace hetero::io {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  detail::require_value(!header_.empty(), "Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  detail::require_dims(row.size() == header_.size(),
+                       "Table::add_row: arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string format_general(double value, int significant) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os.precision(significant);
+  os << value;
+  return os.str();
+}
+
+void print_matrix(std::ostream& os, const linalg::Matrix& m,
+                  const std::vector<std::string>& row_labels,
+                  const std::vector<std::string>& col_labels,
+                  int decimals) {
+  detail::require_dims(row_labels.size() == m.rows() &&
+                           col_labels.size() == m.cols(),
+                       "print_matrix: label count mismatch");
+  std::vector<std::string> header{""};
+  header.insert(header.end(), col_labels.begin(), col_labels.end());
+  Table t(std::move(header));
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::vector<std::string> row{row_labels[i]};
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const double v = m(i, j);
+      row.push_back(std::isinf(v) ? "inf" : format_fixed(v, decimals));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+}
+
+void print_etc(std::ostream& os, const core::EtcMatrix& etc, int decimals) {
+  print_matrix(os, etc.values(), etc.task_names(), etc.machine_names(),
+               decimals);
+}
+
+void print_ecs(std::ostream& os, const core::EcsMatrix& ecs, int decimals) {
+  print_matrix(os, ecs.values(), ecs.task_names(), ecs.machine_names(),
+               decimals);
+}
+
+}  // namespace hetero::io

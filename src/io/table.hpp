@@ -1,0 +1,50 @@
+// Fixed-width console tables for the figure reproducers and examples.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hetero::io {
+
+/// Simple fixed-width table: set a header, append rows, print. Column
+/// widths adapt to content. Numeric cells should be pre-formatted by the
+/// caller (see format_fixed below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting with the given number of decimals ("0.82").
+std::string format_fixed(double value, int decimals = 2);
+
+/// Scientific-ish compact formatting for wide-range values.
+std::string format_general(double value, int significant = 4);
+
+/// Prints a labeled ETC/ECS matrix (header row of machine names, label
+/// column of task names) with the given decimals.
+void print_matrix(std::ostream& os, const linalg::Matrix& m,
+                  const std::vector<std::string>& row_labels,
+                  const std::vector<std::string>& col_labels,
+                  int decimals = 2);
+
+void print_etc(std::ostream& os, const core::EtcMatrix& etc, int decimals = 1);
+void print_ecs(std::ostream& os, const core::EcsMatrix& ecs, int decimals = 4);
+
+}  // namespace hetero::io

@@ -1,0 +1,93 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace hetero::linalg {
+namespace {
+
+void check_symmetric(const Matrix& a) {
+  detail::require_value(a.rows() == a.cols(), "jacobi_eigen: not square");
+  double scale = std::max(1.0, frobenius_norm(a));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j)
+      detail::require_value(std::abs(a(i, j) - a(j, i)) <= 1e-10 * scale,
+                            "jacobi_eigen: not symmetric");
+}
+
+}  // namespace
+
+EigenResult jacobi_eigen(const Matrix& a, const JacobiEigenOptions& opt) {
+  check_symmetric(a);
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  const double stop = opt.tol * std::max(frobenius_norm(a), 1e-300);
+
+  for (std::size_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        off = std::max(off, std::abs(d(i, j)));
+    if (off <= stop) {
+      EigenResult r;
+      r.values.resize(n);
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t x, std::size_t y) {
+                         return d(x, x) > d(y, y);
+                       });
+      r.vectors = Matrix(n, n, 0.0);
+      for (std::size_t k = 0; k < n; ++k) {
+        r.values[k] = d(order[k], order[k]);
+        for (std::size_t i = 0; i < n; ++i) r.vectors(i, k) = v(i, order[k]);
+      }
+      return r;
+    }
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= stop * 1e-3) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(1.0 + theta * theta)), theta);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  throw ConvergenceError("jacobi_eigen: did not converge");
+}
+
+std::vector<double> symmetric_eigenvalues(const Matrix& a,
+                                          const JacobiEigenOptions& options) {
+  return jacobi_eigen(a, options).values;
+}
+
+}  // namespace hetero::linalg

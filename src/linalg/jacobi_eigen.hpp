@@ -1,0 +1,39 @@
+// Symmetric eigensolver via classical (two-sided) Jacobi rotations.
+//
+// Used as an independent cross-check of the SVD: the squared singular values
+// of A must equal the eigenvalues of A^T A. Also generally useful for
+// spectral analysis of Gram matrices of ECS columns (column correlation, the
+// quantity TMA abstracts).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hetero::linalg {
+
+/// Eigendecomposition A = V * diag(values) * V^T of a symmetric matrix,
+/// eigenvalues sorted descending; V columns are the eigenvectors.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+struct JacobiEigenOptions {
+  /// Stop when the largest off-diagonal magnitude falls below
+  /// tol * frobenius_norm(A).
+  double tol = 1e-13;
+  std::size_t max_sweeps = 60;
+};
+
+/// Eigendecomposition of a symmetric matrix. Throws ValueError if the input
+/// is not square or not symmetric (to 1e-10 relative), ConvergenceError on
+/// sweep exhaustion.
+EigenResult jacobi_eigen(const Matrix& a, const JacobiEigenOptions& options = {});
+
+/// Eigenvalues only, sorted descending.
+std::vector<double> symmetric_eigenvalues(const Matrix& a,
+                                          const JacobiEigenOptions& options = {});
+
+}  // namespace hetero::linalg

@@ -1,0 +1,90 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace hetero::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
+  detail::require_value(a.rows() == a.cols(), "lu: matrix must be square");
+  detail::require_value(!a.has_nonfinite(), "lu: non-finite entries");
+  const std::size_t n = a.rows();
+  piv_.resize(n);
+  std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t p = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(lu_(i, k)) > std::abs(lu_(p, k))) p = i;
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(p, j), lu_(k, j));
+      std::swap(piv_[p], piv_[k]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot = lu_(k, k);
+    if (pivot == 0.0) {
+      singular_ = true;
+      continue;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) /= pivot;
+      const double lik = lu_(i, k);
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= lik * lu_(k, j);
+    }
+  }
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = pivot_sign_;
+  for (std::size_t k = 0; k < lu_.rows(); ++k) det *= lu_(k, k);
+  return det;
+}
+
+std::vector<double> LuDecomposition::solve(std::span<const double> b) const {
+  detail::require_value(!singular_, "lu::solve: singular matrix");
+  detail::require_dims(b.size() == lu_.rows(), "lu::solve: size mismatch");
+  const std::size_t n = lu_.rows();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
+    x[ii] /= lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  detail::require_dims(b.rows() == lu_.rows(), "lu::solve: row mismatch");
+  Matrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const auto xj = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(lu_.rows()));
+}
+
+std::vector<double> solve(const Matrix& a, std::span<const double> b) {
+  return LuDecomposition(a).solve(b);
+}
+
+double determinant(const Matrix& a) { return LuDecomposition(a).determinant(); }
+
+Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
+
+}  // namespace hetero::linalg

@@ -1,0 +1,53 @@
+// LU factorization with partial pivoting: linear solves, determinants, and
+// inverses for the small dense systems that appear in regression and
+// analysis workflows built on the library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hetero::linalg {
+
+/// PA = LU factorization of a square matrix (partial pivoting).
+class LuDecomposition {
+ public:
+  /// Factorizes `a`. Throws ValueError if `a` is not square or contains
+  /// non-finite entries. Singularity is detected lazily: `is_singular()`
+  /// reports it, and solve()/inverse() throw on singular systems.
+  explicit LuDecomposition(const Matrix& a);
+
+  bool is_singular() const noexcept { return singular_; }
+
+  /// det(A) (0 for singular inputs). Sign accounts for row swaps.
+  double determinant() const;
+
+  /// Solves A x = b. Throws DimensionError on size mismatch, ValueError if
+  /// singular.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// A^{-1}. Throws ValueError if singular.
+  Matrix inverse() const;
+
+ private:
+  Matrix lu_;                     // packed L (unit diag) and U
+  std::vector<std::size_t> piv_;  // row permutation
+  int pivot_sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience: solve A x = b in one call.
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+/// Convenience: det(A).
+double determinant(const Matrix& a);
+
+/// Convenience: A^{-1}.
+Matrix inverse(const Matrix& a);
+
+}  // namespace hetero::linalg

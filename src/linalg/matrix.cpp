@@ -1,0 +1,274 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+namespace hetero::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  detail::require_dims((rows == 0) == (cols == 0),
+                       "Matrix: one dimension is zero but not the other");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    detail::require_dims(r.size() == cols_,
+                         "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::from_row_major(std::size_t rows, std::size_t cols,
+                              std::span<const double> data) {
+  detail::require_dims(data.size() == rows * cols,
+                       "from_row_major: buffer size != rows*cols");
+  Matrix m(rows, cols);
+  std::copy(data.begin(), data.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> diag) {
+  Matrix m(diag.size(), diag.size(), 0.0);
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  detail::require_dims(i < rows_ && j < cols_, "Matrix::at: index out of range");
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  detail::require_dims(i < rows_ && j < cols_, "Matrix::at: index out of range");
+  return (*this)(i, j);
+}
+
+std::span<double> Matrix::row(std::size_t i) {
+  detail::require_dims(i < rows_, "Matrix::row: index out of range");
+  return {data_.data() + i * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t i) const {
+  detail::require_dims(i < rows_, "Matrix::row: index out of range");
+  return {data_.data() + i * cols_, cols_};
+}
+
+std::vector<double> Matrix::col(std::size_t j) const {
+  detail::require_dims(j < cols_, "Matrix::col: index out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+double Matrix::row_sum(std::size_t i) const {
+  const auto r = row(i);
+  return std::accumulate(r.begin(), r.end(), 0.0);
+}
+
+double Matrix::col_sum(std::size_t j) const {
+  detail::require_dims(j < cols_, "Matrix::col_sum: index out of range");
+  double s = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, j);
+  return s;
+}
+
+std::vector<double> Matrix::row_sums() const {
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = row_sum(i);
+  return out;
+}
+
+std::vector<double> Matrix::col_sums() const {
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += (*this)(i, j);
+  return out;
+}
+
+double Matrix::total() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Matrix::min() const {
+  detail::require_value(!empty(), "Matrix::min: empty matrix");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::max() const {
+  detail::require_value(!empty(), "Matrix::max: empty matrix");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix Matrix::submatrix(std::span<const std::size_t> row_idx,
+                         std::span<const std::size_t> col_idx) const {
+  Matrix s(row_idx.size(), col_idx.size());
+  for (std::size_t i = 0; i < row_idx.size(); ++i) {
+    detail::require_dims(row_idx[i] < rows_, "submatrix: row index out of range");
+    for (std::size_t j = 0; j < col_idx.size(); ++j) {
+      detail::require_dims(col_idx[j] < cols_,
+                           "submatrix: column index out of range");
+      s(i, j) = (*this)(row_idx[i], col_idx[j]);
+    }
+  }
+  return s;
+}
+
+Matrix Matrix::permuted(std::span<const std::size_t> row_perm,
+                        std::span<const std::size_t> col_perm) const {
+  detail::require_dims(row_perm.size() == rows_ && col_perm.size() == cols_,
+                       "permuted: permutation size mismatch");
+  return submatrix(row_perm, col_perm);
+}
+
+void Matrix::scale_row(std::size_t i, double s) {
+  for (double& x : row(i)) x *= s;
+}
+
+void Matrix::scale_col(std::size_t j, double s) {
+  detail::require_dims(j < cols_, "scale_col: index out of range");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) *= s;
+}
+
+bool Matrix::all_positive() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](double x) { return x > 0.0; });
+}
+
+bool Matrix::all_nonnegative() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](double x) { return x >= 0.0; });
+}
+
+bool Matrix::has_nonfinite() const {
+  return std::any_of(data_.begin(), data_.end(),
+                     [](double x) { return !std::isfinite(x); });
+}
+
+std::size_t Matrix::zero_count() const {
+  return static_cast<std::size_t>(
+      std::count(data_.begin(), data_.end(), 0.0));
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  detail::require_dims(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                       "operator+=: shape mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  detail::require_dims(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                       "operator-=: shape mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix& Matrix::operator/=(double s) {
+  detail::require_value(s != 0.0, "operator/=: division by zero");
+  return *this *= 1.0 / s;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+Matrix operator/(Matrix a, double s) { return a /= s; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  detail::require_dims(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // ikj loop order: streams through b and c rows contiguously.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  detail::require_dims(a.cols() == x.size(), "matvec: dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    const auto r = a.row(i);
+    for (std::size_t j = 0; j < x.size(); ++j) s += r[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols(), 0.0);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const auto r = a.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double rki = r[i];
+      if (rki == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += rki * r[j];
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  detail::require_dims(a.rows() == b.rows() && a.cols() == b.cols(),
+                       "max_abs_diff: shape mismatch");
+  double d = 0.0;
+  for (std::size_t k = 0; k < a.data().size(); ++k)
+    d = std::max(d, std::abs(a.data()[k] - b.data()[k]));
+  return d;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return max_abs_diff(a, b) <= tol;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  for (double x : a.data()) s += x * x;
+  return std::sqrt(s);
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << "x" << m.cols() << ")[";
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    os << (i == 0 ? "[" : " [");
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      os << m(i, j) << (j + 1 < m.cols() ? ", " : "");
+    os << "]" << (i + 1 < m.rows() ? "\n" : "");
+  }
+  return os << "]";
+}
+
+}  // namespace hetero::linalg

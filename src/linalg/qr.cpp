@@ -1,0 +1,135 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/error.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::linalg {
+
+QrResult qr(const Matrix& a) {
+  detail::require_value(a.rows() >= a.cols() && !a.empty(),
+                        "qr: need rows >= cols > 0");
+  detail::require_value(!a.has_nonfinite(), "qr: non-finite entries");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  Matrix work = a;
+  Matrix q = Matrix::identity(m);  // full Q accumulated, trimmed at the end
+
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += work(i, k) * work(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = work(k, k) >= 0 ? -norm : norm;
+    std::vector<double> v(m, 0.0);
+    v[k] = work(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i] = work(i, k);
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // work = (I - beta v v^T) work
+    for (std::size_t j = k; j < n; ++j) {
+      double d = 0.0;
+      for (std::size_t i = k; i < m; ++i) d += v[i] * work(i, j);
+      const double s = beta * d;
+      for (std::size_t i = k; i < m; ++i) work(i, j) -= s * v[i];
+    }
+    // q = q (I - beta v v^T)
+    for (std::size_t i = 0; i < m; ++i) {
+      double d = 0.0;
+      for (std::size_t l = k; l < m; ++l) d += q(i, l) * v[l];
+      const double s = beta * d;
+      for (std::size_t l = k; l < m; ++l) q(i, l) -= s * v[l];
+    }
+  }
+
+  QrResult result;
+  result.r = Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) result.r(i, j) = work(i, j);
+  result.q = Matrix(m, n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) result.q(i, j) = q(i, j);
+  return result;
+}
+
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b) {
+  detail::require_dims(b.size() == a.rows(), "least_squares: size mismatch");
+  const QrResult f = qr(a);
+  const std::size_t n = a.cols();
+  // Rank check on R's diagonal.
+  double rmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    rmax = std::max(rmax, std::abs(f.r(i, i)));
+  for (std::size_t i = 0; i < n; ++i)
+    detail::require_value(std::abs(f.r(i, i)) > 1e-12 * std::max(rmax, 1.0),
+                          "least_squares: rank-deficient system");
+  // x = R^{-1} Q^T b.
+  std::vector<double> qtb(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) s += f.q(i, j) * b[i];
+    qtb[j] = s;
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= f.r(ii, j) * x[j];
+    x[ii] = s / f.r(ii, ii);
+  }
+  return x;
+}
+
+LinearFit fit_linear(const Matrix& predictors, std::span<const double> response) {
+  const std::size_t n = predictors.rows();
+  const std::size_t k = predictors.cols();
+  detail::require_dims(response.size() == n, "fit_linear: size mismatch");
+  detail::require_value(n > k + 1, "fit_linear: need more samples than terms");
+
+  Matrix design(n, k + 1, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) design(i, j + 1) = predictors(i, j);
+
+  LinearFit fit;
+  fit.coefficients = least_squares(design, response);
+
+  const double y_mean = mean(response);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = fit.coefficients[0];
+    for (std::size_t j = 0; j < k; ++j)
+      pred += fit.coefficients[j + 1] * predictors(i, j);
+    ss_res += (response[i] - pred) * (response[i] - pred);
+    ss_tot += (response[i] - y_mean) * (response[i] - y_mean);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double condition_number(const Matrix& a) {
+  const auto sigma = singular_values(a);
+  if (sigma.back() == 0.0) return std::numeric_limits<double>::infinity();
+  return sigma.front() / sigma.back();
+}
+
+Matrix pseudo_inverse(const Matrix& a, double rel_tol) {
+  const SvdResult f = svd(a);
+  const double cutoff =
+      rel_tol * (f.singular_values.empty() ? 0.0 : f.singular_values.front());
+  // pinv = V diag(1/sigma) U^T over significant singular values.
+  Matrix vs = f.v;
+  for (std::size_t j = 0; j < f.singular_values.size(); ++j) {
+    const double s = f.singular_values[j];
+    vs.scale_col(j, s > cutoff && s > 0.0 ? 1.0 / s : 0.0);
+  }
+  return matmul(vs, f.u.transposed());
+}
+
+}  // namespace hetero::linalg

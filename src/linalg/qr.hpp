@@ -1,0 +1,48 @@
+// Householder QR and least squares.
+//
+// Used by the application studies to regress scheduling outcomes on the
+// heterogeneity measures (multiple linear regression), and generally
+// useful alongside the SVD for analysis on top of ECS matrices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hetero::linalg {
+
+/// Thin QR of an m x n matrix with m >= n: A = Q R, Q m x n with
+/// orthonormal columns, R n x n upper triangular.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder QR. Throws ValueError when m < n or entries are non-finite.
+QrResult qr(const Matrix& a);
+
+/// Least-squares solution of min_x ||A x - b||_2 for m >= n with full
+/// column rank. Throws ValueError on rank deficiency (tiny R diagonal).
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b);
+
+/// Ordinary least-squares fit with an intercept: y ~ b0 + b1 x1 + ...
+/// Returns the coefficient vector [b0, b1, ..., bk] and the R^2 of the fit.
+struct LinearFit {
+  std::vector<double> coefficients;
+  double r_squared = 0.0;
+};
+
+/// `predictors` is an n_samples x k matrix; `response` has n_samples
+/// entries. Requires n_samples > k + 1.
+LinearFit fit_linear(const Matrix& predictors, std::span<const double> response);
+
+/// 2-norm condition number sigma_max / sigma_min (infinity when singular).
+double condition_number(const Matrix& a);
+
+/// Moore-Penrose pseudoinverse via the SVD; singular values below
+/// rel_tol * sigma_max are treated as zero.
+Matrix pseudo_inverse(const Matrix& a, double rel_tol = 1e-12);
+
+}  // namespace hetero::linalg

@@ -1,0 +1,101 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace hetero::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  detail::require_dims(a.size() == b.size(), "dot: length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+double sum(std::span<const double> v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double mean(std::span<const double> v) {
+  detail::require_value(!v.empty(), "mean: empty input");
+  return sum(v) / static_cast<double>(v.size());
+}
+
+double stddev_population(std::span<const double> v) {
+  const double mu = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double stddev_sample(std::span<const double> v) {
+  detail::require_value(v.size() >= 2, "stddev_sample: need at least 2 values");
+  const double mu = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double geometric_mean(std::span<const double> v) {
+  detail::require_value(!v.empty(), "geometric_mean: empty input");
+  double log_sum = 0.0;
+  for (double x : v) {
+    detail::require_value(x > 0.0, "geometric_mean: non-positive entry");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+double coefficient_of_variation(std::span<const double> v) {
+  const double mu = mean(v);
+  detail::require_value(mu != 0.0, "coefficient_of_variation: zero mean");
+  return stddev_population(v) / mu;
+}
+
+std::vector<std::size_t> ascending_order(std::span<const double> v) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  return idx;
+}
+
+std::vector<double> sorted_ascending(std::span<const double> v) {
+  std::vector<double> out(v.begin(), v.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_ascending(std::span<const double> v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+std::vector<std::size_t> identity_permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  return p;
+}
+
+bool is_permutation_vector(std::span<const std::size_t> p) {
+  std::vector<bool> seen(p.size(), false);
+  for (std::size_t x : p) {
+    if (x >= p.size() || seen[x]) return false;
+    seen[x] = true;
+  }
+  return true;
+}
+
+std::vector<std::size_t> inverse_permutation(std::span<const std::size_t> p) {
+  detail::require_value(is_permutation_vector(p),
+                        "inverse_permutation: not a permutation");
+  std::vector<std::size_t> inv(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) inv[p[i]] = i;
+  return inv;
+}
+
+}  // namespace hetero::linalg

@@ -1,0 +1,55 @@
+// Small vector utilities shared across the library: norms, statistics,
+// sorting permutations. These underpin the heterogeneity measures (which are
+// statistics over machine-performance / task-difficulty vectors).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetero::linalg {
+
+/// Dot product. Throws DimensionError on length mismatch.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (2-) norm.
+double norm2(std::span<const double> v);
+
+/// Sum of entries.
+double sum(std::span<const double> v);
+
+/// Arithmetic mean. Throws ValueError on empty input.
+double mean(std::span<const double> v);
+
+/// Population standard deviation (divides by n, matching the paper's COV
+/// values in Figure 2). Throws ValueError on empty input.
+double stddev_population(std::span<const double> v);
+
+/// Sample standard deviation (divides by n-1). Throws ValueError if n < 2.
+double stddev_sample(std::span<const double> v);
+
+/// Geometric mean. All entries must be positive.
+double geometric_mean(std::span<const double> v);
+
+/// Coefficient of variation: population stddev / mean. Mean must be nonzero.
+double coefficient_of_variation(std::span<const double> v);
+
+/// Indices that sort `v` ascending (stable).
+std::vector<std::size_t> ascending_order(std::span<const double> v);
+
+/// Returns v sorted ascending.
+std::vector<double> sorted_ascending(std::span<const double> v);
+
+/// True if v is sorted ascending (non-strict).
+bool is_ascending(std::span<const double> v);
+
+/// The identity permutation [0, 1, ..., n-1].
+std::vector<std::size_t> identity_permutation(std::size_t n);
+
+/// Inverse of a permutation. Throws ValueError if p is not a permutation.
+std::vector<std::size_t> inverse_permutation(std::span<const std::size_t> p);
+
+/// True if p is a permutation of [0, n).
+bool is_permutation_vector(std::span<const std::size_t> p);
+
+}  // namespace hetero::linalg

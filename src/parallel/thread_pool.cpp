@@ -1,0 +1,55 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace hetero::par {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0)
+    thread_count = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i)
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // jthread destructors join; worker_loop drains the queue before exiting.
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and no work left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& f,
+                  std::size_t grain) {
+  detail::require_value(grain > 0, "parallel_for: grain must be positive");
+  if (begin >= end) return;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve((end - begin + grain - 1) / grain);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    futures.push_back(pool.submit([&f, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+    }));
+  }
+  for (auto& fut : futures) fut.get();  // rethrows the first failure
+}
+
+}  // namespace hetero::par

@@ -1,0 +1,64 @@
+// Minimal fixed-size thread pool (C++20, std::jthread).
+//
+// Used by the measure-targeted generator's annealing restarts and the
+// Monte-Carlo benches. Follows the CppCoreGuidelines concurrency rules:
+// joining threads (jthread), no detach, state shared only through the
+// mutex-protected queue, exceptions surfaced to the waiter via futures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetero::par {
+
+/// Fixed-size worker pool. Destruction drains outstanding work (submitted
+/// tasks always run) and joins every worker.
+class ThreadPool {
+ public:
+  /// Creates `thread_count` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; the future delivers its result (or exception).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;  // last member: joins before the rest die
+};
+
+/// Runs f(i) for i in [begin, end) across the pool, blocking until all
+/// iterations finish. Exceptions from any iteration are rethrown (first
+/// one wins). `grain` iterations are handed to a worker at a time.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& f,
+                  std::size_t grain = 1);
+
+}  // namespace hetero::par

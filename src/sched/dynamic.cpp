@@ -1,0 +1,243 @@
+#include "sched/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace hetero::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate_arrivals(const core::EtcMatrix& etc,
+                       const std::vector<Arrival>& arrivals) {
+  for (const Arrival& a : arrivals) {
+    detail::require_value(a.time >= 0.0 && std::isfinite(a.time),
+                          "dynamic: arrival time must be finite and >= 0");
+    detail::require_dims(a.type < etc.task_count(),
+                         "dynamic: task type out of range");
+  }
+}
+
+// Indices of arrivals sorted by time (stable: ties keep input order).
+std::vector<std::size_t> time_order(const std::vector<Arrival>& arrivals) {
+  std::vector<std::size_t> order(arrivals.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return arrivals[a].time < arrivals[b].time;
+                   });
+  return order;
+}
+
+DynamicResult finish(const std::vector<Arrival>& arrivals,
+                     std::vector<double> completion,
+                     std::vector<std::size_t> assignment) {
+  DynamicResult r;
+  r.assignment = std::move(assignment);
+  if (arrivals.empty()) return r;
+  double flow_sum = 0.0;
+  for (std::size_t k = 0; k < arrivals.size(); ++k) {
+    r.makespan = std::max(r.makespan, completion[k]);
+    const double flow = completion[k] - arrivals[k].time;
+    flow_sum += flow;
+    r.max_flow_time = std::max(r.max_flow_time, flow);
+  }
+  r.mean_flow_time = flow_sum / static_cast<double>(arrivals.size());
+  return r;
+}
+
+}  // namespace
+
+std::vector<Arrival> poisson_arrivals(const core::EtcMatrix& etc, double rate,
+                                      std::size_t count, etcgen::Rng& rng) {
+  detail::require_value(rate > 0.0, "poisson_arrivals: rate must be positive");
+  std::exponential_distribution<double> gap(rate);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(count);
+  double t = 0.0;
+  for (std::size_t k = 0; k < count; ++k) {
+    t += gap(rng);
+    arrivals.push_back({t, etcgen::uniform_index(rng, etc.task_count())});
+  }
+  return arrivals;
+}
+
+DynamicResult simulate_immediate(const core::EtcMatrix& etc,
+                                 const std::vector<Arrival>& arrivals,
+                                 ImmediateMode mode,
+                                 const DynamicOptions& options) {
+  validate_arrivals(etc, arrivals);
+  detail::require_value(options.kpb_fraction > 0.0 &&
+                            options.kpb_fraction <= 1.0,
+                        "dynamic: kpb_fraction must be in (0, 1]");
+  detail::require_value(options.switch_low >= 0.0 &&
+                            options.switch_low < options.switch_high &&
+                            options.switch_high <= 1.0,
+                        "dynamic: need 0 <= switch_low < switch_high <= 1");
+
+  const std::size_t m = etc.machine_count();
+  std::vector<double> ready(m, 0.0);
+  std::vector<double> completion(arrivals.size(), 0.0);
+  std::vector<std::size_t> assignment(arrivals.size(), 0);
+  // Switching-algorithm state: begin in MCT (balances an empty system).
+  bool switching_in_met = false;
+
+  for (const std::size_t k : time_order(arrivals)) {
+    const Arrival& a = arrivals[k];
+
+    ImmediateMode effective = mode;
+    if (mode == ImmediateMode::switching) {
+      // Balance index at this arrival: 1 = perfectly balanced queues.
+      double lo = kInf, hi = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double backlog = std::max(ready[j] - a.time, 0.0);
+        lo = std::min(lo, backlog);
+        hi = std::max(hi, backlog);
+      }
+      const double balance = hi == 0.0 ? 1.0 : lo / hi;
+      if (balance > options.switch_high) switching_in_met = true;
+      if (balance < options.switch_low) switching_in_met = false;
+      effective = switching_in_met ? ImmediateMode::met : ImmediateMode::mct;
+    }
+
+    // Runnable machines, optionally restricted to the k-percent best by ETC.
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j < m; ++j)
+      if (!std::isinf(etc(a.type, j))) candidates.push_back(j);
+    if (mode == ImmediateMode::kpb && candidates.size() > 1) {
+      std::sort(candidates.begin(), candidates.end(),
+                [&](std::size_t x, std::size_t y) {
+                  return etc(a.type, x) < etc(a.type, y);
+                });
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(
+                 options.kpb_fraction *
+                 static_cast<double>(candidates.size()))));
+      candidates.resize(keep);
+    }
+
+    std::size_t best = candidates.front();
+    double best_key = kInf;
+    for (const std::size_t j : candidates) {
+      double key = 0.0;
+      switch (effective) {
+        case ImmediateMode::olb:
+          key = std::max(a.time, ready[j]);
+          break;
+        case ImmediateMode::met:
+          key = etc(a.type, j);
+          break;
+        case ImmediateMode::mct:
+        case ImmediateMode::kpb:
+        case ImmediateMode::switching:  // resolved to met/mct above
+          key = std::max(a.time, ready[j]) + etc(a.type, j);
+          break;
+      }
+      if (key < best_key) {
+        best_key = key;
+        best = j;
+      }
+    }
+
+    const double start = std::max(a.time, ready[best]);
+    ready[best] = start + etc(a.type, best);
+    completion[k] = ready[best];
+    assignment[k] = best;
+  }
+  return finish(arrivals, std::move(completion), std::move(assignment));
+}
+
+DynamicResult simulate_batch(const core::EtcMatrix& etc,
+                             const std::vector<Arrival>& arrivals,
+                             BatchHeuristic heuristic) {
+  validate_arrivals(etc, arrivals);
+  const std::size_t m = etc.machine_count();
+
+  // committed[j]: the time machine j finishes all *started* work.
+  std::vector<double> committed(m, 0.0);
+  // Planned queues from the last Min-Min pass: arrival indices per machine.
+  std::vector<std::deque<std::size_t>> plan(m);
+  std::vector<double> completion(arrivals.size(), 0.0);
+  std::vector<std::size_t> assignment(arrivals.size(), 0);
+  std::vector<std::size_t> pending;  // arrived, not started
+
+  const auto advance_to = [&](double now) {
+    // Start planned work whose start instant falls strictly before `now`.
+    for (std::size_t j = 0; j < m; ++j) {
+      while (!plan[j].empty()) {
+        const std::size_t k = plan[j].front();
+        const double start = std::max(committed[j], arrivals[k].time);
+        if (start >= now) break;
+        plan[j].pop_front();
+        committed[j] = start + etc(arrivals[k].type, j);
+        completion[k] = committed[j];
+        assignment[k] = j;
+        pending.erase(std::find(pending.begin(), pending.end(), k));
+      }
+    }
+  };
+
+  const auto remap = [&](double now) {
+    for (auto& q : plan) q.clear();
+    std::vector<double> ready = committed;
+    for (double& r : ready) r = std::max(r, now);
+    std::vector<std::size_t> unmapped = pending;
+    while (!unmapped.empty()) {
+      // Priority of a candidate: Min-Min wants the smallest best completion
+      // time; Sufferage wants the largest gap between best and second-best.
+      double best_priority = -kInf;
+      std::size_t best_pos = 0, best_machine = 0;
+      for (std::size_t pos = 0; pos < unmapped.size(); ++pos) {
+        const std::size_t type = arrivals[unmapped[pos]].type;
+        double ct1 = kInf, ct2 = kInf;
+        std::size_t machine1 = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+          const double e = etc(type, j);
+          if (std::isinf(e)) continue;
+          const double ct = ready[j] + e;
+          if (ct < ct1) {
+            ct2 = ct1;
+            ct1 = ct;
+            machine1 = j;
+          } else {
+            ct2 = std::min(ct2, ct);
+          }
+        }
+        const double priority =
+            heuristic == BatchHeuristic::min_min
+                ? -ct1
+                : (std::isinf(ct2) ? kInf : ct2 - ct1);
+        if (priority > best_priority) {
+          best_priority = priority;
+          best_pos = pos;
+          best_machine = machine1;
+        }
+      }
+      const std::size_t k = unmapped[best_pos];
+      plan[best_machine].push_back(k);
+      ready[best_machine] += etc(arrivals[k].type, best_machine);
+      unmapped.erase(unmapped.begin() + static_cast<std::ptrdiff_t>(best_pos));
+    }
+  };
+
+  for (const std::size_t k : time_order(arrivals)) {
+    const double now = arrivals[k].time;
+    advance_to(now);
+    pending.push_back(k);
+    remap(now);
+  }
+  advance_to(kInf);  // drain everything
+  return finish(arrivals, std::move(completion), std::move(assignment));
+}
+
+DynamicResult simulate_batch_min_min(const core::EtcMatrix& etc,
+                                     const std::vector<Arrival>& arrivals) {
+  return simulate_batch(etc, arrivals, BatchHeuristic::min_min);
+}
+
+}  // namespace hetero::sched

@@ -1,0 +1,87 @@
+// Dynamic (arrival-driven) mapping simulator.
+//
+// The static heuristics of heuristics.hpp map a known batch; real HC
+// systems map tasks as they arrive (Maheswaran et al.'s immediate mode vs
+// batch mode). This event-driven simulator exercises the same ETC
+// environments under online arrival processes, so heterogeneity/heuristic
+// interactions can be studied for dynamic workloads too (the application
+// benches use it to extend the paper's application (b)).
+//
+// Model: machines execute their queues FIFO and never idle while work is
+// queued. Immediate mode assigns each task at its arrival instant; batch
+// mode re-runs Min-Min over all not-yet-started tasks at every scheduling
+// event (task arrival), allowing queued work to be remapped.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "etcgen/rng.hpp"
+#include "sched/makespan.hpp"
+
+namespace hetero::sched {
+
+/// One dynamically arriving task instance.
+struct Arrival {
+  double time = 0.0;       // arrival instant (>= 0)
+  std::size_t type = 0;    // ETC row
+};
+
+/// Poisson arrival process over uniformly-random task types: `count` tasks
+/// with exponential(rate) inter-arrival times.
+std::vector<Arrival> poisson_arrivals(const core::EtcMatrix& etc, double rate,
+                                      std::size_t count, etcgen::Rng& rng);
+
+/// Immediate-mode heuristics (assign-on-arrival).
+enum class ImmediateMode {
+  olb,        // earliest-available machine, execution-time blind
+  met,        // minimum execution time, availability blind
+  mct,        // minimum completion time
+  kpb,        // k-percent best: MCT restricted to the best k% machines by ETC
+  switching,  // Maheswaran et al.'s Switching Algorithm: alternate MET/MCT
+              // driven by the load-balance index (min ready / max ready)
+};
+
+struct DynamicOptions {
+  /// KPB machine fraction in (0, 1]; 0.5 keeps the better half.
+  double kpb_fraction = 0.5;
+  /// Switching thresholds on the balance index min(ready)/max(ready):
+  /// switch to MET when balance rises above `switch_high` (system balanced,
+  /// exploit raw speed), back to MCT when it falls below `switch_low`.
+  /// Requires 0 <= switch_low < switch_high <= 1.
+  double switch_low = 0.3;
+  double switch_high = 0.7;
+};
+
+/// Per-run outcomes.
+struct DynamicResult {
+  double makespan = 0.0;        // completion time of the last task
+  double mean_flow_time = 0.0;  // mean of (completion - arrival)
+  double max_flow_time = 0.0;
+  std::vector<std::size_t> assignment;  // machine per arrival (input order)
+};
+
+/// Simulates immediate-mode mapping. Arrivals need not be sorted; they are
+/// processed in time order. Throws ValueError on negative times or bad
+/// task types.
+DynamicResult simulate_immediate(const core::EtcMatrix& etc,
+                                 const std::vector<Arrival>& arrivals,
+                                 ImmediateMode mode,
+                                 const DynamicOptions& options = {});
+
+/// Batch-mode mapping heuristics (applied to the pending set at every
+/// scheduling event).
+enum class BatchHeuristic { min_min, sufferage };
+
+/// Simulates batch-mode mapping: at each arrival, all tasks that have not
+/// yet *started* are remapped with the chosen heuristic against current
+/// machine ready times (a standard batch-mode regime).
+DynamicResult simulate_batch(const core::EtcMatrix& etc,
+                             const std::vector<Arrival>& arrivals,
+                             BatchHeuristic heuristic);
+
+/// Convenience wrapper for BatchHeuristic::min_min.
+DynamicResult simulate_batch_min_min(const core::EtcMatrix& etc,
+                                     const std::vector<Arrival>& arrivals);
+
+}  // namespace hetero::sched

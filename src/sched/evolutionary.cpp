@@ -1,0 +1,110 @@
+#include "sched/evolutionary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "etcgen/anneal.hpp"
+#include "sched/heuristics.hpp"
+
+namespace hetero::sched {
+namespace {
+
+// Random machine able to run the task.
+std::size_t random_valid_machine(const core::EtcMatrix& etc, std::size_t task,
+                                 etcgen::Rng& rng) {
+  std::size_t j = 0;
+  do {
+    j = etcgen::uniform_index(rng, etc.machine_count());
+  } while (std::isinf(etc(task, j)));
+  return j;
+}
+
+}  // namespace
+
+Assignment map_simulated_annealing(const core::EtcMatrix& etc,
+                                   const TaskList& tasks,
+                                   const SaMapperOptions& options) {
+  etcgen::Rng rng = etcgen::make_rng(options.seed);
+  Assignment initial;
+  if (options.seed_with_min_min) {
+    initial = map_min_min(etc, tasks);
+  } else {
+    initial = map_random(etc, tasks, rng);
+  }
+  if (tasks.empty()) return initial;
+
+  const double scale = std::max(makespan(etc, tasks, initial), 1e-12);
+  const std::function<double(const Assignment&)> energy =
+      [&](const Assignment& a) { return makespan(etc, tasks, a) / scale; };
+  const std::function<Assignment(const Assignment&, double, etcgen::Rng&)>
+      neighbor = [&](const Assignment& a, double /*temp*/, etcgen::Rng& r) {
+        Assignment out = a;
+        const std::size_t k = etcgen::uniform_index(r, out.size());
+        out[k] = random_valid_machine(etc, tasks[k], r);
+        return out;
+      };
+
+  etcgen::AnnealOptions anneal;
+  anneal.iterations = options.iterations;
+  anneal.t0 = 0.1;
+  anneal.t1 = 1e-6;
+  return etcgen::simulated_annealing<Assignment>(initial, energy, neighbor,
+                                                 anneal, rng)
+      .first;
+}
+
+Assignment map_genetic(const core::EtcMatrix& etc, const TaskList& tasks,
+                       const GaMapperOptions& options) {
+  etcgen::Rng rng = etcgen::make_rng(options.seed);
+  if (tasks.empty()) return {};
+
+  const std::size_t pop_size = std::max<std::size_t>(4, options.population);
+  std::vector<Assignment> population;
+  population.reserve(pop_size);
+  if (options.seed_with_min_min) population.push_back(map_min_min(etc, tasks));
+  while (population.size() < pop_size)
+    population.push_back(map_random(etc, tasks, rng));
+
+  const auto fitness = [&](const Assignment& a) {
+    return makespan(etc, tasks, a);
+  };
+  std::vector<double> score(pop_size);
+  for (std::size_t i = 0; i < pop_size; ++i) score[i] = fitness(population[i]);
+
+  const auto tournament = [&]() -> const Assignment& {
+    const std::size_t a = etcgen::uniform_index(rng, pop_size);
+    const std::size_t b = etcgen::uniform_index(rng, pop_size);
+    return score[a] <= score[b] ? population[a] : population[b];
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Assignment> next;
+    next.reserve(pop_size);
+    // Elitism: carry the best chromosome over unchanged.
+    const std::size_t best_idx = static_cast<std::size_t>(
+        std::min_element(score.begin(), score.end()) - score.begin());
+    next.push_back(population[best_idx]);
+
+    while (next.size() < pop_size) {
+      Assignment child = tournament();
+      if (etcgen::uniform(rng, 0.0, 1.0) < options.crossover_rate) {
+        const Assignment& other = tournament();
+        const std::size_t cut = etcgen::uniform_index(rng, child.size());
+        for (std::size_t k = cut; k < child.size(); ++k) child[k] = other[k];
+      }
+      for (std::size_t k = 0; k < child.size(); ++k)
+        if (etcgen::uniform(rng, 0.0, 1.0) < options.mutation_rate)
+          child[k] = random_valid_machine(etc, tasks[k], rng);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    for (std::size_t i = 0; i < pop_size; ++i) score[i] = fitness(population[i]);
+  }
+
+  const std::size_t best_idx = static_cast<std::size_t>(
+      std::min_element(score.begin(), score.end()) - score.begin());
+  return population[best_idx];
+}
+
+}  // namespace hetero::sched

@@ -1,0 +1,41 @@
+// Search-based mappers from Braun et al. [6]: simulated annealing and a
+// genetic algorithm. Slower than the list heuristics but typically closer
+// to optimal; used as the quality yardstick in the application benches.
+#pragma once
+
+#include <cstdint>
+
+#include "etcgen/rng.hpp"
+#include "sched/makespan.hpp"
+
+namespace hetero::sched {
+
+struct SaMapperOptions {
+  std::size_t iterations = 20000;
+  std::uint64_t seed = 1;
+  /// Start from Min-Min (true) or from a random assignment (false).
+  bool seed_with_min_min = true;
+};
+
+/// Simulated-annealing mapper: neighbor = move one task to another machine.
+Assignment map_simulated_annealing(const core::EtcMatrix& etc,
+                                   const TaskList& tasks,
+                                   const SaMapperOptions& options = {});
+
+struct GaMapperOptions {
+  std::size_t population = 100;
+  std::size_t generations = 200;
+  double crossover_rate = 0.6;
+  double mutation_rate = 0.05;
+  std::uint64_t seed = 1;
+  /// Seed one chromosome with the Min-Min solution (elitist seeding, as in
+  /// Braun et al.).
+  bool seed_with_min_min = true;
+};
+
+/// Generational GA with tournament selection, single-point crossover,
+/// per-gene mutation, and elitism of the best chromosome.
+Assignment map_genetic(const core::EtcMatrix& etc, const TaskList& tasks,
+                       const GaMapperOptions& options = {});
+
+}  // namespace hetero::sched

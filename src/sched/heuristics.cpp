@@ -1,0 +1,187 @@
+#include "sched/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace hetero::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_tasks(const core::EtcMatrix& etc, const TaskList& tasks) {
+  for (std::size_t t : tasks)
+    detail::require_dims(t < etc.task_count(),
+                         "heuristic: task index out of range");
+}
+
+// Machine minimizing completion time load[j] + etc(t, j); infinite entries
+// are never chosen (every task has a finite entry by invariant).
+std::size_t best_machine(const core::EtcMatrix& etc,
+                         const std::vector<double>& load, std::size_t t) {
+  std::size_t best = 0;
+  double best_ct = kInf;
+  for (std::size_t j = 0; j < etc.machine_count(); ++j) {
+    const double e = etc(t, j);
+    if (std::isinf(e)) continue;
+    const double ct = load[j] + e;
+    if (ct < best_ct) {
+      best_ct = ct;
+      best = j;
+    }
+  }
+  return best;
+}
+
+// Batch-mode skeleton shared by Min-Min, Max-Min, and Sufferage: repeatedly
+// pick the "most critical" unmapped task per `priority` (higher wins) and
+// commit it to its best machine.
+template <typename PriorityFn>
+Assignment batch_mode(const core::EtcMatrix& etc, const TaskList& tasks,
+                      PriorityFn&& priority) {
+  std::vector<double> load(etc.machine_count(), 0.0);
+  Assignment assignment(tasks.size(), 0);
+  std::vector<bool> mapped(tasks.size(), false);
+
+  for (std::size_t round = 0; round < tasks.size(); ++round) {
+    double best_priority = -kInf;
+    std::size_t chosen = 0;
+    std::size_t chosen_machine = 0;
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      if (mapped[k]) continue;
+      const std::size_t j = best_machine(etc, load, tasks[k]);
+      const double p = priority(tasks[k], j, load);
+      if (p > best_priority) {
+        best_priority = p;
+        chosen = k;
+        chosen_machine = j;
+      }
+    }
+    assignment[chosen] = chosen_machine;
+    load[chosen_machine] += etc(tasks[chosen], chosen_machine);
+    mapped[chosen] = true;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+Assignment map_olb(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  std::vector<double> load(etc.machine_count(), 0.0);
+  Assignment assignment(tasks.size(), 0);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    // Earliest-available machine that can actually run the task.
+    std::size_t best = etc.machine_count();
+    for (std::size_t j = 0; j < etc.machine_count(); ++j) {
+      if (std::isinf(etc(tasks[k], j))) continue;
+      if (best == etc.machine_count() || load[j] < load[best]) best = j;
+    }
+    assignment[k] = best;
+    load[best] += etc(tasks[k], best);
+  }
+  return assignment;
+}
+
+Assignment map_met(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  Assignment assignment(tasks.size(), 0);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    std::size_t best = 0;
+    double best_e = kInf;
+    for (std::size_t j = 0; j < etc.machine_count(); ++j) {
+      if (etc(tasks[k], j) < best_e) {
+        best_e = etc(tasks[k], j);
+        best = j;
+      }
+    }
+    assignment[k] = best;
+  }
+  return assignment;
+}
+
+Assignment map_mct(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  std::vector<double> load(etc.machine_count(), 0.0);
+  Assignment assignment(tasks.size(), 0);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    const std::size_t j = best_machine(etc, load, tasks[k]);
+    assignment[k] = j;
+    load[j] += etc(tasks[k], j);
+  }
+  return assignment;
+}
+
+Assignment map_min_min(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  return batch_mode(etc, tasks,
+                    [&](std::size_t t, std::size_t j,
+                        const std::vector<double>& load) {
+                      return -(load[j] + etc(t, j));  // smallest CT first
+                    });
+}
+
+Assignment map_max_min(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  return batch_mode(etc, tasks,
+                    [&](std::size_t t, std::size_t j,
+                        const std::vector<double>& load) {
+                      return load[j] + etc(t, j);  // largest CT first
+                    });
+}
+
+Assignment map_sufferage(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  return batch_mode(
+      etc, tasks,
+      [&](std::size_t t, std::size_t best_j, const std::vector<double>& load) {
+        // Sufferage = second-best CT minus best CT.
+        double best_ct = kInf, second_ct = kInf;
+        for (std::size_t j = 0; j < etc.machine_count(); ++j) {
+          if (std::isinf(etc(t, j))) continue;
+          const double ct = load[j] + etc(t, j);
+          if (ct < best_ct) {
+            second_ct = best_ct;
+            best_ct = ct;
+          } else {
+            second_ct = std::min(second_ct, ct);
+          }
+        }
+        (void)best_j;
+        return std::isinf(second_ct) ? kInf : second_ct - best_ct;
+      });
+}
+
+Assignment map_duplex(const core::EtcMatrix& etc, const TaskList& tasks) {
+  Assignment a = map_min_min(etc, tasks);
+  Assignment b = map_max_min(etc, tasks);
+  return makespan(etc, tasks, a) <= makespan(etc, tasks, b) ? a : b;
+}
+
+Assignment map_random(const core::EtcMatrix& etc, const TaskList& tasks,
+                      etcgen::Rng& rng) {
+  check_tasks(etc, tasks);
+  Assignment assignment(tasks.size(), 0);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    std::size_t j = 0;
+    do {
+      j = etcgen::uniform_index(rng, etc.machine_count());
+    } while (std::isinf(etc(tasks[k], j)));
+    assignment[k] = j;
+  }
+  return assignment;
+}
+
+const std::vector<Heuristic>& standard_heuristics() {
+  static const std::vector<Heuristic> heuristics = {
+      {"OLB", map_olb},           {"MET", map_met},
+      {"MCT", map_mct},           {"Min-Min", map_min_min},
+      {"Max-Min", map_max_min},   {"Sufferage", map_sufferage},
+      {"Duplex", map_duplex},
+  };
+  return heuristics;
+}
+
+}  // namespace hetero::sched

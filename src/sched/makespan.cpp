@@ -1,0 +1,58 @@
+#include "sched/makespan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace hetero::sched {
+
+TaskList one_of_each(const core::EtcMatrix& etc) {
+  TaskList tasks(etc.task_count());
+  std::iota(tasks.begin(), tasks.end(), std::size_t{0});
+  return tasks;
+}
+
+std::vector<double> machine_loads(const core::EtcMatrix& etc,
+                                  const TaskList& tasks,
+                                  const Assignment& assignment) {
+  detail::require_dims(assignment.size() == tasks.size(),
+                       "machine_loads: assignment/task size mismatch");
+  std::vector<double> loads(etc.machine_count(), 0.0);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    detail::require_dims(tasks[k] < etc.task_count(),
+                         "machine_loads: task index out of range");
+    detail::require_dims(assignment[k] < etc.machine_count(),
+                         "machine_loads: machine index out of range");
+    loads[assignment[k]] += etc(tasks[k], assignment[k]);
+  }
+  return loads;
+}
+
+double makespan(const core::EtcMatrix& etc, const TaskList& tasks,
+                const Assignment& assignment) {
+  const auto loads = machine_loads(etc, tasks, assignment);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+double makespan_lower_bound(const core::EtcMatrix& etc, const TaskList& tasks) {
+  // Bound 1: every task needs at least its fastest execution time.
+  double max_fastest = 0.0;
+  double total_fastest_work = 0.0;
+  for (std::size_t t : tasks) {
+    double fastest = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < etc.machine_count(); ++j)
+      fastest = std::min(fastest, etc(t, j));
+    max_fastest = std::max(max_fastest, fastest);
+    total_fastest_work += fastest;
+  }
+  // Bound 2: even perfectly balanced, the fastest-possible work divides
+  // over machine_count machines.
+  const double balanced =
+      total_fastest_work / static_cast<double>(etc.machine_count());
+  return std::max(max_fastest, balanced);
+}
+
+}  // namespace hetero::sched

@@ -1,0 +1,44 @@
+// Static mapping of independent tasks onto heterogeneous machines:
+// assignment representation and makespan evaluation.
+//
+// This substrate supports the paper's application (b): selecting an
+// appropriate mapping heuristic for an HC environment based on its
+// heterogeneity (ref [3]); the heuristics themselves are the classic set
+// evaluated by Braun et al. [6].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+
+namespace hetero::sched {
+
+/// assignment[i] = machine executing task instance i.
+using Assignment = std::vector<std::size_t>;
+
+/// Workload: one task instance per row of the ETC matrix by default, or an
+/// explicit multiset of task-type indices.
+using TaskList = std::vector<std::size_t>;
+
+/// One instance of every task type, in row order.
+TaskList one_of_each(const core::EtcMatrix& etc);
+
+/// Per-machine total execution time under `assignment` for `tasks`.
+/// Throws DimensionError on size mismatch or out-of-range machine indices;
+/// an assignment to a machine that cannot run the task yields +infinity
+/// load on that machine.
+std::vector<double> machine_loads(const core::EtcMatrix& etc,
+                                  const TaskList& tasks,
+                                  const Assignment& assignment);
+
+/// Maximum machine load (the completion time of the whole batch).
+double makespan(const core::EtcMatrix& etc, const TaskList& tasks,
+                const Assignment& assignment);
+
+/// Lower bound on makespan: max over tasks of the fastest execution time
+/// and total-work / machine-count style bounds. Useful for normalizing
+/// heuristic comparisons across environments.
+double makespan_lower_bound(const core::EtcMatrix& etc, const TaskList& tasks);
+
+}  // namespace hetero::sched

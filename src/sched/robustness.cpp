@@ -1,0 +1,126 @@
+#include "sched/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::sched {
+
+RobustnessResult makespan_robustness(const core::EtcMatrix& etc,
+                                     const TaskList& tasks,
+                                     const Assignment& assignment,
+                                     double tau) {
+  const auto loads = machine_loads(etc, tasks, assignment);
+  const double ms = *std::max_element(loads.begin(), loads.end());
+  detail::require_value(std::isfinite(ms),
+                        "makespan_robustness: infinite makespan (task on "
+                        "incapable machine)");
+  detail::require_value(tau > ms,
+                        "makespan_robustness: tau must exceed the estimated "
+                        "makespan");
+
+  std::vector<std::size_t> task_count(etc.machine_count(), 0);
+  for (std::size_t k = 0; k < assignment.size(); ++k)
+    ++task_count[assignment[k]];
+
+  RobustnessResult r;
+  r.radius.resize(etc.machine_count());
+  for (std::size_t j = 0; j < etc.machine_count(); ++j) {
+    r.radius[j] =
+        task_count[j] == 0
+            ? tau
+            : (tau - loads[j]) / std::sqrt(static_cast<double>(task_count[j]));
+  }
+  const auto it = std::min_element(r.radius.begin(), r.radius.end());
+  r.critical_machine = static_cast<std::size_t>(it - r.radius.begin());
+  r.metric = *it;
+  return r;
+}
+
+double tau_with_slack(const core::EtcMatrix& etc, const TaskList& tasks,
+                      const Assignment& assignment, double slack) {
+  detail::require_value(slack > 0.0, "tau_with_slack: slack must be > 0");
+  return makespan(etc, tasks, assignment) * (1.0 + slack);
+}
+
+double utilization(const core::EtcMatrix& etc, const TaskList& tasks,
+                   const Assignment& assignment) {
+  const auto loads = machine_loads(etc, tasks, assignment);
+  const double ms = *std::max_element(loads.begin(), loads.end());
+  detail::require_value(ms > 0.0 && std::isfinite(ms),
+                        "utilization: undefined makespan");
+  return linalg::sum(loads) /
+         (static_cast<double>(loads.size()) * ms);
+}
+
+double load_imbalance(const core::EtcMatrix& etc, const TaskList& tasks,
+                      const Assignment& assignment) {
+  const auto loads = machine_loads(etc, tasks, assignment);
+  const double mean_load = linalg::mean(loads);
+  detail::require_value(mean_load > 0.0 && std::isfinite(mean_load),
+                        "load_imbalance: undefined loads");
+  const double max_load = *std::max_element(loads.begin(), loads.end());
+  return (max_load - mean_load) / mean_load;
+}
+
+Assignment map_max_robustness(const core::EtcMatrix& etc,
+                              const TaskList& tasks, double tau) {
+  detail::require_value(tau > 0.0 && std::isfinite(tau),
+                        "map_max_robustness: tau must be positive and finite");
+  const std::size_t m = etc.machine_count();
+  std::vector<double> load(m, 0.0);
+  std::vector<std::size_t> count(m, 0);
+  Assignment assignment(tasks.size(), 0);
+
+  // Largest-minimum-execution-time first: long tasks have the fewest
+  // placements that preserve slack.
+  std::vector<std::size_t> order(tasks.size());
+  std::vector<double> key(tasks.size(), 0.0);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    detail::require_dims(tasks[k] < etc.task_count(),
+                         "map_max_robustness: task index out of range");
+    double fastest = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < m; ++j)
+      fastest = std::min(fastest, etc(tasks[k], j));
+    key[k] = fastest;
+    order[k] = k;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return key[a] > key[b];
+  });
+
+  for (const std::size_t k : order) {
+    double best_metric = -std::numeric_limits<double>::infinity();
+    std::size_t best_machine = m;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double e = etc(tasks[k], j);
+      if (std::isinf(e) || load[j] + e > tau) continue;
+      // Post-assignment robustness metric: min over machines of
+      // (tau - load) / sqrt(count), with this task placed on j.
+      double metric = std::numeric_limits<double>::infinity();
+      for (std::size_t jj = 0; jj < m; ++jj) {
+        const double l = jj == j ? load[jj] + e : load[jj];
+        const std::size_t c = (jj == j ? count[jj] + 1 : count[jj]);
+        const double radius =
+            c == 0 ? tau : (tau - l) / std::sqrt(static_cast<double>(c));
+        metric = std::min(metric, radius);
+      }
+      if (metric > best_metric) {
+        best_metric = metric;
+        best_machine = j;
+      }
+    }
+    detail::require_value(best_machine < m,
+                          "map_max_robustness: no machine can take a task "
+                          "without exceeding tau");
+    assignment[k] = best_machine;
+    load[best_machine] += etc(tasks[k], best_machine);
+    ++count[best_machine];
+  }
+  return assignment;
+}
+
+}  // namespace hetero::sched

@@ -1,0 +1,69 @@
+// Robustness of a resource allocation against ETC estimation error
+// (FePIA-style analysis from the authors' robustness line of work,
+// paper refs [7, 11]).
+//
+// Setting: a static assignment must keep the makespan below a constraint
+// tau even though the actual execution times may differ from the ETC
+// estimates. The *robustness radius* of machine j is the smallest
+// (Euclidean, over that machine's tasks) perturbation of its execution
+// times that pushes its finish time to tau; because the finish time is the
+// sum of its tasks' times, that distance is
+//
+//     r_j = (tau - F_j) / sqrt(n_j)
+//
+// with F_j the estimated finish time and n_j the number of tasks mapped to
+// j. The *robustness metric* of the allocation is min_j r_j — the smallest
+// collective estimation error that can violate the constraint.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/makespan.hpp"
+
+namespace hetero::sched {
+
+struct RobustnessResult {
+  /// min over machines of the robustness radius (the robustness metric).
+  double metric = 0.0;
+  /// Radius per machine; machines with no tasks have radius tau (they
+  /// cannot violate the constraint through their own tasks).
+  std::vector<double> radius;
+  /// argmin machine (the robustness bottleneck).
+  std::size_t critical_machine = 0;
+};
+
+/// Robustness of `assignment` against the makespan constraint `tau`.
+/// Throws ValueError when tau is not greater than the estimated makespan
+/// (the allocation already violates the constraint) or when the makespan
+/// is infinite (a task mapped to an incapable machine).
+RobustnessResult makespan_robustness(const core::EtcMatrix& etc,
+                                     const TaskList& tasks,
+                                     const Assignment& assignment, double tau);
+
+/// Convenience tau: estimated makespan inflated by `slack` (e.g. 0.2 for
+/// "the system tolerates 20% slippage").
+double tau_with_slack(const core::EtcMatrix& etc, const TaskList& tasks,
+                      const Assignment& assignment, double slack);
+
+/// Machine utilization: total executed work / (machine count * makespan).
+/// In (0, 1]; 1 means perfectly balanced machines that all finish together.
+double utilization(const core::EtcMatrix& etc, const TaskList& tasks,
+                   const Assignment& assignment);
+
+/// Load imbalance: (max load - mean load) / mean load; 0 when perfectly
+/// balanced.
+double load_imbalance(const core::EtcMatrix& etc, const TaskList& tasks,
+                      const Assignment& assignment);
+
+/// Robustness-greedy mapper: maps tasks one at a time (largest minimum
+/// execution time first), each to the machine that keeps the *minimum
+/// post-assignment robustness radius* largest for the given constraint
+/// tau. Produces allocations that trade a little makespan for slack
+/// against ETC estimation error (the design goal of the authors'
+/// robust-allocation line [7]). Throws ValueError when no machine can
+/// receive some task without exceeding tau.
+Assignment map_max_robustness(const core::EtcMatrix& etc,
+                              const TaskList& tasks, double tau);
+
+}  // namespace hetero::sched

@@ -1,0 +1,163 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace hetero::sched {
+namespace {
+
+void validate(const core::EtcMatrix& etc, const WorkloadOptions& o) {
+  detail::require_value(o.base_rate > 0.0,
+                        "workload: base_rate must be positive");
+  detail::require_value(o.diurnal_amplitude >= 0.0 &&
+                            o.diurnal_amplitude < 1.0,
+                        "workload: diurnal_amplitude must be in [0, 1)");
+  detail::require_value(o.diurnal_period > 0.0,
+                        "workload: diurnal_period must be positive");
+  detail::require_value(o.burst_factor >= 1.0,
+                        "workload: burst_factor must be >= 1");
+  detail::require_value(o.mean_normal_duration > 0.0 &&
+                            o.mean_burst_duration > 0.0,
+                        "workload: state durations must be positive");
+  if (!o.task_mix.empty()) {
+    detail::require_dims(o.task_mix.size() == etc.task_count(),
+                         "workload: task_mix size != task count");
+    double total = 0.0;
+    for (double p : o.task_mix) {
+      detail::require_value(p >= 0.0, "workload: negative mix weight");
+      total += p;
+    }
+    detail::require_value(total > 0.0, "workload: mix weights sum to zero");
+  }
+}
+
+// Draws a task type from the mix (uniform when empty).
+std::size_t draw_type(const core::EtcMatrix& etc, const WorkloadOptions& o,
+                      etcgen::Rng& rng) {
+  if (o.task_mix.empty()) return etcgen::uniform_index(rng, etc.task_count());
+  const double total = hetero::linalg::sum(o.task_mix);
+  double x = etcgen::uniform(rng, 0.0, total);
+  for (std::size_t i = 0; i < o.task_mix.size(); ++i) {
+    x -= o.task_mix[i];
+    if (x <= 0.0) return i;
+  }
+  return o.task_mix.size() - 1;
+}
+
+}  // namespace
+
+std::vector<Arrival> generate_workload(const core::EtcMatrix& etc,
+                                       const WorkloadOptions& options,
+                                       std::size_t count, etcgen::Rng& rng) {
+  validate(etc, options);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(count);
+
+  double t = 0.0;
+  // Bursty state machine.
+  bool bursting = false;
+  double state_until =
+      -options.mean_normal_duration * std::log(etcgen::uniform(rng, 1e-12, 1.0));
+
+  // The envelope rate dominates the instantaneous rate for thinning.
+  const double envelope =
+      options.shape == RateShape::bursty
+          ? options.base_rate * options.burst_factor
+          : options.base_rate * (1.0 + options.diurnal_amplitude);
+
+  while (arrivals.size() < count) {
+    // Candidate event from the homogeneous envelope process.
+    t += -std::log(etcgen::uniform(rng, 1e-300, 1.0)) / envelope;
+
+    double rate = options.base_rate;
+    switch (options.shape) {
+      case RateShape::constant:
+        break;
+      case RateShape::diurnal:
+        rate *= 1.0 + options.diurnal_amplitude *
+                          std::sin(2.0 * std::numbers::pi * t /
+                                   options.diurnal_period);
+        break;
+      case RateShape::bursty:
+        while (t > state_until) {
+          bursting = !bursting;
+          const double mean = bursting ? options.mean_burst_duration
+                                       : options.mean_normal_duration;
+          state_until += -mean * std::log(etcgen::uniform(rng, 1e-12, 1.0));
+        }
+        if (bursting) rate *= options.burst_factor;
+        break;
+    }
+    // Thinning: accept with probability rate / envelope.
+    if (etcgen::uniform(rng, 0.0, 1.0) * envelope > rate) continue;
+    arrivals.push_back({t, draw_type(etc, options, rng)});
+  }
+  return arrivals;
+}
+
+void write_trace_csv(std::ostream& out, const core::EtcMatrix& etc,
+                     const std::vector<Arrival>& arrivals) {
+  out << "time,task\n";
+  out.precision(17);
+  for (const Arrival& a : arrivals) {
+    detail::require_dims(a.type < etc.task_count(),
+                         "write_trace_csv: task index out of range");
+    out << a.time << ',' << etc.task_names()[a.type] << '\n';
+  }
+}
+
+std::string write_trace_csv_string(const core::EtcMatrix& etc,
+                                   const std::vector<Arrival>& arrivals) {
+  std::ostringstream out;
+  write_trace_csv(out, etc, arrivals);
+  return out.str();
+}
+
+std::vector<Arrival> read_trace_csv(std::istream& in,
+                                    const core::EtcMatrix& etc) {
+  std::vector<Arrival> arrivals;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    detail::require_value(comma != std::string::npos,
+                          "read_trace_csv: expected 'time,task'");
+    const std::string time_str = line.substr(0, comma);
+    const std::string task_str = line.substr(comma + 1);
+    if (first) {
+      first = false;
+      if (time_str == "time") continue;  // header
+    }
+    Arrival a;
+    try {
+      a.time = std::stod(time_str);
+    } catch (const std::exception&) {
+      throw ValueError("read_trace_csv: bad time '" + time_str + "'");
+    }
+    detail::require_value(a.time >= 0.0, "read_trace_csv: negative time");
+    // Numeric index or task name.
+    const bool numeric =
+        !task_str.empty() &&
+        std::all_of(task_str.begin(), task_str.end(),
+                    [](unsigned char c) { return std::isdigit(c); });
+    a.type = numeric ? std::stoul(task_str) : etc.task_index(task_str);
+    detail::require_dims(a.type < etc.task_count(),
+                         "read_trace_csv: task index out of range");
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+std::vector<Arrival> read_trace_csv_string(const std::string& text,
+                                           const core::EtcMatrix& etc) {
+  std::istringstream in(text);
+  return read_trace_csv(in, etc);
+}
+
+}  // namespace hetero::sched

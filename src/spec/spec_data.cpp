@@ -1,0 +1,78 @@
+#include "spec/spec_data.hpp"
+
+#include <array>
+
+namespace hetero::spec {
+namespace {
+
+#include "spec/spec_data_values.inc"
+
+const std::vector<std::string> kCintNames = {
+    "400.perlbench", "401.bzip2",      "403.gcc",    "429.mcf",
+    "445.gobmk",     "456.hmmer",      "458.sjeng",  "462.libquantum",
+    "464.h264ref",   "471.omnetpp",    "473.astar",  "483.xalancbmk"};
+
+const std::vector<std::string> kCfpNames = {
+    "410.bwaves",  "416.gamess",    "433.milc",     "434.zeusmp",
+    "435.gromacs", "436.cactusADM", "437.leslie3d", "444.namd",
+    "447.dealII",  "450.soplex",    "453.povray",   "454.calculix",
+    "459.GemsFDTD", "465.tonto",    "470.lbm",      "481.wrf",
+    "482.sphinx3"};
+
+std::vector<std::string> machine_ids() { return {"m1", "m2", "m3", "m4", "m5"}; }
+
+}  // namespace
+
+const std::vector<SpecMachine>& spec_machines() {
+  static const std::vector<SpecMachine> machines = {
+      {"m1", "ASUS TS100-E6 (P7F-X) server system (Intel Xeon X3470)"},
+      {"m2", "Fujitsu SPARC Enterprise M3000"},
+      {"m3", "CELSIUS W280 (Intel Core i7-870)"},
+      {"m4", "ProLiant SL165z G7 (2.2 GHz AMD Opteron 6174)"},
+      {"m5", "IBM Power 750 Express (3.55 GHz, 32 core, SLES)"},
+  };
+  return machines;
+}
+
+const core::EtcMatrix& spec_cint2006rate() {
+  static const core::EtcMatrix matrix = [] {
+    return core::EtcMatrix(
+        linalg::Matrix::from_row_major(12, 5, kCintValues), kCintNames,
+        machine_ids());
+  }();
+  return matrix;
+}
+
+const core::EtcMatrix& spec_cfp2006rate() {
+  static const core::EtcMatrix matrix = [] {
+    return core::EtcMatrix(
+        linalg::Matrix::from_row_major(17, 5, kCfpValues), kCfpNames,
+        machine_ids());
+  }();
+  return matrix;
+}
+
+core::EtcMatrix spec_fig8a() {
+  const auto& cint = spec_cint2006rate();
+  const auto& cfp = spec_cfp2006rate();
+  const std::size_t omnetpp = cint.task_index("471.omnetpp");
+  const std::size_t cactus = cfp.task_index("436.cactusADM");
+  // Machines m4, m5 are columns 3 and 4.
+  linalg::Matrix values{{cint(omnetpp, 3), cint(omnetpp, 4)},
+                        {cfp(cactus, 3), cfp(cactus, 4)}};
+  return core::EtcMatrix(std::move(values), {"471.omnetpp", "436.cactusADM"},
+                         {"m4", "m5"});
+}
+
+core::EtcMatrix spec_fig8b() {
+  const auto& cfp = spec_cfp2006rate();
+  const std::size_t cactus = cfp.task_index("436.cactusADM");
+  const std::size_t soplex = cfp.task_index("450.soplex");
+  // Machines m1, m4 are columns 0 and 3.
+  linalg::Matrix values{{cfp(cactus, 0), cfp(cactus, 3)},
+                        {cfp(soplex, 0), cfp(soplex, 3)}};
+  return core::EtcMatrix(std::move(values), {"436.cactusADM", "450.soplex"},
+                         {"m1", "m4"});
+}
+
+}  // namespace hetero::spec

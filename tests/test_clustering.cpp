@@ -1,0 +1,87 @@
+#include "core/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::cluster_machines;
+using hetero::core::cluster_tasks;
+using hetero::core::EcsMatrix;
+using hetero::linalg::Matrix;
+
+// Two machine classes: columns {0, 1} love tasks {0, 1}; columns {2, 3}
+// love tasks {2, 3}.
+EcsMatrix two_classes() {
+  return EcsMatrix(Matrix{{10, 9, 1, 1},
+                          {9, 10, 1, 1},
+                          {1, 1, 10, 9},
+                          {1, 1, 9, 10}});
+}
+
+TEST(Clustering, RecoversPlantedMachineClasses) {
+  const auto c = cluster_machines(two_classes(), 2);
+  EXPECT_EQ(c.cluster_count, 2u);
+  EXPECT_EQ(c.cluster[0], c.cluster[1]);
+  EXPECT_EQ(c.cluster[2], c.cluster[3]);
+  EXPECT_NE(c.cluster[0], c.cluster[2]);
+  EXPECT_GT(c.within_cosine, c.between_cosine);
+}
+
+TEST(Clustering, RecoversPlantedTaskClasses) {
+  const auto c = cluster_tasks(two_classes(), 2);
+  EXPECT_EQ(c.cluster[0], c.cluster[1]);
+  EXPECT_EQ(c.cluster[2], c.cluster[3]);
+  EXPECT_NE(c.cluster[0], c.cluster[2]);
+}
+
+TEST(Clustering, KEqualsOneGroupsEverything) {
+  const auto c = cluster_machines(two_classes(), 1);
+  for (std::size_t j : c.cluster) EXPECT_EQ(j, 0u);
+  EXPECT_DOUBLE_EQ(c.between_cosine, 1.0);  // no between pairs -> default
+}
+
+TEST(Clustering, KEqualsCountIsSingletons) {
+  const auto c = cluster_machines(two_classes(), 4);
+  std::set<std::size_t> distinct(c.cluster.begin(), c.cluster.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.within_cosine, 1.0);  // no within pairs -> default
+}
+
+TEST(Clustering, ValidatesK) {
+  EXPECT_THROW(cluster_machines(two_classes(), 0), ValueError);
+  EXPECT_THROW(cluster_machines(two_classes(), 5), ValueError);
+}
+
+TEST(Clustering, RankOneEnvironmentIsOneDirection) {
+  // Columns proportional: everything in one tight cluster regardless of k=2
+  // split; within cosine ~ 1 and between ~ 1 too (all parallel).
+  const EcsMatrix rank1(Matrix{{1, 2, 4}, {2, 4, 8}, {3, 6, 12}});
+  const auto c = cluster_machines(rank1, 2);
+  EXPECT_NEAR(c.within_cosine, 1.0, 1e-9);
+  EXPECT_NEAR(c.between_cosine, 1.0, 1e-9);
+}
+
+TEST(Clustering, LabelsAreContiguousFromZero) {
+  const auto c =
+      cluster_machines(hetero::spec::spec_cfp2006rate().to_ecs(), 3);
+  std::set<std::size_t> distinct(c.cluster.begin(), c.cluster.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (std::size_t id : distinct) EXPECT_LT(id, 3u);
+}
+
+TEST(Clustering, WeightsChangeGeometry) {
+  // Upweighting the tasks machine 3 loves rotates its column toward the
+  // first class; the clustering metadata must reflect the weighted view
+  // (no crash, valid labels).
+  hetero::core::Weights w;
+  w.task = {5.0, 5.0, 1.0, 1.0};
+  const auto c = cluster_machines(two_classes(), 2, w);
+  EXPECT_EQ(c.cluster.size(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "core/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::ConfidenceOptions;
+using hetero::core::EtcMatrix;
+using hetero::core::measure_confidence;
+using hetero::linalg::Matrix;
+
+ConfidenceOptions quick() {
+  ConfidenceOptions opts;
+  opts.replications = 60;
+  opts.noise_cov = 0.1;
+  return opts;
+}
+
+TEST(Confidence, ZeroNoiseCollapsesIntervals) {
+  ConfidenceOptions opts = quick();
+  opts.noise_cov = 0.0;
+  const auto c = measure_confidence(hetero::spec::spec_fig8b(), opts);
+  EXPECT_DOUBLE_EQ(c.mph.lower, c.mph.upper);
+  EXPECT_NEAR(c.mph.mean, c.mph.point, 1e-12);
+  EXPECT_NEAR(c.tma.stddev, 0.0, 1e-12);
+}
+
+TEST(Confidence, IntervalsBracketThePointValue) {
+  const auto c =
+      measure_confidence(hetero::spec::spec_cint2006rate(), quick());
+  EXPECT_LE(c.mph.lower, c.mph.upper);
+  EXPECT_LE(c.tdh.lower, c.tdh.upper);
+  EXPECT_LE(c.tma.lower, c.tma.upper);
+  // With 10% noise the true value should sit inside the 95% interval.
+  EXPECT_GE(c.mph.point, c.mph.lower - 1e-12);
+  EXPECT_LE(c.mph.point, c.mph.upper + 1e-12);
+  EXPECT_EQ(c.replications, 60u);
+}
+
+TEST(Confidence, MoreNoiseWiderIntervals) {
+  ConfidenceOptions narrow = quick();
+  narrow.noise_cov = 0.02;
+  ConfidenceOptions wide = quick();
+  wide.noise_cov = 0.4;
+  const auto& etc = hetero::spec::spec_cint2006rate();
+  const auto a = measure_confidence(etc, narrow);
+  const auto b = measure_confidence(etc, wide);
+  EXPECT_LT(a.mph.upper - a.mph.lower, b.mph.upper - b.mph.lower);
+  EXPECT_LT(a.tma.stddev, b.tma.stddev);
+}
+
+TEST(Confidence, CoverageControlsQuantiles) {
+  ConfidenceOptions tight = quick();
+  tight.coverage = 0.5;
+  ConfidenceOptions broad = quick();
+  broad.coverage = 0.99;
+  const auto& etc = hetero::spec::spec_fig8b();
+  const auto a = measure_confidence(etc, tight);
+  const auto b = measure_confidence(etc, broad);
+  EXPECT_LE(a.mph.upper - a.mph.lower, b.mph.upper - b.mph.lower + 1e-12);
+}
+
+TEST(Confidence, Reproducible) {
+  const auto a = measure_confidence(hetero::spec::spec_fig8a(), quick());
+  const auto b = measure_confidence(hetero::spec::spec_fig8a(), quick());
+  EXPECT_DOUBLE_EQ(a.tma.mean, b.tma.mean);
+  EXPECT_DOUBLE_EQ(a.tma.lower, b.tma.lower);
+}
+
+TEST(Confidence, ValidatesOptions) {
+  const EtcMatrix etc(Matrix{{1, 2}, {3, 4}});
+  ConfidenceOptions bad = quick();
+  bad.replications = 1;
+  EXPECT_THROW(measure_confidence(etc, bad), ValueError);
+  bad = quick();
+  bad.coverage = 1.0;
+  EXPECT_THROW(measure_confidence(etc, bad), ValueError);
+  bad = quick();
+  bad.noise_cov = -0.5;
+  EXPECT_THROW(measure_confidence(etc, bad), ValueError);
+}
+
+TEST(Confidence, MeanNearPointForSmallNoise) {
+  ConfidenceOptions opts = quick();
+  opts.noise_cov = 0.03;
+  opts.replications = 100;
+  const auto c = measure_confidence(hetero::spec::spec_cfp2006rate(), opts);
+  EXPECT_NEAR(c.mph.mean, c.mph.point, 0.02);
+  EXPECT_NEAR(c.tdh.mean, c.tdh.point, 0.02);
+  EXPECT_NEAR(c.tma.mean, c.tma.point, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "etcgen/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/measures.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+namespace eg = hetero::etcgen;
+
+TEST(Correlation, PerfectlyProportionalColumnsGiveOne) {
+  EtcMatrix etc(Matrix{{1, 2}, {2, 4}, {3, 6}});
+  EXPECT_NEAR(eg::mean_column_correlation(etc), 1.0, 1e-12);
+}
+
+TEST(Correlation, AnticorrelatedColumns) {
+  EtcMatrix etc(Matrix{{1, 3}, {2, 2}, {3, 1}});
+  EXPECT_NEAR(eg::mean_column_correlation(etc), -1.0, 1e-12);
+}
+
+TEST(Correlation, RowVariantIsTransposedColumnVariant) {
+  EtcMatrix etc(Matrix{{1, 5, 2}, {3, 1, 4}, {2, 2, 2}});
+  EtcMatrix transposed(etc.values().transposed());
+  EXPECT_NEAR(eg::mean_row_correlation(etc),
+              eg::mean_column_correlation(transposed), 1e-12);
+}
+
+TEST(Correlation, RequiresTwoByTwo) {
+  EXPECT_THROW(eg::mean_column_correlation(EtcMatrix(Matrix{{1}, {2}})),
+               ValueError);
+}
+
+class CorrelationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelationSweep, GeneratorHitsTargetOnAverage) {
+  const double target = GetParam();
+  eg::Rng rng = eg::make_rng(static_cast<std::uint64_t>(target * 1000) + 5);
+  eg::CorrelationOptions opts;
+  opts.tasks = 200;  // large so the sample correlation concentrates
+  opts.machines = 8;
+  opts.column_correlation = target;
+  const auto etc = eg::generate_correlated(opts, rng);
+  EXPECT_TRUE(etc.values().all_positive());
+  EXPECT_NEAR(eg::mean_column_correlation(etc), target, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CorrelationSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.7, 0.9));
+
+TEST(Correlation, MeanRuntimeScale) {
+  eg::Rng rng = eg::make_rng(9);
+  eg::CorrelationOptions opts;
+  opts.tasks = 300;
+  opts.machines = 6;
+  opts.mean_runtime = 1234.0;
+  const auto etc = eg::generate_correlated(opts, rng);
+  const double mean = etc.values().total() /
+                      static_cast<double>(etc.values().size());
+  EXPECT_NEAR(mean, 1234.0, 60.0);
+}
+
+TEST(Correlation, HigherCorrelationLowersTma) {
+  // Correlated columns are near-proportional: less affinity. Averaged over
+  // seeds, TMA must fall monotonically-ish from r = 0 to r = 0.9.
+  const auto mean_tma = [](double r) {
+    double acc = 0.0;
+    for (unsigned seed = 0; seed < 5; ++seed) {
+      eg::Rng rng = eg::make_rng(100 + seed);
+      eg::CorrelationOptions opts;
+      opts.tasks = 30;
+      opts.machines = 6;
+      opts.column_correlation = r;
+      acc += hetero::core::tma(eg::generate_correlated(opts, rng).to_ecs());
+    }
+    return acc / 5.0;
+  };
+  const double low_corr = mean_tma(0.0);
+  const double high_corr = mean_tma(0.9);
+  EXPECT_GT(low_corr, 1.5 * high_corr);
+}
+
+TEST(Correlation, RejectsBadOptions) {
+  eg::Rng rng = eg::make_rng(10);
+  eg::CorrelationOptions opts;
+  opts.tasks = 1;
+  opts.machines = 4;
+  EXPECT_THROW(eg::generate_correlated(opts, rng), ValueError);
+  opts.tasks = 4;
+  opts.column_correlation = 1.0;
+  EXPECT_THROW(eg::generate_correlated(opts, rng), ValueError);
+  opts.column_correlation = 0.5;
+  opts.mean_runtime = 0.0;
+  EXPECT_THROW(eg::generate_correlated(opts, rng), ValueError);
+}
+
+}  // namespace

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/measures.hpp"
+#include "etcgen/anneal.hpp"
+#include "etcgen/cvb.hpp"
+#include "etcgen/range_based.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::EtcMatrix;
+namespace eg = hetero::etcgen;
+
+bool rows_sorted_ascending(const EtcMatrix& etc) {
+  for (std::size_t i = 0; i < etc.task_count(); ++i)
+    for (std::size_t j = 0; j + 1 < etc.machine_count(); ++j)
+      if (etc(i, j) > etc(i, j + 1)) return false;
+  return true;
+}
+
+TEST(RangeBased, DimensionsAndPositivity) {
+  eg::Rng rng = eg::make_rng(1);
+  eg::RangeBasedOptions opts;
+  opts.tasks = 10;
+  opts.machines = 4;
+  const auto etc = eg::generate_range_based(opts, rng);
+  EXPECT_EQ(etc.task_count(), 10u);
+  EXPECT_EQ(etc.machine_count(), 4u);
+  EXPECT_TRUE(etc.values().all_positive());
+}
+
+TEST(RangeBased, EntriesWithinRangeProduct) {
+  eg::Rng rng = eg::make_rng(2);
+  eg::RangeBasedOptions opts;
+  opts.tasks = 20;
+  opts.machines = 5;
+  opts.task_range = 50.0;
+  opts.machine_range = 8.0;
+  const auto etc = eg::generate_range_based(opts, rng);
+  EXPECT_GE(etc.values().min(), 1.0);
+  EXPECT_LE(etc.values().max(), 50.0 * 8.0);
+}
+
+TEST(RangeBased, Reproducible) {
+  eg::RangeBasedOptions opts;
+  opts.tasks = 5;
+  opts.machines = 3;
+  eg::Rng a = eg::make_rng(99), b = eg::make_rng(99);
+  EXPECT_EQ(eg::generate_range_based(opts, a).values(),
+            eg::generate_range_based(opts, b).values());
+}
+
+TEST(RangeBased, ConsistentMatrixHasSortedRows) {
+  eg::Rng rng = eg::make_rng(3);
+  eg::RangeBasedOptions opts;
+  opts.tasks = 8;
+  opts.machines = 6;
+  opts.consistency = eg::Consistency::consistent;
+  EXPECT_TRUE(rows_sorted_ascending(eg::generate_range_based(opts, rng)));
+}
+
+TEST(RangeBased, InconsistentMatrixUsuallyUnsorted) {
+  eg::Rng rng = eg::make_rng(4);
+  eg::RangeBasedOptions opts;
+  opts.tasks = 8;
+  opts.machines = 6;
+  EXPECT_FALSE(rows_sorted_ascending(eg::generate_range_based(opts, rng)));
+}
+
+TEST(RangeBased, RejectsBadOptions) {
+  eg::Rng rng = eg::make_rng(5);
+  eg::RangeBasedOptions opts;  // zero dims
+  EXPECT_THROW(eg::generate_range_based(opts, rng), ValueError);
+  opts.tasks = 2;
+  opts.machines = 2;
+  opts.task_range = 0.5;
+  EXPECT_THROW(eg::generate_range_based(opts, rng), ValueError);
+}
+
+TEST(RangeBased, HigherMachineRangeLowersMph) {
+  // Averaged over tasks, wider machine ranges produce more heterogeneous
+  // machine performances -> lower MPH.
+  double mph_narrow = 0.0, mph_wide = 0.0;
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    eg::RangeBasedOptions narrow;
+    narrow.tasks = 30;
+    narrow.machines = 6;
+    narrow.machine_range = 1.5;
+    eg::RangeBasedOptions wide = narrow;
+    wide.machine_range = 100.0;
+    eg::Rng r1 = eg::make_rng(100 + seed), r2 = eg::make_rng(200 + seed);
+    mph_narrow += hetero::core::mph(eg::generate_range_based(narrow, r1).to_ecs());
+    mph_wide += hetero::core::mph(eg::generate_range_based(wide, r2).to_ecs());
+  }
+  EXPECT_GT(mph_narrow, mph_wide);
+}
+
+TEST(MakeConsistent, Idempotent) {
+  eg::Rng rng = eg::make_rng(6);
+  eg::RangeBasedOptions opts;
+  opts.tasks = 4;
+  opts.machines = 4;
+  const auto etc = eg::generate_range_based(opts, rng);
+  const auto once = eg::make_consistent(etc);
+  const auto twice = eg::make_consistent(once);
+  EXPECT_EQ(once.values(), twice.values());
+}
+
+TEST(MakeConsistent, PreservesRowMultisets) {
+  eg::Rng rng = eg::make_rng(7);
+  eg::RangeBasedOptions opts;
+  opts.tasks = 3;
+  opts.machines = 5;
+  const auto etc = eg::generate_range_based(opts, rng);
+  const auto sorted = eg::make_consistent(etc);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto a = etc.values().row(i);
+    auto b = sorted.values().row(i);
+    std::vector<double> va(a.begin(), a.end()), vb(b.begin(), b.end());
+    std::sort(va.begin(), va.end());
+    EXPECT_EQ(va, vb);
+  }
+}
+
+TEST(MakeSemiConsistent, SortsChosenColumnsOnly) {
+  eg::Rng rng = eg::make_rng(8);
+  eg::RangeBasedOptions opts;
+  opts.tasks = 6;
+  opts.machines = 8;
+  const auto etc = eg::generate_range_based(opts, rng);
+  eg::Rng rng2 = eg::make_rng(9);
+  const auto semi = eg::make_semi_consistent(etc, 1.0, rng2);
+  EXPECT_TRUE(rows_sorted_ascending(semi));  // fraction 1.0 == consistent
+  eg::Rng rng3 = eg::make_rng(10);
+  const auto none = eg::make_semi_consistent(etc, 0.0, rng3);
+  EXPECT_EQ(none.values(), etc.values());
+  EXPECT_THROW(eg::make_semi_consistent(etc, 1.5, rng3), ValueError);
+}
+
+TEST(Cvb, DimensionsAndPositivity) {
+  eg::Rng rng = eg::make_rng(11);
+  eg::CvbOptions opts;
+  opts.tasks = 12;
+  opts.machines = 5;
+  const auto etc = eg::generate_cvb(opts, rng);
+  EXPECT_EQ(etc.task_count(), 12u);
+  EXPECT_EQ(etc.machine_count(), 5u);
+  EXPECT_TRUE(etc.values().all_positive());
+}
+
+TEST(Cvb, MeanRoughlyMatchesTaskMean) {
+  eg::Rng rng = eg::make_rng(12);
+  eg::CvbOptions opts;
+  opts.tasks = 200;
+  opts.machines = 10;
+  opts.task_mean = 500.0;
+  opts.task_cov = 0.3;
+  opts.machine_cov = 0.3;
+  const auto etc = eg::generate_cvb(opts, rng);
+  const double mean = etc.values().total() /
+                      static_cast<double>(etc.values().size());
+  EXPECT_NEAR(mean, 500.0, 50.0);
+}
+
+TEST(Cvb, HigherCovMoreSpread) {
+  const auto spread = [](double cov, unsigned seed) {
+    eg::Rng rng = eg::make_rng(seed);
+    eg::CvbOptions opts;
+    opts.tasks = 100;
+    opts.machines = 8;
+    opts.task_cov = cov;
+    opts.machine_cov = cov;
+    const auto etc = eg::generate_cvb(opts, rng);
+    return etc.values().max() / etc.values().min();
+  };
+  double low = 0.0, high = 0.0;
+  for (unsigned s = 0; s < 5; ++s) {
+    low += spread(0.1, 100 + s);
+    high += spread(1.0, 200 + s);
+  }
+  EXPECT_LT(low, high);
+}
+
+TEST(Cvb, RejectsBadOptions) {
+  eg::Rng rng = eg::make_rng(13);
+  eg::CvbOptions opts;
+  opts.tasks = 2;
+  opts.machines = 2;
+  opts.task_cov = 0.0;
+  EXPECT_THROW(eg::generate_cvb(opts, rng), ValueError);
+  opts.task_cov = 0.5;
+  opts.task_mean = -5.0;
+  EXPECT_THROW(eg::generate_cvb(opts, rng), ValueError);
+}
+
+TEST(Cvb, ConsistencyOptionApplies) {
+  eg::Rng rng = eg::make_rng(14);
+  eg::CvbOptions opts;
+  opts.tasks = 6;
+  opts.machines = 6;
+  opts.consistency = eg::Consistency::consistent;
+  EXPECT_TRUE(rows_sorted_ascending(eg::generate_cvb(opts, rng)));
+}
+
+TEST(AnnealTemperature, GeometricSchedule) {
+  eg::AnnealOptions opts;
+  opts.iterations = 101;
+  opts.t0 = 1.0;
+  opts.t1 = 0.01;
+  EXPECT_DOUBLE_EQ(eg::anneal_temperature(opts, 0), 1.0);
+  EXPECT_NEAR(eg::anneal_temperature(opts, 100), 0.01, 1e-12);
+  EXPECT_NEAR(eg::anneal_temperature(opts, 50), 0.1, 1e-9);
+  eg::AnnealOptions bad;
+  bad.t0 = 0.0;
+  EXPECT_THROW(eg::anneal_temperature(bad, 0), ValueError);
+}
+
+TEST(SimulatedAnnealing, MinimizesQuadratic) {
+  eg::Rng rng = eg::make_rng(15);
+  const std::function<double(const double&)> energy = [](const double& x) {
+    return (x - 3.0) * (x - 3.0);
+  };
+  const std::function<double(const double&, double, eg::Rng&)> neighbor =
+      [](const double& x, double temp, eg::Rng& r) {
+        return x + eg::normal(r, 0.0, 0.1 + temp);
+      };
+  eg::AnnealOptions opts;
+  opts.iterations = 5000;
+  const auto [best, energy_at_best] =
+      eg::simulated_annealing<double>(10.0, energy, neighbor, opts, rng);
+  EXPECT_NEAR(best, 3.0, 0.05);
+  EXPECT_LT(energy_at_best, 0.01);
+}
+
+TEST(SimulatedAnnealing, TargetEnergyStopsEarly) {
+  eg::Rng rng = eg::make_rng(16);
+  int evals = 0;
+  const std::function<double(const double&)> energy = [&](const double& x) {
+    ++evals;
+    return std::abs(x);
+  };
+  const std::function<double(const double&, double, eg::Rng&)> neighbor =
+      [](const double& x, double, eg::Rng& r) {
+        return x * eg::uniform(r, 0.0, 0.9);
+      };
+  eg::AnnealOptions opts;
+  opts.iterations = 100000;
+  opts.target_energy = 1e-3;
+  eg::simulated_annealing<double>(1.0, energy, neighbor, opts, rng);
+  EXPECT_LT(evals, 10000);  // stopped long before the budget
+}
+
+}  // namespace

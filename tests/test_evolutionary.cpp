@@ -1,0 +1,138 @@
+#include "sched/evolutionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "etcgen/range_based.hpp"
+#include "sched/heuristics.hpp"
+
+namespace {
+
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+namespace sc = hetero::sched;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+EtcMatrix random_env(unsigned seed, std::size_t tasks = 20,
+                     std::size_t machines = 5) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(seed);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = tasks;
+  opts.machines = machines;
+  return hetero::etcgen::generate_range_based(opts, rng);
+}
+
+TEST(SaMapper, NeverWorseThanItsSeed) {
+  const auto etc = random_env(1);
+  const auto tasks = sc::one_of_each(etc);
+  const double seed_ms =
+      sc::makespan(etc, tasks, sc::map_min_min(etc, tasks));
+  sc::SaMapperOptions opts;
+  opts.iterations = 5000;
+  const auto a = sc::map_simulated_annealing(etc, tasks, opts);
+  EXPECT_LE(sc::makespan(etc, tasks, a), seed_ms + 1e-9);
+}
+
+TEST(SaMapper, ImprovesRandomSeed) {
+  const auto etc = random_env(2);
+  const auto tasks = sc::one_of_each(etc);
+  sc::SaMapperOptions opts;
+  opts.seed_with_min_min = false;
+  opts.iterations = 8000;
+  opts.seed = 7;
+  const auto a = sc::map_simulated_annealing(etc, tasks, opts);
+  // Must beat an untouched random assignment by a comfortable margin.
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(7);
+  const auto r = sc::map_random(etc, tasks, rng);
+  EXPECT_LT(sc::makespan(etc, tasks, a), sc::makespan(etc, tasks, r));
+}
+
+TEST(SaMapper, EmptyTaskList) {
+  const auto etc = random_env(3);
+  EXPECT_TRUE(sc::map_simulated_annealing(etc, {}, {}).empty());
+}
+
+TEST(SaMapper, RespectsIncapableMachines) {
+  EtcMatrix etc(Matrix{{1, kInf}, {kInf, 1}, {3, 3}});
+  const sc::TaskList tasks{0, 1, 2, 2};
+  sc::SaMapperOptions opts;
+  opts.iterations = 2000;
+  const auto a = sc::map_simulated_annealing(etc, tasks, opts);
+  EXPECT_FALSE(std::isinf(sc::makespan(etc, tasks, a)));
+}
+
+TEST(SaMapper, Reproducible) {
+  const auto etc = random_env(4);
+  const auto tasks = sc::one_of_each(etc);
+  sc::SaMapperOptions opts;
+  opts.iterations = 1000;
+  opts.seed = 11;
+  EXPECT_EQ(sc::map_simulated_annealing(etc, tasks, opts),
+            sc::map_simulated_annealing(etc, tasks, opts));
+}
+
+TEST(GaMapper, NeverWorseThanMinMinSeed) {
+  const auto etc = random_env(5);
+  const auto tasks = sc::one_of_each(etc);
+  const double seed_ms =
+      sc::makespan(etc, tasks, sc::map_min_min(etc, tasks));
+  sc::GaMapperOptions opts;
+  opts.generations = 50;
+  opts.population = 40;
+  const auto a = sc::map_genetic(etc, tasks, opts);
+  EXPECT_LE(sc::makespan(etc, tasks, a), seed_ms + 1e-9);
+}
+
+TEST(GaMapper, ElitismMonotone) {
+  // With elitism the result can only improve as generations grow.
+  const auto etc = random_env(6);
+  const auto tasks = sc::one_of_each(etc);
+  sc::GaMapperOptions short_run;
+  short_run.generations = 5;
+  short_run.seed = 3;
+  sc::GaMapperOptions long_run = short_run;
+  long_run.generations = 60;
+  EXPECT_LE(sc::makespan(etc, tasks, sc::map_genetic(etc, tasks, long_run)),
+            sc::makespan(etc, tasks, sc::map_genetic(etc, tasks, short_run)) +
+                1e-9);
+}
+
+TEST(GaMapper, EmptyTaskList) {
+  EXPECT_TRUE(sc::map_genetic(random_env(7), {}, {}).empty());
+}
+
+TEST(GaMapper, RespectsIncapableMachines) {
+  EtcMatrix etc(Matrix{{1, kInf}, {kInf, 1}});
+  sc::GaMapperOptions opts;
+  opts.generations = 10;
+  opts.population = 10;
+  const auto a = sc::map_genetic(etc, {0, 1, 0, 1}, opts);
+  EXPECT_FALSE(std::isinf(sc::makespan(etc, {0, 1, 0, 1}, a)));
+}
+
+TEST(GaMapper, Reproducible) {
+  const auto etc = random_env(8, 10, 3);
+  const auto tasks = sc::one_of_each(etc);
+  sc::GaMapperOptions opts;
+  opts.generations = 15;
+  opts.seed = 9;
+  EXPECT_EQ(sc::map_genetic(etc, tasks, opts),
+            sc::map_genetic(etc, tasks, opts));
+}
+
+TEST(SearchMappers, BeatGreedyOnHardInstance) {
+  // Larger instance: SA with a real budget should at least match MCT.
+  const auto etc = random_env(9, 40, 8);
+  const auto tasks = sc::one_of_each(etc);
+  sc::SaMapperOptions opts;
+  opts.iterations = 15000;
+  const double sa = sc::makespan(
+      etc, tasks, sc::map_simulated_annealing(etc, tasks, opts));
+  const double mct = sc::makespan(etc, tasks, sc::map_mct(etc, tasks));
+  EXPECT_LE(sa, mct + 1e-9);
+}
+
+}  // namespace

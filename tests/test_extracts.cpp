@@ -1,0 +1,112 @@
+#include "core/extracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::EcsMatrix;
+using hetero::core::extract_atlas;
+using hetero::core::ExtractAtlasOptions;
+using hetero::core::score_extract;
+using hetero::linalg::Matrix;
+
+TEST(Extracts, ScoreMatchesDirectSubmatrix) {
+  const EcsMatrix ecs(Matrix{{1, 5, 2}, {3, 1, 4}, {2, 2, 2}});
+  const auto e = score_extract(ecs, {0, 2}, {1, 2});
+  const auto direct = hetero::core::measure_set(
+      ecs.submatrix(std::vector<std::size_t>{0, 2},
+                    std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(e.measures.mph, direct.mph);
+  EXPECT_DOUBLE_EQ(e.measures.tma, direct.tma);
+  EXPECT_EQ(e.tasks, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Extracts, ExhaustiveAtlasOnSmallEnvironment) {
+  const EcsMatrix ecs(Matrix{{10, 1, 1}, {1, 10, 1}, {1, 1, 10}});
+  ExtractAtlasOptions opts;
+  const auto atlas = extract_atlas(ecs, opts);
+  EXPECT_TRUE(atlas.exhaustive);
+  // 3 choose 2 squared = 9 extracts, all valid (all positive).
+  EXPECT_EQ(atlas.scored, 9u);
+  // Any extract containing two specialized pairs hits high TMA.
+  EXPECT_GT(atlas.max_tma.measures.tma, 0.5);
+  EXPECT_LT(atlas.min_tma.measures.tma, atlas.max_tma.measures.tma);
+}
+
+TEST(Extracts, AtlasExtremesBracketEveryExtract) {
+  const EcsMatrix ecs(Matrix{{1, 5, 2, 7}, {3, 1, 4, 2}, {2, 2, 2, 1}});
+  const auto atlas = extract_atlas(ecs);
+  ASSERT_TRUE(atlas.exhaustive);
+  // Re-enumerate manually and check the bounds hold.
+  for (std::size_t a = 0; a < 3; ++a)
+    for (std::size_t b = a + 1; b < 3; ++b)
+      for (std::size_t c = 0; c < 4; ++c)
+        for (std::size_t d = c + 1; d < 4; ++d) {
+          const auto e = score_extract(ecs, {a, b}, {c, d});
+          EXPECT_GE(e.measures.mph, atlas.min_mph.measures.mph - 1e-12);
+          EXPECT_LE(e.measures.mph, atlas.max_mph.measures.mph + 1e-12);
+          EXPECT_GE(e.measures.tma, atlas.min_tma.measures.tma - 1e-7);
+          EXPECT_LE(e.measures.tma, atlas.max_tma.measures.tma + 1e-7);
+        }
+}
+
+TEST(Extracts, SpecAtlasContainsFig8Extremes) {
+  // The paper hand-picked Fig. 8(b) with TMA = 0.60 out of the CFP data;
+  // the exhaustive 2x2 atlas over CFP must find something at least as
+  // extreme.
+  const auto atlas =
+      extract_atlas(hetero::spec::spec_cfp2006rate().to_ecs());
+  EXPECT_TRUE(atlas.exhaustive);  // C(17,2)*C(5,2) = 1360
+  EXPECT_GE(atlas.max_tma.measures.tma, 0.59);
+  EXPECT_LE(atlas.min_tma.measures.tma, 0.06);
+}
+
+TEST(Extracts, SamplingPathOnLargeShape) {
+  const auto& cfp = hetero::spec::spec_cfp2006rate().to_ecs();
+  ExtractAtlasOptions opts;
+  opts.tasks = 8;
+  opts.machines = 3;
+  opts.max_exhaustive = 100;  // force sampling
+  opts.samples = 500;
+  const auto atlas = extract_atlas(cfp, opts);
+  EXPECT_FALSE(atlas.exhaustive);
+  EXPECT_EQ(atlas.scored, 500u);
+  EXPECT_LE(atlas.min_mph.measures.mph, atlas.max_mph.measures.mph);
+}
+
+TEST(Extracts, SamplingIsReproducible) {
+  const auto& cfp = hetero::spec::spec_cfp2006rate().to_ecs();
+  ExtractAtlasOptions opts;
+  opts.tasks = 5;
+  opts.machines = 3;
+  opts.max_exhaustive = 10;
+  opts.samples = 200;
+  opts.seed = 99;
+  const auto a = extract_atlas(cfp, opts);
+  const auto b = extract_atlas(cfp, opts);
+  EXPECT_EQ(a.max_tma.tasks, b.max_tma.tasks);
+  EXPECT_EQ(a.max_tma.machines, b.max_tma.machines);
+}
+
+TEST(Extracts, InvalidShapesThrow) {
+  const EcsMatrix ecs(Matrix{{1, 2}, {3, 4}});
+  ExtractAtlasOptions opts;
+  opts.tasks = 3;
+  EXPECT_THROW(extract_atlas(ecs, opts), ValueError);
+  opts.tasks = 0;
+  EXPECT_THROW(extract_atlas(ecs, opts), ValueError);
+}
+
+TEST(Extracts, SkipsInvalidZeroPatterns) {
+  // Column 3 is only served by task 2: the {task 1, task 3} x {m3, m1}
+  // extract has an all-zero row and must be skipped, not crash.
+  const EcsMatrix ecs(Matrix{{1, 1, 0}, {1, 1, 5}, {1, 1, 0}});
+  const auto atlas = extract_atlas(ecs);
+  EXPECT_GT(atlas.scored, 0u);
+  EXPECT_LT(atlas.scored, 9u);  // some extracts skipped
+}
+
+}  // namespace

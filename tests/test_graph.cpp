@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "base/error.hpp"
+#include "graph/bipartite_matching.hpp"
+#include "graph/scc.hpp"
+
+namespace {
+
+using hetero::DimensionError;
+namespace g = hetero::graph;
+
+TEST(BipartiteMatching, EmptyGraph) {
+  g::BipartiteGraph bg(3, 3);
+  const auto r = g::maximum_matching(bg);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_FALSE(g::perfect_matching(bg).has_value());
+}
+
+TEST(BipartiteMatching, OutOfRangeEdgeThrows) {
+  g::BipartiteGraph bg(2, 2);
+  EXPECT_THROW(bg.add_edge(2, 0), DimensionError);
+  EXPECT_THROW(bg.add_edge(0, 2), DimensionError);
+}
+
+TEST(BipartiteMatching, PerfectOnCompleteGraph) {
+  g::BipartiteGraph bg(4, 4);
+  for (std::size_t u = 0; u < 4; ++u)
+    for (std::size_t v = 0; v < 4; ++v) bg.add_edge(u, v);
+  const auto pm = g::perfect_matching(bg);
+  ASSERT_TRUE(pm.has_value());
+  // Must be a permutation.
+  std::vector<bool> used(4, false);
+  for (std::size_t v : *pm) {
+    EXPECT_LT(v, 4u);
+    EXPECT_FALSE(used[v]);
+    used[v] = true;
+  }
+}
+
+TEST(BipartiteMatching, DiagonalOnlyGraph) {
+  g::BipartiteGraph bg(3, 3);
+  for (std::size_t u = 0; u < 3; ++u) bg.add_edge(u, u);
+  const auto pm = g::perfect_matching(bg);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_EQ(*pm, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BipartiteMatching, HallViolationNoPerfectMatching) {
+  // Rows 0 and 1 both connect only to column 0.
+  g::BipartiteGraph bg(2, 2);
+  bg.add_edge(0, 0);
+  bg.add_edge(1, 0);
+  const auto r = g::maximum_matching(bg);
+  EXPECT_EQ(r.size, 1u);
+  EXPECT_FALSE(g::perfect_matching(bg).has_value());
+}
+
+TEST(BipartiteMatching, AugmentingPathFound) {
+  // Greedy could match 0-0 and block 1; Hopcroft-Karp must augment.
+  g::BipartiteGraph bg(2, 2);
+  bg.add_edge(0, 0);
+  bg.add_edge(0, 1);
+  bg.add_edge(1, 0);
+  const auto pm = g::perfect_matching(bg);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_EQ((*pm)[0], 1u);
+  EXPECT_EQ((*pm)[1], 0u);
+}
+
+TEST(BipartiteMatching, RectangularMaximum) {
+  g::BipartiteGraph bg(2, 4);
+  bg.add_edge(0, 2);
+  bg.add_edge(1, 2);
+  bg.add_edge(1, 3);
+  const auto r = g::maximum_matching(bg);
+  EXPECT_EQ(r.size, 2u);
+  EXPECT_FALSE(g::perfect_matching(bg).has_value());  // not square
+}
+
+TEST(BipartiteMatching, MatchConsistency) {
+  g::BipartiteGraph bg(3, 3);
+  bg.add_edge(0, 1);
+  bg.add_edge(1, 0);
+  bg.add_edge(2, 2);
+  bg.add_edge(0, 0);
+  const auto r = g::maximum_matching(bg);
+  EXPECT_EQ(r.size, 3u);
+  for (std::size_t u = 0; u < 3; ++u) {
+    ASSERT_NE(r.match_left[u], g::MatchingResult::npos);
+    EXPECT_EQ(r.match_right[r.match_left[u]], u);
+  }
+}
+
+TEST(BipartiteMatching, LargeCycleGraph) {
+  // Left i connects to right i and i+1 (mod n): perfect matching exists.
+  constexpr std::size_t n = 50;
+  g::BipartiteGraph bg(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bg.add_edge(i, i);
+    bg.add_edge(i, (i + 1) % n);
+  }
+  EXPECT_TRUE(g::perfect_matching(bg).has_value());
+}
+
+TEST(Scc, OutOfRangeEdgeThrows) {
+  g::Digraph d(2);
+  EXPECT_THROW(d.add_edge(0, 5), DimensionError);
+}
+
+TEST(Scc, SingleVertexIsStronglyConnected) {
+  g::Digraph d(1);
+  EXPECT_TRUE(g::is_strongly_connected(d));
+  const auto r = g::strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, 1u);
+}
+
+TEST(Scc, TwoIsolatedVertices) {
+  g::Digraph d(2);
+  const auto r = g::strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, 2u);
+  EXPECT_FALSE(g::is_strongly_connected(d));
+}
+
+TEST(Scc, DirectedCycle) {
+  g::Digraph d(4);
+  for (std::size_t i = 0; i < 4; ++i) d.add_edge(i, (i + 1) % 4);
+  EXPECT_TRUE(g::is_strongly_connected(d));
+}
+
+TEST(Scc, ChainHasOneComponentPerVertex) {
+  g::Digraph d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  const auto r = g::strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, 4u);
+  // Component ids must be a topological order: edges go low -> high.
+  EXPECT_LT(r.component[0], r.component[1]);
+  EXPECT_LT(r.component[1], r.component[2]);
+  EXPECT_LT(r.component[2], r.component[3]);
+}
+
+TEST(Scc, TwoCyclesJoinedByEdge) {
+  // 0<->1  ->  2<->3
+  g::Digraph d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 0);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  d.add_edge(3, 2);
+  const auto r = g::strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_LT(r.component[0], r.component[2]);  // topological order
+}
+
+TEST(Scc, SelfLoopsDoNotMergeComponents) {
+  g::Digraph d(2);
+  d.add_edge(0, 0);
+  d.add_edge(1, 1);
+  const auto r = g::strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, 2u);
+}
+
+TEST(Scc, DeepChainNoStackOverflow) {
+  // Iterative Tarjan must handle depth far beyond the call-stack limit.
+  constexpr std::size_t n = 200000;
+  g::Digraph d(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) d.add_edge(i, i + 1);
+  const auto r = g::strongly_connected_components(d);
+  EXPECT_EQ(r.component_count, n);
+}
+
+TEST(Scc, DeepCycleIsOneComponent) {
+  constexpr std::size_t n = 100000;
+  g::Digraph d(n);
+  for (std::size_t i = 0; i < n; ++i) d.add_edge(i, (i + 1) % n);
+  EXPECT_TRUE(g::is_strongly_connected(d));
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::ValueError;
+namespace io = hetero::io;
+
+TEST(Csv, ParseWithHeaderAndLabels) {
+  const auto etc = io::read_etc_csv_string(
+      "task,m1,m2\n"
+      "gcc,100,200\n"
+      "mcf,50,75\n");
+  EXPECT_EQ(etc.task_count(), 2u);
+  EXPECT_EQ(etc.machine_count(), 2u);
+  EXPECT_EQ(etc.task_names(), (std::vector<std::string>{"gcc", "mcf"}));
+  EXPECT_EQ(etc.machine_names(), (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_DOUBLE_EQ(etc(1, 1), 75.0);
+}
+
+TEST(Csv, ParseBareNumericMatrix) {
+  const auto etc = io::read_etc_csv_string("1,2\n3,4\n");
+  EXPECT_EQ(etc.task_count(), 2u);
+  EXPECT_EQ(etc.task_names(), (std::vector<std::string>{"t1", "t2"}));
+  EXPECT_DOUBLE_EQ(etc(0, 1), 2.0);
+}
+
+TEST(Csv, ParseLabelsWithoutHeader) {
+  const auto etc = io::read_etc_csv_string("gcc,1,2\nmcf,3,4\n");
+  EXPECT_EQ(etc.task_names(), (std::vector<std::string>{"gcc", "mcf"}));
+  EXPECT_EQ(etc.machine_names(), (std::vector<std::string>{"m1", "m2"}));
+}
+
+TEST(Csv, InfinityMarkers) {
+  const auto etc = io::read_etc_csv_string("1,inf\nInf,2\n");
+  EXPECT_TRUE(std::isinf(etc(0, 1)));
+  EXPECT_TRUE(std::isinf(etc(1, 0)));
+}
+
+TEST(Csv, WhitespaceAndBlankLinesTolerated) {
+  const auto etc = io::read_etc_csv_string(
+      "task, m1 , m2\n"
+      "\n"
+      " a , 1 , 2 \n");
+  EXPECT_EQ(etc.machine_names(), (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_DOUBLE_EQ(etc(0, 0), 1.0);
+}
+
+TEST(Csv, MalformedInputsThrow) {
+  EXPECT_THROW(io::read_etc_csv_string(""), ValueError);
+  EXPECT_THROW(io::read_etc_csv_string("task,m1\n"), ValueError);
+  EXPECT_THROW(io::read_etc_csv_string("a,1,2\nb,3\n"), ValueError);
+  EXPECT_THROW(io::read_etc_csv_string("a,1,x\n"), ValueError);
+  EXPECT_THROW(io::read_etc_csv_string("task,m1,m2\na,1\n"), ValueError);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(io::read_etc_csv_file("/nonexistent/path.csv"), ValueError);
+}
+
+TEST(Csv, RoundTripPreservesEverything) {
+  const auto& original = hetero::spec::spec_cint2006rate();
+  const auto parsed =
+      io::read_etc_csv_string(io::write_etc_csv_string(original));
+  EXPECT_EQ(parsed.task_names(), original.task_names());
+  EXPECT_EQ(parsed.machine_names(), original.machine_names());
+  for (std::size_t i = 0; i < original.task_count(); ++i)
+    for (std::size_t j = 0; j < original.machine_count(); ++j)
+      EXPECT_DOUBLE_EQ(parsed(i, j), original(i, j));
+}
+
+TEST(Csv, RoundTripWithInfinity) {
+  const auto etc = io::read_etc_csv_string("1,inf\n2,3\n");
+  const auto again = io::read_etc_csv_string(io::write_etc_csv_string(etc));
+  EXPECT_TRUE(std::isinf(again(0, 1)));
+  EXPECT_DOUBLE_EQ(again(1, 0), 2.0);
+}
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  io::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  io::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), DimensionError);
+  EXPECT_THROW(io::Table({}), ValueError);
+}
+
+TEST(Format, FixedAndGeneral) {
+  EXPECT_EQ(io::format_fixed(0.8196, 2), "0.82");
+  EXPECT_EQ(io::format_fixed(1.0, 3), "1.000");
+  EXPECT_EQ(io::format_general(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(io::format_general(1234.5678, 4), "1235");
+}
+
+TEST(PrintMatrix, IncludesLabelsAndValues) {
+  std::ostringstream os;
+  io::print_etc(os, hetero::spec::spec_fig8b(), 1);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("436.cactusADM"), std::string::npos);
+  EXPECT_NE(out.find("m4"), std::string::npos);
+}
+
+TEST(PrintMatrix, LabelMismatchThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(io::print_matrix(os, hetero::linalg::Matrix{{1, 2}}, {"a", "b"},
+                                {"x", "y"}),
+               DimensionError);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized round-trip sweep: arbitrary positive matrices with occasional
+// "cannot run" entries must survive CSV serialization bit-for-bit (CSV
+// writes 17 significant digits).
+
+class CsvFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CsvFuzz, RandomEtcRoundTripsExactly) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::size_t> dim(1, 9);
+  std::lognormal_distribution<double> value(2.0, 2.0);
+  std::bernoulli_distribution cannot_run(0.15);
+
+  const std::size_t t = dim(rng), m = dim(rng);
+  hetero::linalg::Matrix values(t, m);
+  for (double& x : values.data())
+    x = cannot_run(rng) ? std::numeric_limits<double>::infinity()
+                        : value(rng);
+  // Repair all-infinite rows/columns to satisfy the invariants.
+  for (std::size_t i = 0; i < t; ++i) {
+    bool finite = false;
+    for (std::size_t j = 0; j < m; ++j)
+      if (std::isfinite(values(i, j))) finite = true;
+    if (!finite) values(i, i % m) = value(rng);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    bool finite = false;
+    for (std::size_t i = 0; i < t; ++i)
+      if (std::isfinite(values(i, j))) finite = true;
+    if (!finite) values(j % t, j) = value(rng);
+  }
+
+  const hetero::core::EtcMatrix etc(values);
+  const auto parsed = io::read_etc_csv_string(io::write_etc_csv_string(etc));
+  ASSERT_EQ(parsed.task_count(), t);
+  ASSERT_EQ(parsed.machine_count(), m);
+  for (std::size_t i = 0; i < t; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      EXPECT_DOUBLE_EQ(parsed(i, j), etc(i, j)) << i << "," << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzz, ::testing::Range(500u, 525u));
+
+}  // namespace

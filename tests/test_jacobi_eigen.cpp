@@ -1,0 +1,75 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using hetero::ValueError;
+namespace lin = hetero::linalg;
+using lin::Matrix;
+
+Matrix random_symmetric(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) m(i, j) = m(j, i) = dist(rng);
+  return m;
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  const auto r = lin::jacobi_eigen(Matrix{{2, 0}, {0, 5}});
+  EXPECT_NEAR(r.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const auto vals = lin::symmetric_eigenvalues(Matrix{{2, 1}, {1, 2}});
+  EXPECT_NEAR(vals[0], 3.0, 1e-12);
+  EXPECT_NEAR(vals[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, RejectsNonSquareAndNonSymmetric) {
+  EXPECT_THROW(lin::jacobi_eigen(Matrix{{1, 2, 3}, {4, 5, 6}}), ValueError);
+  EXPECT_THROW(lin::jacobi_eigen(Matrix{{1, 2}, {3, 4}}), ValueError);
+}
+
+class JacobiEigenRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(JacobiEigenRandom, DecompositionReconstructs) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, static_cast<unsigned>(n));
+  const auto r = lin::jacobi_eigen(a);
+  ASSERT_EQ(r.values.size(), n);
+  EXPECT_TRUE(std::is_sorted(r.values.rbegin(), r.values.rend()));
+  // V diag(values) V^T == A
+  Matrix vd = r.vectors;
+  for (std::size_t j = 0; j < n; ++j) vd.scale_col(j, r.values[j]);
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(vd, r.vectors.transposed()), a),
+            1e-9);
+  // V orthonormal.
+  EXPECT_LT(lin::max_abs_diff(lin::gram(r.vectors), Matrix::identity(n)),
+            1e-9);
+}
+
+TEST_P(JacobiEigenRandom, TraceEqualsEigenvalueSum) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, static_cast<unsigned>(n) + 99);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+  const auto vals = lin::symmetric_eigenvalues(a);
+  double sum = 0.0;
+  for (double v : vals) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiEigenRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/measures.hpp"
+#include "spec/spec_data.hpp"
+
+namespace {
+
+namespace io = hetero::io;
+using hetero::core::EcsMatrix;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+
+TEST(Json, EscapeSpecialCharacters) {
+  EXPECT_EQ(io::json_escape("plain"), "plain");
+  EXPECT_EQ(io::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(io::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(io::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(io::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, Numbers) {
+  EXPECT_EQ(io::json_number(1.5), "1.5");
+  EXPECT_EQ(io::json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(io::json_number(std::nan("")), "null");
+  // Round-trip precision: 17 significant digits.
+  EXPECT_EQ(io::json_number(0.1), "0.10000000000000001");
+}
+
+TEST(Json, MeasureSet) {
+  const hetero::core::MeasureSet m{0.5, 0.25, 0.125};
+  EXPECT_EQ(io::to_json(m), "{\"mph\":0.5,\"tdh\":0.25,\"tma\":0.125}");
+}
+
+TEST(Json, EtcMatrixWithInfinity) {
+  EtcMatrix etc(Matrix{{1, std::numeric_limits<double>::infinity()}, {2, 3}},
+                {"a", "b"}, {"x", "y"});
+  const std::string json = io::to_json(etc);
+  EXPECT_NE(json.find("\"tasks\":[\"a\",\"b\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"machines\":[\"x\",\"y\"]"), std::string::npos);
+  EXPECT_NE(json.find("[1,null]"), std::string::npos);
+  EXPECT_NE(json.find("[2,3]"), std::string::npos);
+}
+
+TEST(Json, EnvironmentReportStructure) {
+  const auto ecs = hetero::spec::spec_cint2006rate().to_ecs();
+  const auto report = hetero::core::characterize(ecs);
+  const std::string json = io::to_json(report, ecs);
+  for (const char* key :
+       {"\"measures\"", "\"alternatives\"", "\"machine_performances\"",
+        "\"task_difficulties\"", "\"tma_detail\"", "\"sinkhorn_iterations\"",
+        "\"singular_values\"", "\"400.perlbench\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Balanced braces and brackets (cheap well-formedness check).
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Json, ReportBooleansRenderAsJson) {
+  const EcsMatrix ecs(Matrix{{1, 2}, {3, 4}});
+  const auto report = hetero::core::characterize(ecs);
+  const std::string json = io::to_json(report, ecs);
+  EXPECT_NE(json.find("\"used_standard_form\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/svd.hpp"
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::ValueError;
+namespace lin = hetero::linalg;
+using lin::Matrix;
+
+Matrix random_square(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  Matrix m(n, n);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+TEST(Lu, SolveKnownSystem) {
+  // x + 2y = 5; 3x + 4y = 11 -> x = 1, y = 2.
+  const Matrix a{{1, 2}, {3, 4}};
+  const std::vector<double> b{5, 11};
+  const auto x = lin::solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  EXPECT_NEAR(lin::determinant(Matrix{{1, 2}, {3, 4}}), -2.0, 1e-12);
+  EXPECT_NEAR(lin::determinant(Matrix::identity(4)), 1.0, 1e-12);
+  EXPECT_NEAR(lin::determinant(Matrix{{2, 0}, {0, 3}}), 6.0, 1e-12);
+}
+
+TEST(Lu, SingularDetection) {
+  const Matrix singular{{1, 2}, {2, 4}};
+  lin::LuDecomposition lu(singular);
+  EXPECT_TRUE(lu.is_singular());
+  EXPECT_EQ(lu.determinant(), 0.0);
+  const std::vector<double> b{1, 2};
+  EXPECT_THROW(lu.solve(b), ValueError);
+  EXPECT_THROW(lu.inverse(), ValueError);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> b{2, 3};
+  const auto x = lin::solve(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(lin::determinant(a), -1.0, 1e-12);
+}
+
+TEST(Lu, RejectsBadInputs) {
+  EXPECT_THROW(lin::LuDecomposition(Matrix{{1, 2, 3}, {4, 5, 6}}), ValueError);
+  EXPECT_THROW(lin::LuDecomposition(Matrix{{std::nan(""), 1}, {1, 1}}),
+               ValueError);
+  const Matrix a{{1, 0}, {0, 1}};
+  const std::vector<double> wrong{1, 2, 3};
+  EXPECT_THROW(lin::LuDecomposition(a).solve(wrong), DimensionError);
+}
+
+class LuRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandom, SolveResidualSmall) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_square(n, static_cast<unsigned>(n));
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i) - 1.5;
+  const auto x = lin::solve(a, b);
+  const auto ax = lin::matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST_P(LuRandom, InverseIsTwoSided) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_square(n, static_cast<unsigned>(n) + 50);
+  const Matrix inv = lin::inverse(a);
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(a, inv), Matrix::identity(n)), 1e-8);
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(inv, a), Matrix::identity(n)), 1e-8);
+}
+
+TEST_P(LuRandom, DeterminantMatchesSingularValueProduct) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_square(n, static_cast<unsigned>(n) + 99);
+  // |det| = product of singular values.
+  double sv_product = 1.0;
+  for (double s : hetero::linalg::singular_values(a)) sv_product *= s;
+  EXPECT_NEAR(std::abs(lin::determinant(a)), sv_product,
+              1e-8 * std::max(1.0, sv_product));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandom, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Lu, MatrixRhsSolve) {
+  const Matrix a{{2, 0}, {0, 4}};
+  const Matrix b{{2, 4}, {8, 12}};
+  const Matrix x = lin::LuDecomposition(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+}  // namespace

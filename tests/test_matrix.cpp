@@ -1,0 +1,246 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::ValueError;
+using hetero::linalg::Matrix;
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 7.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 7.5);
+}
+
+TEST(Matrix, MixedZeroDimensionThrows) {
+  EXPECT_THROW(Matrix(0, 3), DimensionError);
+  EXPECT_THROW(Matrix(3, 0), DimensionError);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), DimensionError);
+}
+
+TEST(Matrix, FromRowMajor) {
+  const double data[] = {1, 2, 3, 4, 5, 6};
+  Matrix m = Matrix::from_row_major(3, 2, data);
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(2, 1), 6);
+  EXPECT_THROW(Matrix::from_row_major(2, 2, data), DimensionError);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Diagonal) {
+  const double d[] = {2, 5};
+  Matrix m = Matrix::diagonal(d);
+  EXPECT_EQ(m(0, 0), 2);
+  EXPECT_EQ(m(1, 1), 5);
+  EXPECT_EQ(m(0, 1), 0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2, 0.0);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), DimensionError);
+  EXPECT_THROW(m.at(0, 2), DimensionError);
+}
+
+TEST(Matrix, RowSpanMutation) {
+  Matrix m{{1, 2}, {3, 4}};
+  auto r = m.row(1);
+  r[0] = 9;
+  EXPECT_EQ(m(1, 0), 9);
+  EXPECT_THROW(m.row(2), DimensionError);
+}
+
+TEST(Matrix, ColCopy) {
+  Matrix m{{1, 2}, {3, 4}};
+  const auto c = m.col(1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], 2);
+  EXPECT_EQ(c[1], 4);
+}
+
+TEST(Matrix, RowAndColSums) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 6);
+  EXPECT_DOUBLE_EQ(m.col_sum(2), 9);
+  const auto rs = m.row_sums();
+  const auto cs = m.col_sums();
+  EXPECT_DOUBLE_EQ(rs[1], 15);
+  EXPECT_DOUBLE_EQ(cs[0], 5);
+  EXPECT_DOUBLE_EQ(m.total(), 21);
+}
+
+TEST(Matrix, MinMax) {
+  Matrix m{{3, -1}, {2, 8}};
+  EXPECT_EQ(m.min(), -1);
+  EXPECT_EQ(m.max(), 8);
+  EXPECT_THROW(Matrix().min(), ValueError);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, Submatrix) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::size_t rows[] = {2, 0};
+  const std::size_t cols[] = {1};
+  Matrix s = m.submatrix(rows, cols);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 1u);
+  EXPECT_EQ(s(0, 0), 8);
+  EXPECT_EQ(s(1, 0), 2);
+  const std::size_t bad[] = {5};
+  EXPECT_THROW(m.submatrix(bad, cols), DimensionError);
+}
+
+TEST(Matrix, Permuted) {
+  Matrix m{{1, 2}, {3, 4}};
+  const std::size_t rp[] = {1, 0};
+  const std::size_t cp[] = {0, 1};
+  Matrix p = m.permuted(rp, cp);
+  EXPECT_EQ(p(0, 0), 3);
+  EXPECT_EQ(p(1, 1), 2);
+  const std::size_t wrong[] = {0};
+  EXPECT_THROW(m.permuted(wrong, cp), DimensionError);
+}
+
+TEST(Matrix, TransformAndScale) {
+  Matrix m{{1, 2}, {3, 4}};
+  m.transform([](double x) { return 2 * x; });
+  EXPECT_EQ(m(1, 1), 8);
+  m.scale_row(0, 10);
+  EXPECT_EQ(m(0, 1), 40);
+  EXPECT_EQ(m(1, 0), 6);
+  m.scale_col(0, 0.5);
+  EXPECT_EQ(m(0, 0), 10);
+  EXPECT_EQ(m(1, 0), 3);
+}
+
+TEST(Matrix, Predicates) {
+  EXPECT_TRUE((Matrix{{1, 2}, {3, 4}}).all_positive());
+  EXPECT_FALSE((Matrix{{1, 0}, {3, 4}}).all_positive());
+  EXPECT_TRUE((Matrix{{1, 0}, {3, 4}}).all_nonnegative());
+  EXPECT_FALSE((Matrix{{1, -1}, {3, 4}}).all_nonnegative());
+  EXPECT_EQ((Matrix{{1, 0}, {0, 4}}).zero_count(), 2u);
+  Matrix inf{{1, std::numeric_limits<double>::infinity()}};
+  EXPECT_TRUE(inf.has_nonfinite());
+  Matrix nan{{1, std::nan("")}};
+  EXPECT_TRUE(nan.has_nonfinite());
+  EXPECT_FALSE((Matrix{{1, 2}}).has_nonfinite());
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  EXPECT_EQ((a + b)(1, 1), 44);
+  EXPECT_EQ((b - a)(0, 0), 9);
+  EXPECT_EQ((a * 2.0)(0, 1), 4);
+  EXPECT_EQ((2.0 * a)(0, 1), 4);
+  EXPECT_EQ((b / 10.0)(1, 0), 3);
+  EXPECT_THROW(a += Matrix(3, 3), DimensionError);
+  EXPECT_THROW(a /= 0.0, ValueError);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+  EXPECT_THROW(matmul(a, Matrix(3, 2)), DimensionError);
+}
+
+TEST(Matrix, MatmulRectangular) {
+  Matrix a{{1, 0, 2}};           // 1x3
+  Matrix b{{1}, {2}, {3}};       // 3x1
+  Matrix c = matmul(a, b);       // 1x1
+  EXPECT_EQ(c(0, 0), 7);
+  Matrix d = matmul(b, a);       // 3x3
+  EXPECT_EQ(d(2, 2), 6);
+}
+
+TEST(Matrix, Matvec) {
+  Matrix a{{1, 2}, {3, 4}};
+  const double x[] = {1, -1};
+  const auto y = matvec(a, x);
+  EXPECT_EQ(y[0], -1);
+  EXPECT_EQ(y[1], -1);
+  const double bad[] = {1, 2, 3};
+  EXPECT_THROW(matvec(a, bad), DimensionError);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  Matrix a{{1, 2, 0}, {3, 4, 5}};
+  Matrix g = gram(a);
+  Matrix expected = matmul(a.transposed(), a);
+  EXPECT_TRUE(approx_equal(g, expected, 1e-12));
+}
+
+TEST(Matrix, MaxAbsDiffAndApproxEqual) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2.25}, {3, 4}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.25);
+  EXPECT_TRUE(approx_equal(a, b, 0.3));
+  EXPECT_FALSE(approx_equal(a, b, 0.2));
+  EXPECT_FALSE(approx_equal(a, Matrix(3, 3), 10.0));
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+}
+
+TEST(Matrix, StreamOutput) {
+  std::ostringstream os;
+  os << Matrix{{1, 2}};
+  EXPECT_NE(os.str().find("1x2"), std::string::npos);
+}
+
+TEST(Matrix, EqualityIsValueBased) {
+  Matrix a{{1, 2}};
+  Matrix b{{1, 2}};
+  Matrix c{{1, 3}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "io/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::ValueError;
+namespace io = hetero::io;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+
+TEST(MatrixMarket, RoundTripPreservesEverything) {
+  const auto& original = hetero::spec::spec_cfp2006rate();
+  const auto parsed = io::read_etc_matrix_market_string(
+      io::write_etc_matrix_market_string(original));
+  EXPECT_EQ(parsed.task_names(), original.task_names());
+  EXPECT_EQ(parsed.machine_names(), original.machine_names());
+  for (std::size_t i = 0; i < original.task_count(); ++i)
+    for (std::size_t j = 0; j < original.machine_count(); ++j)
+      EXPECT_DOUBLE_EQ(parsed(i, j), original(i, j));
+}
+
+TEST(MatrixMarket, RoundTripWithInfinity) {
+  EtcMatrix etc(Matrix{{1, std::numeric_limits<double>::infinity()}, {2, 3}});
+  const auto parsed = io::read_etc_matrix_market_string(
+      io::write_etc_matrix_market_string(etc));
+  EXPECT_TRUE(std::isinf(parsed(0, 1)));
+  EXPECT_DOUBLE_EQ(parsed(1, 0), 2.0);
+}
+
+TEST(MatrixMarket, HeaderDeclaresArrayRealGeneral) {
+  const EtcMatrix etc(Matrix{{1, 2}});
+  const std::string text = io::write_etc_matrix_market_string(etc);
+  EXPECT_EQ(text.rfind("%%MatrixMarket matrix array real general", 0), 0u);
+}
+
+TEST(MatrixMarket, ColumnMajorOrder) {
+  // [[1, 3], [2, 4]] must serialize entries as 1 2 3 4 (columns first).
+  const EtcMatrix etc(Matrix{{1, 3}, {2, 4}});
+  const std::string text = io::write_etc_matrix_market_string(etc);
+  const auto pos1 = text.find("\n1\n");
+  const auto pos2 = text.find("\n2\n");
+  const auto pos3 = text.find("\n3\n");
+  const auto pos4 = text.find("\n4\n");
+  EXPECT_LT(pos1, pos2);
+  EXPECT_LT(pos2, pos3);
+  EXPECT_LT(pos3, pos4);
+}
+
+TEST(MatrixMarket, ReadsPlainFilesWithoutLabelComments) {
+  const auto etc = io::read_etc_matrix_market_string(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1\n2\n3\n4\n");
+  EXPECT_EQ(etc.task_names(), (std::vector<std::string>{"t1", "t2"}));
+  EXPECT_DOUBLE_EQ(etc(0, 1), 3.0);  // column-major input
+  EXPECT_DOUBLE_EQ(etc(1, 0), 2.0);
+}
+
+TEST(MatrixMarket, MalformedInputsThrow) {
+  EXPECT_THROW(io::read_etc_matrix_market_string(""), ValueError);
+  EXPECT_THROW(io::read_etc_matrix_market_string("not a header\n1 1\n1\n"),
+               ValueError);
+  EXPECT_THROW(io::read_etc_matrix_market_string(
+                   "%%MatrixMarket matrix coordinate real general\n1 1 1\n"),
+               ValueError);
+  EXPECT_THROW(io::read_etc_matrix_market_string(
+                   "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n"),
+               ValueError);
+  EXPECT_THROW(io::read_etc_matrix_market_string(
+                   "%%MatrixMarket matrix array real general\n2 2\n1\nx\n3\n4\n"),
+               ValueError);
+}
+
+TEST(MatrixMarket, LabelCountMismatchThrows) {
+  EXPECT_THROW(io::read_etc_matrix_market_string(
+                   "%%MatrixMarket matrix array real general\n"
+                   "%%task only-one\n"
+                   "2 1\n1\n2\n"),
+               ValueError);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Metamorphic relations: transformations of an environment with provable
+// effects on the measures. Each test states the relation it checks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/measures.hpp"
+#include "core/whatif.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using hetero::core::EcsMatrix;
+using hetero::core::measure_set;
+using hetero::core::MeasureSet;
+using hetero::linalg::Matrix;
+
+Matrix random_positive(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, 0.7);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+class Metamorphic : public ::testing::TestWithParam<unsigned> {
+ protected:
+  Matrix base() const { return random_positive(6, 4, GetParam()); }
+};
+
+TEST_P(Metamorphic, TransposeSwapsMphTdhAndPreservesTma) {
+  // Transposing an environment swaps the roles of tasks and machines: MPH
+  // and TDH exchange, TMA (symmetric in the standard form) is unchanged.
+  const Matrix m = base();
+  const auto a = measure_set(EcsMatrix(m));
+  const auto b = measure_set(EcsMatrix(m.transposed()));
+  EXPECT_NEAR(a.mph, b.tdh, 1e-10);
+  EXPECT_NEAR(a.tdh, b.mph, 1e-10);
+  EXPECT_NEAR(a.tma, b.tma, 1e-6);
+}
+
+TEST_P(Metamorphic, DuplicatingEveryTaskPreservesAllMeasures) {
+  // Two copies of every row: TDs double in count but keep their ratios;
+  // MPs double in value (scale-invariance); the standard form's affinity
+  // structure is unchanged.
+  const Matrix m = base();
+  Matrix doubled(m.rows() * 2, m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      doubled(2 * i, j) = doubled(2 * i + 1, j) = m(i, j);
+  const auto a = measure_set(EcsMatrix(m));
+  const auto b = measure_set(EcsMatrix(doubled));
+  EXPECT_NEAR(a.mph, b.mph, 1e-10);
+  EXPECT_NEAR(a.tma, b.tma, 1e-6);
+  // TDH gains T extra unit ratios (the duplicates tie): it can only move
+  // toward 1.
+  EXPECT_GE(b.tdh, a.tdh - 1e-10);
+}
+
+TEST_P(Metamorphic, AddingAnAverageMachineRaisesOrKeepsMph) {
+  // A machine whose column equals the row-wise mean of the environment has
+  // MP equal to the mean MP; inserting a value at the mean cannot make the
+  // sorted adjacent-ratio profile *more* extreme than appending an
+  // outlier would. (Weak form: adding a clone of an existing machine
+  // keeps every adjacent ratio and adds a 1-ratio, so MPH cannot drop.)
+  const Matrix m = base();
+  const EcsMatrix ecs(m);
+  const auto clone = m.col(1);
+  const auto grown = hetero::core::add_machine(ecs, clone);
+  EXPECT_GE(measure_set(grown).mph, measure_set(ecs).mph - 1e-10);
+}
+
+TEST_P(Metamorphic, AddingAnExtremeOutlierMachineLowersMph) {
+  const Matrix m = base();
+  const EcsMatrix ecs(m);
+  std::vector<double> monster(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) monster[i] = 1000.0 * m(i, 0);
+  const auto grown = hetero::core::add_machine(ecs, monster);
+  EXPECT_LT(measure_set(grown).mph, measure_set(ecs).mph);
+}
+
+TEST_P(Metamorphic, MergingTwoEnvironmentsSideBySide) {
+  // Stacking two copies of the machine set side by side (block [E | E])
+  // duplicates every MP: MPH cannot drop and TDH is untouched. The
+  // duplicated columns add *no new singular directions* — the non-zero
+  // non-maximum singular values are identical — but min(T, M) grows from
+  // 4 to 6, so eq. 8's denominator dilutes TMA by exactly (4-1)/(6-1).
+  const Matrix m = base();  // 6 x 4
+  Matrix wide(m.rows(), m.cols() * 2);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      wide(i, j) = wide(i, j + m.cols()) = m(i, j);
+  const auto a = measure_set(EcsMatrix(m));
+  const auto b = measure_set(EcsMatrix(wide));
+  EXPECT_GE(b.mph, a.mph - 1e-10);
+  EXPECT_NEAR(a.tdh, b.tdh, 1e-10);
+  EXPECT_NEAR(b.tma * 5.0, a.tma * 3.0, 1e-6);
+}
+
+TEST_P(Metamorphic, SwappingTwoMachinesIsInvisible) {
+  const Matrix m = base();
+  std::vector<std::size_t> tp(m.rows()), mp{1, 0, 2, 3};
+  for (std::size_t i = 0; i < m.rows(); ++i) tp[i] = i;
+  const auto a = measure_set(EcsMatrix(m));
+  const auto b = measure_set(EcsMatrix(m).permuted(tp, mp));
+  EXPECT_NEAR(a.mph, b.mph, 1e-12);
+  EXPECT_NEAR(a.tdh, b.tdh, 1e-12);
+  EXPECT_NEAR(a.tma, b.tma, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic, ::testing::Range(400u, 410u));
+
+}  // namespace

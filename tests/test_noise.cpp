@@ -1,0 +1,112 @@
+#include "etcgen/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/measures.hpp"
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+namespace eg = hetero::etcgen;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Noise, ZeroCovIsIdentity) {
+  eg::Rng rng = eg::make_rng(1);
+  const auto& etc = hetero::spec::spec_cint2006rate();
+  EXPECT_EQ(eg::perturb_lognormal(etc, 0.0, rng).values(), etc.values());
+  EXPECT_EQ(eg::perturb_uniform(etc, 0.0, rng).values(), etc.values());
+}
+
+TEST(Noise, LognormalKeepsPositivityAndLabels) {
+  eg::Rng rng = eg::make_rng(2);
+  const auto& etc = hetero::spec::spec_cfp2006rate();
+  const auto noisy = eg::perturb_lognormal(etc, 0.3, rng);
+  EXPECT_TRUE(noisy.values().all_positive());
+  EXPECT_EQ(noisy.task_names(), etc.task_names());
+  EXPECT_NE(noisy.values(), etc.values());
+}
+
+TEST(Noise, LognormalCovRoughlyCalibrated) {
+  // Perturb an all-equal matrix; the sample COV of the result should be
+  // close to the requested COV.
+  eg::Rng rng = eg::make_rng(3);
+  EtcMatrix flat(Matrix(40, 25, 100.0));
+  const auto noisy = eg::perturb_lognormal(flat, 0.25, rng);
+  std::vector<double> values(noisy.values().data().begin(),
+                             noisy.values().data().end());
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  EXPECT_NEAR(std::sqrt(var) / mean, 0.25, 0.04);
+}
+
+TEST(Noise, UniformStaysWithinSpread) {
+  eg::Rng rng = eg::make_rng(4);
+  EtcMatrix flat(Matrix(10, 10, 100.0));
+  const auto noisy = eg::perturb_uniform(flat, 0.2, rng);
+  EXPECT_GE(noisy.values().min(), 80.0);
+  EXPECT_LE(noisy.values().max(), 120.0);
+}
+
+TEST(Noise, PreservesInfiniteEntries) {
+  eg::Rng rng = eg::make_rng(5);
+  EtcMatrix etc(Matrix{{1, kInf}, {2, 3}});
+  const auto noisy = eg::perturb_lognormal(etc, 0.5, rng);
+  EXPECT_TRUE(std::isinf(noisy(0, 1)));
+  EXPECT_TRUE(std::isfinite(noisy(1, 1)));
+}
+
+TEST(Noise, RejectsBadParameters) {
+  eg::Rng rng = eg::make_rng(6);
+  EtcMatrix etc(Matrix{{1, 2}, {3, 4}});
+  EXPECT_THROW(eg::perturb_lognormal(etc, -0.1, rng), ValueError);
+  EXPECT_THROW(eg::perturb_uniform(etc, 1.0, rng), ValueError);
+  EXPECT_THROW(eg::drop_capabilities(etc, 1.0, rng), ValueError);
+}
+
+TEST(Noise, DropCapabilitiesKeepsInvariants) {
+  eg::Rng rng = eg::make_rng(7);
+  EtcMatrix etc(Matrix(6, 4, 10.0));
+  const auto dropped = eg::drop_capabilities(etc, 0.5, rng);
+  // Constructor would have thrown if a row/column went all-infinite; also
+  // verify some capability was actually dropped at p = 0.5.
+  std::size_t inf_count = 0;
+  for (double v : dropped.values().data())
+    if (std::isinf(v)) ++inf_count;
+  EXPECT_GT(inf_count, 0u);
+  EXPECT_NO_THROW(dropped.to_ecs());
+}
+
+TEST(Noise, DropZeroProbabilityIsIdentity) {
+  eg::Rng rng = eg::make_rng(8);
+  const auto& etc = hetero::spec::spec_cint2006rate();
+  EXPECT_EQ(eg::drop_capabilities(etc, 0.0, rng).values(), etc.values());
+}
+
+TEST(Noise, SmallNoiseSmallMeasureDrift) {
+  // The measures should be stable under small estimation error: 5% noise
+  // must not move any measure by more than a few points.
+  eg::Rng rng = eg::make_rng(9);
+  const auto ecs = hetero::spec::spec_cint2006rate().to_ecs();
+  const auto base = hetero::core::measure_set(ecs);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto noisy = eg::perturb_lognormal(
+        hetero::spec::spec_cint2006rate(), 0.05, rng);
+    const auto m = hetero::core::measure_set(noisy.to_ecs());
+    EXPECT_NEAR(m.mph, base.mph, 0.05);
+    EXPECT_NEAR(m.tdh, base.tdh, 0.05);
+    EXPECT_NEAR(m.tma, base.tma, 0.05);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::par::parallel_for;
+using hetero::par::ThreadPool;
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+  }  // destructor must wait for all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, GrainBatching) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 0, 100,
+               [&](std::size_t i) { sum += static_cast<long>(i); }, 7);
+  EXPECT_EQ(sum.load(), 99L * 100 / 2);
+}
+
+TEST(ParallelFor, ZeroGrainRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(pool, 0, 1, [](std::size_t) {}, 0), ValueError);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsMatchSerial) {
+  ThreadPool pool(3);
+  std::vector<double> parallel_out(500), serial_out(500);
+  const auto f = [](std::size_t i) {
+    return std::sin(static_cast<double>(i)) * 2.0;
+  };
+  parallel_for(pool, 0, parallel_out.size(),
+               [&](std::size_t i) { parallel_out[i] = f(i); }, 13);
+  for (std::size_t i = 0; i < serial_out.size(); ++i) serial_out[i] = f(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "core/performance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using hetero::core::canonical_form;
+using hetero::core::EcsMatrix;
+using hetero::core::is_canonical;
+using hetero::core::machine_performance;
+using hetero::core::machine_performances;
+using hetero::core::task_difficulties;
+using hetero::core::task_difficulty;
+using hetero::core::Weights;
+using hetero::linalg::Matrix;
+
+// Figure 1 of the paper: a 4x3 ECS matrix whose machine 1 performance
+// (column sum) is 17. The printed entries are lost to OCR; this instance
+// satisfies the stated property.
+EcsMatrix fig1_like() {
+  return EcsMatrix(Matrix{{2, 4, 6}, {3, 5, 7}, {4, 6, 8}, {8, 2, 1}});
+}
+
+TEST(MachinePerformance, ColumnSums) {
+  const auto mp = machine_performances(fig1_like());
+  ASSERT_EQ(mp.size(), 3u);
+  EXPECT_DOUBLE_EQ(mp[0], 17.0);  // paper Fig. 1: machine 1 performance = 17
+  EXPECT_DOUBLE_EQ(mp[1], 17.0);
+  EXPECT_DOUBLE_EQ(mp[2], 22.0);
+}
+
+TEST(MachinePerformance, SingleAccessor) {
+  EXPECT_DOUBLE_EQ(machine_performance(fig1_like(), 2), 22.0);
+  EXPECT_THROW(machine_performance(fig1_like(), 3), hetero::DimensionError);
+}
+
+TEST(TaskDifficulty, RowSums) {
+  const auto td = task_difficulties(fig1_like());
+  ASSERT_EQ(td.size(), 4u);
+  EXPECT_DOUBLE_EQ(td[0], 12.0);
+  EXPECT_DOUBLE_EQ(td[3], 11.0);
+  EXPECT_DOUBLE_EQ(task_difficulty(fig1_like(), 1), 15.0);
+}
+
+TEST(MachinePerformance, WeightedForm) {
+  // Eq. 4: MP_j = w_mj * sum_i w_ti ECS(i, j).
+  EcsMatrix ecs(Matrix{{1, 2}, {3, 4}});
+  Weights w;
+  w.task = {2.0, 1.0};
+  w.machine = {1.0, 10.0};
+  const auto mp = machine_performances(ecs, w);
+  EXPECT_DOUBLE_EQ(mp[0], 1.0 * (2 * 1 + 1 * 3));
+  EXPECT_DOUBLE_EQ(mp[1], 10.0 * (2 * 2 + 1 * 4));
+}
+
+TEST(TaskDifficulty, WeightedForm) {
+  // Eq. 6: TD_i = w_ti * sum_j w_mj ECS(i, j).
+  EcsMatrix ecs(Matrix{{1, 2}, {3, 4}});
+  Weights w;
+  w.task = {2.0, 1.0};
+  w.machine = {1.0, 10.0};
+  const auto td = task_difficulties(ecs, w);
+  EXPECT_DOUBLE_EQ(td[0], 2.0 * (1 + 20));
+  EXPECT_DOUBLE_EQ(td[1], 1.0 * (3 + 40));
+}
+
+TEST(CanonicalForm, SortsAscending) {
+  EcsMatrix ecs(Matrix{{5, 1}, {1, 1}}, {"hard", "easy"}, {"fast", "slow"});
+  const auto canonical = canonical_form(ecs);
+  EXPECT_TRUE(is_canonical(canonical.matrix));
+  // Machine order: slow (sum 2) before fast (sum 6).
+  EXPECT_EQ(canonical.machine_order, (std::vector<std::size_t>{1, 0}));
+  // Task order: easy (sum 2) before hard (sum 6).
+  EXPECT_EQ(canonical.task_order, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(canonical.matrix.task_names().front(), "easy");
+  EXPECT_EQ(canonical.matrix.machine_names().front(), "slow");
+}
+
+TEST(CanonicalForm, PermutationConsistency) {
+  EcsMatrix ecs(Matrix{{3, 1, 2}, {6, 2, 4}, {1, 1, 1}});
+  const auto canonical = canonical_form(ecs);
+  for (std::size_t i = 0; i < ecs.task_count(); ++i)
+    for (std::size_t j = 0; j < ecs.machine_count(); ++j)
+      EXPECT_DOUBLE_EQ(
+          canonical.matrix(i, j),
+          ecs(canonical.task_order[i], canonical.machine_order[j]));
+}
+
+TEST(CanonicalForm, AlreadyCanonicalIsIdentityPermutation) {
+  EcsMatrix ecs(Matrix{{1, 2}, {2, 4}});
+  EXPECT_TRUE(is_canonical(ecs));
+  const auto canonical = canonical_form(ecs);
+  EXPECT_EQ(canonical.task_order, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(canonical.machine_order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(CanonicalForm, MeasurePreservingUnderWeights) {
+  EcsMatrix ecs(Matrix{{1, 5}, {4, 2}});
+  Weights w;
+  w.machine = {10.0, 1.0};
+  const auto canonical = canonical_form(ecs, w);
+  // With machine 1 upweighted, machine order flips relative to unweighted.
+  const auto mp_unweighted = machine_performances(ecs);
+  EXPECT_LT(mp_unweighted[0], mp_unweighted[1]);
+  EXPECT_EQ(canonical.machine_order.front(), 1u);
+}
+
+TEST(IsCanonical, DetectsUnsorted) {
+  EXPECT_FALSE(is_canonical(EcsMatrix(Matrix{{5, 1}, {5, 1}})));
+  EXPECT_FALSE(is_canonical(EcsMatrix(Matrix{{5, 5}, {1, 1}})));
+}
+
+}  // namespace

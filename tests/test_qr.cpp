@@ -1,0 +1,164 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::ValueError;
+namespace lin = hetero::linalg;
+using lin::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+TEST(Qr, RejectsWideAndNonFinite) {
+  EXPECT_THROW(lin::qr(Matrix{{1, 2, 3}, {4, 5, 6}}), ValueError);
+  EXPECT_THROW(lin::qr(Matrix{{std::nan("")}, {1.0}}), ValueError);
+}
+
+class QrRandom
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QrRandom, FactorsReconstructAndQIsOrthonormal) {
+  const auto [m, n] = GetParam();
+  const Matrix a = random_matrix(m, n, static_cast<unsigned>(m * 13 + n));
+  const auto f = lin::qr(a);
+  ASSERT_EQ(f.q.rows(), m);
+  ASSERT_EQ(f.q.cols(), n);
+  ASSERT_EQ(f.r.rows(), n);
+  ASSERT_EQ(f.r.cols(), n);
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(f.q, f.r), a), 1e-10);
+  EXPECT_LT(lin::max_abs_diff(lin::gram(f.q), Matrix::identity(n)), 1e-10);
+  // R strictly upper triangular below the diagonal.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(f.r(i, j), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrRandom,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{3, 3},
+                      std::pair<std::size_t, std::size_t>{5, 2},
+                      std::pair<std::size_t, std::size_t>{10, 4},
+                      std::pair<std::size_t, std::size_t>{20, 20}));
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  const Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  // b generated from x = (2, -1): residual 0.
+  const std::vector<double> b{2, -1, 1};
+  const auto x = lin::least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedProjects) {
+  // Fit a constant to {1, 2, 3}: the mean.
+  const Matrix a{{1}, {1}, {1}};
+  const std::vector<double> b{1, 2, 3};
+  const auto x = lin::least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns) {
+  const Matrix a = random_matrix(12, 3, 7);
+  std::vector<double> b(12);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = std::sin(static_cast<double>(i));
+  const auto x = lin::least_squares(a, b);
+  const auto ax = lin::matvec(a, x);
+  std::vector<double> resid(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) resid[i] = b[i] - ax[i];
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(lin::dot(a.col(j), resid), 0.0, 1e-9);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  const Matrix a{{1, 2}, {2, 4}, {3, 6}};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_THROW(lin::least_squares(a, b), ValueError);
+}
+
+TEST(FitLinear, RecoversPlantedModel) {
+  // y = 3 + 2 x1 - x2, noiseless: R^2 = 1.
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(0.0, 5.0);
+  Matrix predictors(30, 2);
+  std::vector<double> y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    predictors(i, 0) = dist(rng);
+    predictors(i, 1) = dist(rng);
+    y[i] = 3.0 + 2.0 * predictors(i, 0) - predictors(i, 1);
+  }
+  const auto fit = lin::fit_linear(predictors, y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], -1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoiseLowersRSquared) {
+  std::mt19937 rng(13);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::uniform_real_distribution<double> dist(0.0, 5.0);
+  Matrix predictors(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    predictors(i, 0) = dist(rng);
+    y[i] = predictors(i, 0) + noise(rng);
+  }
+  const auto fit = lin::fit_linear(predictors, y);
+  EXPECT_GT(fit.r_squared, 0.4);
+  EXPECT_LT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinear, ValidatesShapes) {
+  Matrix predictors(3, 2);
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_THROW(lin::fit_linear(predictors, y), ValueError);  // n <= k+1
+  const std::vector<double> wrong{1, 2};
+  EXPECT_THROW(lin::fit_linear(Matrix(5, 1), wrong), DimensionError);
+}
+
+TEST(ConditionNumber, KnownValues) {
+  EXPECT_NEAR(lin::condition_number(Matrix::identity(3)), 1.0, 1e-10);
+  EXPECT_NEAR(lin::condition_number(Matrix{{10, 0}, {0, 1}}), 10.0, 1e-9);
+  EXPECT_TRUE(std::isinf(lin::condition_number(Matrix{{1, 2}, {2, 4}})));
+}
+
+TEST(PseudoInverse, InvertibleMatchesInverse) {
+  const Matrix a = random_matrix(4, 4, 17);
+  const Matrix pinv = lin::pseudo_inverse(a);
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(a, pinv), Matrix::identity(4)),
+            1e-8);
+}
+
+TEST(PseudoInverse, MoorePenroseConditions) {
+  const Matrix a = random_matrix(5, 3, 19);
+  const Matrix p = lin::pseudo_inverse(a);
+  // A P A = A and P A P = P.
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(lin::matmul(a, p), a), a), 1e-9);
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(lin::matmul(p, a), p), p), 1e-9);
+}
+
+TEST(PseudoInverse, RankDeficientIsWellDefined) {
+  const Matrix rank1{{1, 2}, {2, 4}};
+  const Matrix p = lin::pseudo_inverse(rank1);
+  // A P A = A still holds.
+  EXPECT_LT(lin::max_abs_diff(lin::matmul(lin::matmul(rank1, p), rank1),
+                              rank1),
+            1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "core/region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::classify_region;
+using hetero::core::EcsMatrix;
+using hetero::core::HeterogeneityRegion;
+using hetero::core::Level;
+using hetero::core::MeasureSet;
+using hetero::core::recommend_heuristic;
+using hetero::core::region_name;
+using hetero::core::RegionThresholds;
+using hetero::linalg::Matrix;
+
+TEST(Region, DefaultThresholdSplits) {
+  const auto r = classify_region(MeasureSet{0.9, 0.5, 0.05});
+  EXPECT_EQ(r.mph, Level::high);
+  EXPECT_EQ(r.tdh, Level::medium);
+  EXPECT_EQ(r.tma, Level::low);
+}
+
+TEST(Region, BoundaryValuesGoUp) {
+  // Threshold values belong to the upper bucket (half-open intervals).
+  RegionThresholds t;
+  const auto r = classify_region(MeasureSet{t.homogeneity_low,
+                                            t.homogeneity_high, t.tma_high});
+  EXPECT_EQ(r.mph, Level::medium);
+  EXPECT_EQ(r.tdh, Level::high);
+  EXPECT_EQ(r.tma, Level::high);
+}
+
+TEST(Region, CustomThresholds) {
+  RegionThresholds t;
+  t.tma_low = 0.01;
+  t.tma_high = 0.02;
+  EXPECT_EQ(classify_region(MeasureSet{1, 1, 0.015}, t).tma, Level::medium);
+}
+
+TEST(Region, InvalidThresholdsThrow) {
+  RegionThresholds t;
+  t.homogeneity_low = 0.9;  // > high
+  EXPECT_THROW(classify_region(MeasureSet{1, 1, 0}, t), ValueError);
+}
+
+TEST(Region, NameRendersAllThreeAxes) {
+  HeterogeneityRegion r;
+  r.mph = Level::low;
+  r.tdh = Level::medium;
+  r.tma = Level::high;
+  EXPECT_EQ(region_name(r), "low MPH / medium TDH / high TMA");
+}
+
+TEST(Recommendation, HighAffinityGetsSufferage) {
+  HeterogeneityRegion r;
+  r.tma = Level::high;
+  EXPECT_EQ(recommend_heuristic(r).heuristic, "Sufferage");
+}
+
+TEST(Recommendation, HomogeneousLowAffinityGetsMct) {
+  HeterogeneityRegion r;  // defaults: high/high/low
+  EXPECT_EQ(recommend_heuristic(r).heuristic, "MCT");
+}
+
+TEST(Recommendation, HeterogeneousGetsBatchHeuristic) {
+  HeterogeneityRegion r;
+  r.mph = Level::low;
+  r.tma = Level::medium;
+  EXPECT_NE(recommend_heuristic(r).heuristic.find("Min-Min"),
+            std::string::npos);
+}
+
+TEST(Recommendation, EveryRegionHasARationale) {
+  for (const Level mph : {Level::low, Level::medium, Level::high})
+    for (const Level tma : {Level::low, Level::medium, Level::high}) {
+      HeterogeneityRegion r;
+      r.mph = mph;
+      r.tma = tma;
+      const auto rec = recommend_heuristic(r);
+      EXPECT_FALSE(rec.heuristic.empty());
+      EXPECT_FALSE(rec.rationale.empty());
+    }
+}
+
+TEST(Recommendation, FromEnvironmentEndToEnd) {
+  // Specialized environment -> high TMA -> Sufferage.
+  const EcsMatrix specialized(Matrix{{10, 1, 1}, {1, 10, 1}, {1, 1, 10}});
+  EXPECT_EQ(recommend_heuristic(specialized).heuristic, "Sufferage");
+  // Uniform environment -> MCT.
+  const EcsMatrix uniform(Matrix(3, 3, 1.0));
+  EXPECT_EQ(recommend_heuristic(uniform).heuristic, "MCT");
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::core::EtcMatrix;
+using hetero::core::markdown_report;
+using hetero::core::ReportOptions;
+using hetero::linalg::Matrix;
+
+TEST(Report, ContainsAllSectionsForSpec) {
+  ReportOptions opts;
+  opts.title = "SPEC CFP";
+  const auto md = markdown_report(hetero::spec::spec_cfp2006rate(), opts);
+  for (const char* needle :
+       {"# SPEC CFP", "## Measures", "## Region and mapping advice",
+        "## Affinity structure", "## Machine classes",
+        "## Extreme 2×2 sub-environments",
+        "## Stability under 10% estimate noise", "MPH", "TMA",
+        "Sinkhorn iterations"}) {
+    EXPECT_NE(md.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  ReportOptions opts;
+  opts.with_confidence = false;
+  opts.with_atlas = false;
+  opts.machine_classes = 0;
+  const auto md = markdown_report(hetero::spec::spec_fig8a(), opts);
+  EXPECT_EQ(md.find("## Stability"), std::string::npos);
+  EXPECT_EQ(md.find("## Extreme"), std::string::npos);
+  EXPECT_EQ(md.find("## Machine classes"), std::string::npos);
+  EXPECT_NE(md.find("## Measures"), std::string::npos);
+}
+
+TEST(Report, NoAffinitySectionForRankOne) {
+  // Proportional columns: TMA ~ 0, affinity section omitted.
+  EtcMatrix rank1(Matrix{{1, 2}, {2, 4}, {3, 6}});
+  ReportOptions opts;
+  opts.with_confidence = false;
+  const auto md = markdown_report(rank1, opts);
+  EXPECT_EQ(md.find("## Affinity structure"), std::string::npos);
+}
+
+TEST(Report, FallbackNotedForNonNormalizablePattern) {
+  // A no-support zero pattern (built with true "cannot run" entries).
+  EtcMatrix etc(Matrix{{1, 1, std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity()},
+                       {1, 1, std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity()},
+                       {1, 1, std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity()},
+                       {std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity(), 1, 1}});
+  ReportOptions opts;
+  opts.with_confidence = false;
+  opts.with_atlas = false;
+  const auto md = markdown_report(etc, opts);
+  EXPECT_NE(md.find("No standard form exists"), std::string::npos);
+}
+
+TEST(Report, TinyEnvironmentDoesNotCrash) {
+  const auto md = markdown_report(EtcMatrix(Matrix{{5}}),
+                                  ReportOptions{"tiny", false, false, 0});
+  EXPECT_NE(md.find("1 task types"), std::string::npos);
+}
+
+}  // namespace

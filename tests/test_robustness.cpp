@@ -1,0 +1,144 @@
+#include "sched/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "etcgen/range_based.hpp"
+#include "sched/heuristics.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+namespace sc = hetero::sched;
+
+TEST(Robustness, RadiusFormulaByHand) {
+  // Machine 1: two tasks totalling 6; machine 2: one task of 4. tau = 10.
+  // r_1 = (10 - 6)/sqrt(2); r_2 = (10 - 4)/sqrt(1).
+  EtcMatrix etc(Matrix{{2, 9}, {4, 9}, {9, 4}});
+  const sc::TaskList tasks{0, 1, 2};
+  const sc::Assignment assignment{0, 0, 1};
+  const auto r = sc::makespan_robustness(etc, tasks, assignment, 10.0);
+  EXPECT_NEAR(r.radius[0], 4.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(r.radius[1], 6.0, 1e-12);
+  EXPECT_EQ(r.critical_machine, 0u);
+  EXPECT_NEAR(r.metric, 4.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Robustness, EmptyMachineGetsTau) {
+  EtcMatrix etc(Matrix{{1, 1}, {1, 1}});
+  const auto r =
+      sc::makespan_robustness(etc, {0, 1}, {0, 0}, 5.0);
+  EXPECT_NEAR(r.radius[1], 5.0, 1e-12);
+}
+
+TEST(Robustness, TauMustExceedMakespan) {
+  EtcMatrix etc(Matrix{{3, 3}});
+  EXPECT_THROW(sc::makespan_robustness(etc, {0}, {0}, 3.0), ValueError);
+  EXPECT_NO_THROW(sc::makespan_robustness(etc, {0}, {0}, 3.1));
+}
+
+TEST(Robustness, TauWithSlack) {
+  EtcMatrix etc(Matrix{{4, 8}});
+  EXPECT_NEAR(sc::tau_with_slack(etc, {0}, {0}, 0.25), 5.0, 1e-12);
+  EXPECT_THROW(sc::tau_with_slack(etc, {0}, {0}, 0.0), ValueError);
+}
+
+TEST(Robustness, BalancedAllocationIsMoreRobust) {
+  // Same tau: spreading the load leaves more slack everywhere.
+  EtcMatrix etc(Matrix{{2, 2}, {2, 2}});
+  const sc::TaskList tasks{0, 1};
+  const double tau = 6.0;
+  const auto balanced = sc::makespan_robustness(etc, tasks, {0, 1}, tau);
+  const auto piled = sc::makespan_robustness(etc, tasks, {0, 0}, tau);
+  EXPECT_GT(balanced.metric, piled.metric);
+}
+
+TEST(Robustness, ScalesWithSlack) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(3);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 10;
+  opts.machines = 4;
+  const auto etc = hetero::etcgen::generate_range_based(opts, rng);
+  const auto tasks = sc::one_of_each(etc);
+  const auto a = sc::map_min_min(etc, tasks);
+  const double t1 = sc::tau_with_slack(etc, tasks, a, 0.1);
+  const double t2 = sc::tau_with_slack(etc, tasks, a, 0.5);
+  EXPECT_LT(sc::makespan_robustness(etc, tasks, a, t1).metric,
+            sc::makespan_robustness(etc, tasks, a, t2).metric);
+}
+
+TEST(Metrics, UtilizationBounds) {
+  EtcMatrix etc(Matrix{{2, 2}, {2, 2}});
+  // Perfectly balanced: utilization 1.
+  EXPECT_NEAR(sc::utilization(etc, {0, 1}, {0, 1}), 1.0, 1e-12);
+  // Everything on one machine of two: utilization 1/2.
+  EXPECT_NEAR(sc::utilization(etc, {0, 1}, {0, 0}), 0.5, 1e-12);
+}
+
+TEST(Metrics, LoadImbalance) {
+  EtcMatrix etc(Matrix{{2, 2}, {2, 2}});
+  EXPECT_NEAR(sc::load_imbalance(etc, {0, 1}, {0, 1}), 0.0, 1e-12);
+  // Loads {4, 0}: mean 2, max 4 -> imbalance 1.
+  EXPECT_NEAR(sc::load_imbalance(etc, {0, 1}, {0, 0}), 1.0, 1e-12);
+}
+
+TEST(MaxRobustnessMapper, BeatsMinMinOnRobustness) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(11);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 12;
+  opts.machines = 4;
+  const auto etc = hetero::etcgen::generate_range_based(opts, rng);
+  const auto tasks = sc::one_of_each(etc);
+  const auto minmin = sc::map_min_min(etc, tasks);
+  const double tau = sc::tau_with_slack(etc, tasks, minmin, 0.5);
+  const auto robust = sc::map_max_robustness(etc, tasks, tau);
+  EXPECT_GE(sc::makespan_robustness(etc, tasks, robust, tau).metric,
+            sc::makespan_robustness(etc, tasks, minmin, tau).metric - 1e-9);
+  // Makespan must stay under tau by construction.
+  EXPECT_LT(sc::makespan(etc, tasks, robust), tau);
+}
+
+TEST(MaxRobustnessMapper, RespectsTau) {
+  EtcMatrix etc(Matrix{{3, 3}, {3, 3}});
+  // tau = 4: only one task fits per machine.
+  const auto a = sc::map_max_robustness(etc, {0, 1}, 4.0);
+  EXPECT_NE(a[0], a[1]);
+  // tau = 5 cannot host 4 tasks of size 3 on 2 machines.
+  EXPECT_THROW(sc::map_max_robustness(etc, {0, 0, 1, 1}, 5.0),
+               hetero::ValueError);
+}
+
+TEST(MaxRobustnessMapper, SkipsIncapableMachines) {
+  EtcMatrix etc(
+      Matrix{{1, std::numeric_limits<double>::infinity()}, {1, 1}});
+  const auto a = sc::map_max_robustness(etc, {0, 1}, 10.0);
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_FALSE(std::isinf(sc::makespan(etc, {0, 1}, a)));
+}
+
+TEST(MaxRobustnessMapper, ValidatesTau) {
+  EtcMatrix etc(Matrix{{1, 1}});
+  EXPECT_THROW(sc::map_max_robustness(etc, {0}, 0.0), ValueError);
+  EXPECT_THROW(sc::map_max_robustness(
+                   etc, {0}, std::numeric_limits<double>::infinity()),
+               ValueError);
+}
+
+TEST(Metrics, MinMinBeatsMetOnUtilization) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(5);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 20;
+  opts.machines = 5;
+  opts.consistency = hetero::etcgen::Consistency::consistent;
+  const auto etc = hetero::etcgen::generate_range_based(opts, rng);
+  const auto tasks = sc::one_of_each(etc);
+  // On consistent matrices MET piles everything onto one machine.
+  EXPECT_GT(sc::utilization(etc, tasks, sc::map_min_min(etc, tasks)),
+            sc::utilization(etc, tasks, sc::map_met(etc, tasks)));
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+#include "sched/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "etcgen/range_based.hpp"
+#include "sched/makespan.hpp"
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+namespace sc = hetero::sched;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+EtcMatrix simple() {
+  // Two machines, machine 2 twice as fast for everything.
+  return EtcMatrix(Matrix{{4, 2}, {8, 4}, {2, 1}});
+}
+
+TEST(Makespan, OneOfEach) {
+  EXPECT_EQ(sc::one_of_each(simple()),
+            (sc::TaskList{0, 1, 2}));
+}
+
+TEST(Makespan, LoadsAndMakespan) {
+  const sc::TaskList tasks{0, 1, 2};
+  const sc::Assignment a{0, 1, 0};
+  const auto loads = sc::machine_loads(simple(), tasks, a);
+  EXPECT_DOUBLE_EQ(loads[0], 6.0);
+  EXPECT_DOUBLE_EQ(loads[1], 4.0);
+  EXPECT_DOUBLE_EQ(sc::makespan(simple(), tasks, a), 6.0);
+}
+
+TEST(Makespan, ValidatesSizesAndRanges) {
+  const sc::TaskList tasks{0, 1};
+  EXPECT_THROW(sc::machine_loads(simple(), tasks, sc::Assignment{0}),
+               DimensionError);
+  EXPECT_THROW(sc::machine_loads(simple(), tasks, sc::Assignment{0, 9}),
+               DimensionError);
+  EXPECT_THROW(sc::machine_loads(simple(), sc::TaskList{7}, sc::Assignment{0}),
+               DimensionError);
+}
+
+TEST(Makespan, InfiniteWhenAssignedToIncapableMachine) {
+  EtcMatrix etc(Matrix{{1, kInf}, {1, 1}});
+  const sc::TaskList tasks{0};
+  EXPECT_TRUE(std::isinf(sc::makespan(etc, tasks, sc::Assignment{1})));
+}
+
+TEST(Makespan, LowerBoundHolds) {
+  const sc::TaskList tasks = sc::one_of_each(simple());
+  const double lb = sc::makespan_lower_bound(simple(), tasks);
+  for (const auto& h : sc::standard_heuristics()) {
+    const auto a = h.map(simple(), tasks);
+    EXPECT_GE(sc::makespan(simple(), tasks, a) + 1e-12, lb) << h.name;
+  }
+}
+
+TEST(Heuristics, MetPicksFastestMachine) {
+  const sc::TaskList tasks{0, 1, 2};
+  const auto a = sc::map_met(simple(), tasks);
+  EXPECT_EQ(a, (sc::Assignment{1, 1, 1}));  // machine 2 always fastest
+}
+
+TEST(Heuristics, MctBalancesLoad) {
+  // MCT on task order 0,1,2: t0 -> m2 (2 < 4); t1 -> m2 (2+4=6) vs m1 (8):
+  // m2; t2 -> m1 (2) vs m2 (7): m1.
+  const sc::TaskList tasks{0, 1, 2};
+  const auto a = sc::map_mct(simple(), tasks);
+  EXPECT_EQ(a, (sc::Assignment{1, 1, 0}));
+}
+
+TEST(Heuristics, OlbIgnoresSpeed) {
+  const sc::TaskList tasks{0, 1};
+  const auto a = sc::map_olb(simple(), tasks);
+  // First task to m1 (both idle, lowest index), second to m2.
+  EXPECT_EQ(a, (sc::Assignment{0, 1}));
+}
+
+TEST(Heuristics, MinMinKnownExample) {
+  // Classic example where Min-Min beats MCT's arrival-order greed.
+  EtcMatrix etc(Matrix{{10, 2}, {1, 9}});
+  const sc::TaskList tasks{0, 1};
+  const auto a = sc::map_min_min(etc, tasks);
+  EXPECT_EQ(a, (sc::Assignment{1, 0}));
+  EXPECT_DOUBLE_EQ(sc::makespan(etc, tasks, a), 2.0);
+}
+
+TEST(Heuristics, MaxMinMapsLongTaskFirst) {
+  EtcMatrix etc(Matrix{{100, 110}, {1, 2}, {1, 2}});
+  const sc::TaskList tasks{0, 1, 2};
+  const auto a = sc::map_max_min(etc, tasks);
+  // Long task 0 claims m1 first; the short tasks then avoid queueing on it.
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_DOUBLE_EQ(sc::makespan(etc, tasks, a), 100.0);
+}
+
+TEST(Heuristics, SufferageClassicCase) {
+  // Task 0 suffers little (4 vs 5); task 1 suffers a lot (1 vs 20). With
+  // both competing for machine 1, sufferage gives it to task 1 and task 0
+  // falls back to machine 2.
+  EtcMatrix etc(Matrix{{5, 4}, {1, 20}});
+  const sc::TaskList tasks{0, 1};
+  const auto a = sc::map_sufferage(etc, tasks);
+  EXPECT_EQ(a[1], 0u);
+  EXPECT_EQ(a[0], 1u);
+}
+
+TEST(Heuristics, DuplexNeverWorseThanEither) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(21);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 30;
+  opts.machines = 6;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto etc = hetero::etcgen::generate_range_based(opts, rng);
+    const auto tasks = sc::one_of_each(etc);
+    const double dup = sc::makespan(etc, tasks, sc::map_duplex(etc, tasks));
+    const double mn = sc::makespan(etc, tasks, sc::map_min_min(etc, tasks));
+    const double mx = sc::makespan(etc, tasks, sc::map_max_min(etc, tasks));
+    EXPECT_LE(dup, std::min(mn, mx) + 1e-9);
+  }
+}
+
+TEST(Heuristics, AllRespectCannotRunEntries) {
+  EtcMatrix etc(Matrix{{1, kInf}, {kInf, 1}, {2, 2}});
+  const sc::TaskList tasks{0, 1, 2};
+  for (const auto& h : sc::standard_heuristics()) {
+    const auto a = h.map(etc, tasks);
+    EXPECT_FALSE(std::isinf(sc::makespan(etc, tasks, a))) << h.name;
+    EXPECT_EQ(a[0], 0u) << h.name;
+    EXPECT_EQ(a[1], 1u) << h.name;
+  }
+}
+
+TEST(Heuristics, RandomIsValid) {
+  EtcMatrix etc(Matrix{{1, kInf}, {kInf, 1}});
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto a = sc::map_random(etc, {0, 1}, rng);
+    EXPECT_EQ(a[0], 0u);
+    EXPECT_EQ(a[1], 1u);
+  }
+}
+
+TEST(Heuristics, RepeatedTaskInstances) {
+  // Four instances of task 0 on two equal machines: any load-aware
+  // heuristic must split 2/2.
+  EtcMatrix etc(Matrix{{3, 3}, {1, 1}});
+  const sc::TaskList tasks{0, 0, 0, 0};
+  for (const auto& h : {sc::Heuristic{"MCT", sc::map_mct},
+                        sc::Heuristic{"Min-Min", sc::map_min_min},
+                        sc::Heuristic{"Sufferage", sc::map_sufferage}}) {
+    const auto a = h.map(etc, tasks);
+    EXPECT_DOUBLE_EQ(sc::makespan(etc, tasks, a), 6.0) << h.name;
+  }
+}
+
+TEST(Heuristics, EmptyTaskListYieldsEmptyAssignment) {
+  for (const auto& h : sc::standard_heuristics())
+    EXPECT_TRUE(h.map(simple(), {}).empty()) << h.name;
+}
+
+TEST(Heuristics, RegistryNamesAndOrder) {
+  const auto& hs = sc::standard_heuristics();
+  ASSERT_EQ(hs.size(), 7u);
+  EXPECT_EQ(hs[0].name, "OLB");
+  EXPECT_EQ(hs[3].name, "Min-Min");
+  EXPECT_EQ(hs[6].name, "Duplex");
+}
+
+TEST(Heuristics, MinMinNoWorseThanRandomOnAverage) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(33);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 40;
+  opts.machines = 8;
+  double minmin = 0.0, rand = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto etc = hetero::etcgen::generate_range_based(opts, rng);
+    const auto tasks = sc::one_of_each(etc);
+    minmin += sc::makespan(etc, tasks, sc::map_min_min(etc, tasks));
+    rand += sc::makespan(etc, tasks, sc::map_random(etc, tasks, rng));
+  }
+  EXPECT_LT(minmin, rand);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spec/spec_data.hpp"
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::EtcMatrix;
+using hetero::core::measure_sensitivity;
+using hetero::core::most_sensitive;
+using hetero::linalg::Matrix;
+
+TEST(Sensitivity, ShapesMatchEnvironment) {
+  EtcMatrix etc(Matrix{{1, 2, 3}, {4, 5, 6}});
+  const auto map = measure_sensitivity(etc);
+  EXPECT_EQ(map.mph.rows(), 2u);
+  EXPECT_EQ(map.mph.cols(), 3u);
+  EXPECT_EQ(map.tma.rows(), 2u);
+}
+
+TEST(Sensitivity, HomogeneousPointIsStationary) {
+  // The all-equal environment maximizes every measure's homogeneity, so
+  // the first derivative with respect to any entry is ~0 (any perturbation
+  // decreases MPH/TDH in *both* directions).
+  EtcMatrix etc(Matrix(3, 3, 10.0));
+  const auto map = measure_sensitivity(etc);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(map.mph(i, j), 0.0, 0.01) << i << "," << j;
+      EXPECT_NEAR(map.tdh(i, j), 0.0, 0.01) << i << "," << j;
+    }
+}
+
+TEST(Sensitivity, MphSignsFollowTheSlowFastSplit) {
+  // Machine 2 is the slow one (MPH = 0.5). Slowing a fast-machine entry
+  // homogenizes (positive elasticity); slowing a slow-machine entry makes
+  // it worse (negative).
+  EtcMatrix etc(Matrix{{1, 2}, {1, 2}});
+  const auto map = measure_sensitivity(etc);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GT(map.mph(i, 0), 0.0) << i;
+    EXPECT_LT(map.mph(i, 1), 0.0) << i;
+  }
+}
+
+TEST(Sensitivity, TdhSignsFollowTheEasyHardSplit) {
+  // Task 2 is the hard one. Slowing an easy-task entry homogenizes TDH.
+  EtcMatrix etc(Matrix{{1, 1}, {2, 2}});
+  const auto map = measure_sensitivity(etc);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_GT(map.tdh(0, j), 0.0) << j;
+    EXPECT_LT(map.tdh(1, j), 0.0) << j;
+  }
+}
+
+TEST(Sensitivity, ScaleInvarianceMakesGlobalShiftsCancel) {
+  // The measures are scale-invariant, so the *sum* of elasticities over
+  // all entries (a uniform relative change) must be ~0.
+  EtcMatrix etc(Matrix{{1, 5, 2}, {3, 1, 4}, {2, 2, 2}});
+  const auto map = measure_sensitivity(etc);
+  EXPECT_NEAR(map.mph.total(), 0.0, 0.02);
+  EXPECT_NEAR(map.tdh.total(), 0.0, 0.02);
+  EXPECT_NEAR(map.tma.total(), 0.0, 0.05);
+}
+
+TEST(Sensitivity, InfiniteEntriesHaveZeroElasticity) {
+  EtcMatrix etc(Matrix{{1, std::numeric_limits<double>::infinity()}, {2, 3}});
+  const auto map = measure_sensitivity(etc);
+  EXPECT_EQ(map.mph(0, 1), 0.0);
+  EXPECT_EQ(map.tma(0, 1), 0.0);
+}
+
+TEST(Sensitivity, TmaMapHighlightsTheAffinityEntry) {
+  // One specialized entry drives the affinity of an otherwise uniform
+  // environment: the TMA map's most sensitive entry must be it.
+  Matrix values(4, 4, 100.0);
+  values(2, 1) = 5.0;  // task 3 loves machine 2
+  EtcMatrix etc(values);
+  const auto map = measure_sensitivity(etc);
+  const auto top = most_sensitive(map.tma);
+  EXPECT_EQ(top.task, 2u);
+  EXPECT_EQ(top.machine, 1u);
+  // Slowing that entry destroys the affinity: negative elasticity... the
+  // sign depends on direction; the magnitude is what must dominate.
+  EXPECT_GT(std::abs(top.elasticity), 0.01);
+}
+
+TEST(Sensitivity, ValidatesStep) {
+  EtcMatrix etc(Matrix{{1, 2}, {3, 4}});
+  hetero::core::SensitivityOptions bad;
+  bad.relative_step = 0.0;
+  EXPECT_THROW(measure_sensitivity(etc, bad), ValueError);
+  bad.relative_step = 1.0;
+  EXPECT_THROW(measure_sensitivity(etc, bad), ValueError);
+}
+
+TEST(Sensitivity, MostSensitiveFindsMaxAbs) {
+  Matrix s{{0.1, -0.5}, {0.2, 0.3}};
+  const auto top = most_sensitive(s);
+  EXPECT_EQ(top.task, 0u);
+  EXPECT_EQ(top.machine, 1u);
+  EXPECT_DOUBLE_EQ(top.elasticity, -0.5);
+}
+
+TEST(Sensitivity, RunsOnSpecScale) {
+  const auto map =
+      measure_sensitivity(hetero::spec::spec_fig8b());
+  const auto top = most_sensitive(map.tma);
+  EXPECT_GT(std::abs(top.elasticity), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include "core/standard_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/svd.hpp"
+
+namespace {
+
+using hetero::ConvergenceError;
+using hetero::ValueError;
+using hetero::core::classify_pattern;
+using hetero::core::EcsMatrix;
+using hetero::core::NormalizabilityClass;
+using hetero::core::SinkhornOptions;
+using hetero::core::standard_form_residual;
+using hetero::core::standardize;
+using hetero::core::Weights;
+using hetero::linalg::Matrix;
+
+Matrix random_positive(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.1, 10.0);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+TEST(StandardForm, TargetsFollowTheorem1WithK) {
+  // k = 1/sqrt(TM): rows sum to sqrt(M/T), columns to sqrt(T/M).
+  const auto r = standardize(random_positive(3, 5, 1));
+  EXPECT_DOUBLE_EQ(r.target_row_sum, std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(r.target_col_sum, std::sqrt(3.0 / 5.0));
+}
+
+TEST(StandardForm, PositiveMatrixConverges) {
+  const Matrix m = random_positive(4, 6, 2);
+  const auto r = standardize(m);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.pattern, NormalizabilityClass::positive);
+  EXPECT_FALSE(r.projected_to_core);
+  EXPECT_LT(r.residual, 1e-8);
+  EXPECT_LT(standard_form_residual(r.standard, r.target_row_sum,
+                                   r.target_col_sum),
+            1e-8);
+}
+
+TEST(StandardForm, LargestSingularValueIsOneTheorem2) {
+  for (unsigned seed : {3u, 4u, 5u}) {
+    const auto r = standardize(random_positive(5, 3, seed));
+    const auto sigma = hetero::linalg::singular_values(r.standard);
+    EXPECT_NEAR(sigma.front(), 1.0, 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(StandardForm, ScalingConsistency) {
+  // standard == diag(row_scale) * input * diag(col_scale) for normalizable
+  // patterns.
+  const Matrix m = random_positive(4, 4, 6);
+  const auto r = standardize(m);
+  Matrix rebuilt = m;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      rebuilt(i, j) *= r.row_scale[i] * r.col_scale[j];
+  EXPECT_LT(hetero::linalg::max_abs_diff(rebuilt, r.standard), 1e-10);
+}
+
+TEST(StandardForm, ScaleInvariance) {
+  const Matrix m = random_positive(3, 3, 7);
+  const auto a = standardize(m);
+  const auto b = standardize(m * 123.0);
+  EXPECT_LT(hetero::linalg::max_abs_diff(a.standard, b.standard), 1e-7);
+}
+
+TEST(StandardForm, AlreadyStandardIsFixedPoint) {
+  // The 2x2 exchange matrix is standard for T = M = 2 (row/col sums 1).
+  const Matrix c{{0, 1}, {1, 0}};
+  const auto r = standardize(c);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_LT(hetero::linalg::max_abs_diff(r.standard, c), 1e-12);
+}
+
+TEST(StandardForm, DoublyStochasticScaledSquare) {
+  // For square T = M the targets are row = col = 1.
+  const auto r = standardize(random_positive(4, 4, 8));
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(r.standard.row_sum(i), 1.0, 1e-8);
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(r.standard.col_sum(j), 1.0, 1e-8);
+}
+
+TEST(StandardForm, TotalSupportPatternConverges) {
+  // Block diagonal: decomposable but totally supported -> exact standard
+  // form exists (the paper's "sufficient, not necessary" remark).
+  const Matrix m{{2, 3, 0}, {4, 5, 0}, {0, 0, 7}};
+  const auto r = standardize(m);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.pattern, NormalizabilityClass::normalizable_pattern);
+  EXPECT_FALSE(r.projected_to_core);
+}
+
+TEST(StandardForm, LimitOnlyPatternProjectsToCore) {
+  // Support without total support: entry (0,1)'s mass must vanish in the
+  // limit; the implementation projects to the core and converges to it.
+  const Matrix m{{10, 5}, {0, 1}};
+  const auto r = standardize(m);
+  EXPECT_EQ(r.pattern, NormalizabilityClass::limit_only);
+  EXPECT_TRUE(r.projected_to_core);
+  EXPECT_TRUE(r.converged);
+  // Limit is the identity pattern scaled to row/col sums 1.
+  EXPECT_NEAR(r.standard(0, 0), 1.0, 1e-8);
+  EXPECT_NEAR(r.standard(0, 1), 0.0, 1e-8);
+  EXPECT_NEAR(r.standard(1, 1), 1.0, 1e-8);
+}
+
+TEST(StandardForm, Eq10MatrixHasNoExactStandardForm) {
+  const Matrix eq10{{0, 0, 1}, {1, 0, 1}, {0, 1, 0}};
+  EXPECT_EQ(classify_pattern(eq10), NormalizabilityClass::limit_only);
+  const auto r = standardize(eq10);
+  EXPECT_TRUE(r.projected_to_core);
+  // The limit is the permutation matrix with (1,2) zeroed.
+  EXPECT_NEAR(r.standard(1, 2), 0.0, 1e-12);
+  EXPECT_NEAR(r.standard(1, 0), 1.0, 1e-8);
+}
+
+TEST(StandardForm, NoSupportDoesNotConverge) {
+  const Matrix m{{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 1, 0, 0}, {0, 0, 1, 1}};
+  SinkhornOptions opts;
+  opts.max_iterations = 200;
+  const auto r = standardize(m, opts);
+  EXPECT_EQ(r.pattern, NormalizabilityClass::not_normalizable);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.residual, 1e-8);
+}
+
+TEST(StandardForm, ThrowOnFailureOption) {
+  const Matrix m{{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 1, 0, 0}, {0, 0, 1, 1}};
+  SinkhornOptions opts;
+  opts.max_iterations = 50;
+  opts.throw_on_failure = true;
+  EXPECT_THROW(standardize(m, opts), ConvergenceError);
+}
+
+TEST(StandardForm, InvalidInputsRejected) {
+  EXPECT_THROW(standardize(Matrix{}), ValueError);
+  EXPECT_THROW(standardize(Matrix{{1, -1}, {1, 1}}), ValueError);
+  EXPECT_THROW(standardize(Matrix{{0, 0}, {1, 1}}), ValueError);
+  EXPECT_THROW(standardize(Matrix{{0, 1}, {0, 1}}), ValueError);
+  EXPECT_THROW(standardize(Matrix{{1.0, std::nan("")}, {1, 1}}), ValueError);
+}
+
+TEST(StandardForm, RowFirstOrderingReachesSameForm) {
+  // Theorem 1: D1, D2 unique up to a scalar, so the standard form itself
+  // is unique — both orderings must converge to it.
+  const Matrix m = random_positive(6, 4, 21);
+  SinkhornOptions row_first;
+  row_first.row_first = true;
+  const auto a = standardize(m);
+  const auto b = standardize(m, row_first);
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(b.converged);
+  EXPECT_LT(hetero::linalg::max_abs_diff(a.standard, b.standard), 1e-7);
+}
+
+TEST(StandardForm, WeightedEcsOverload) {
+  EcsMatrix ecs(Matrix{{1, 2}, {3, 4}});
+  Weights w;
+  w.task = {1.0, 2.0};
+  const auto r = standardize(ecs, w);
+  EXPECT_TRUE(r.converged);
+  // Same as standardizing the weighted view directly.
+  const auto direct = standardize(ecs.weighted_values(w));
+  EXPECT_LT(hetero::linalg::max_abs_diff(r.standard, direct.standard), 1e-12);
+}
+
+TEST(StandardForm, SingleRowMatrix) {
+  const auto r = standardize(Matrix{{1, 2, 3}});
+  EXPECT_TRUE(r.converged);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(r.standard.col_sum(j), r.target_col_sum, 1e-9);
+}
+
+TEST(StandardForm, SingleColumnMatrix) {
+  const auto r = standardize(Matrix{{1}, {2}, {3}});
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(r.standard.row_sum(i), r.target_row_sum, 1e-9);
+}
+
+class SinkhornShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SinkhornShapes, ConvergesWithExactSums) {
+  const auto [t, m] = GetParam();
+  const Matrix input = random_positive(t, m, static_cast<unsigned>(t * 31 + m));
+  const auto r = standardize(input);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < t; ++i)
+    EXPECT_NEAR(r.standard.row_sum(i), r.target_row_sum, 1e-7);
+  for (std::size_t j = 0; j < m; ++j)
+    EXPECT_NEAR(r.standard.col_sum(j), r.target_col_sum, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SinkhornShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{2, 5},
+                      std::pair<std::size_t, std::size_t>{5, 2},
+                      std::pair<std::size_t, std::size_t>{12, 5},
+                      std::pair<std::size_t, std::size_t>{17, 5},
+                      std::pair<std::size_t, std::size_t>{10, 10},
+                      std::pair<std::size_t, std::size_t>{31, 7}));
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include "core/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "etcgen/cvb.hpp"
+#include "etcgen/range_based.hpp"
+
+namespace {
+
+using hetero::core::consistency_index;
+using hetero::core::etc_statistics;
+using hetero::core::EtcMatrix;
+using hetero::core::is_consistent;
+using hetero::core::machine_heterogeneity_per_task;
+using hetero::core::task_heterogeneity_per_machine;
+using hetero::linalg::Matrix;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Statistics, TaskHeterogeneityIsColumnCov) {
+  // Column 1 has values {1, 3}: mean 2, population std 1 -> COV 0.5.
+  EtcMatrix etc(Matrix{{1, 5}, {3, 5}});
+  const auto th = task_heterogeneity_per_machine(etc);
+  EXPECT_NEAR(th[0], 0.5, 1e-12);
+  EXPECT_NEAR(th[1], 0.0, 1e-12);
+}
+
+TEST(Statistics, MachineHeterogeneityIsRowCov) {
+  EtcMatrix etc(Matrix{{1, 3}, {5, 5}});
+  const auto mh = machine_heterogeneity_per_task(etc);
+  EXPECT_NEAR(mh[0], 0.5, 1e-12);
+  EXPECT_NEAR(mh[1], 0.0, 1e-12);
+}
+
+TEST(Statistics, InfiniteEntriesExcluded) {
+  EtcMatrix etc(Matrix{{1, 3, kInf}, {5, 5, 5}});
+  const auto mh = machine_heterogeneity_per_task(etc);
+  EXPECT_NEAR(mh[0], 0.5, 1e-12);  // {1, 3} only
+}
+
+TEST(Statistics, SingleFiniteEntryGivesZero) {
+  EtcMatrix etc(Matrix{{1, kInf}, {kInf, 5}});
+  const auto mh = machine_heterogeneity_per_task(etc);
+  EXPECT_EQ(mh[0], 0.0);
+  EXPECT_EQ(mh[1], 0.0);
+}
+
+TEST(Consistency, FullyConsistentMatrix) {
+  EtcMatrix etc(Matrix{{1, 2, 3}, {10, 20, 30}});
+  EXPECT_TRUE(is_consistent(etc));
+  EXPECT_DOUBLE_EQ(consistency_index(etc), 1.0);
+}
+
+TEST(Consistency, SingleMachineVacuouslyConsistent) {
+  EtcMatrix etc(Matrix{{1}, {2}});
+  EXPECT_TRUE(is_consistent(etc));
+  EXPECT_DOUBLE_EQ(consistency_index(etc), 1.0);
+}
+
+TEST(Consistency, FullyInconsistentPair) {
+  // Machines swap order between the two task types: agreement = 1/2.
+  EtcMatrix etc(Matrix{{1, 2}, {2, 1}});
+  EXPECT_FALSE(is_consistent(etc));
+  EXPECT_NEAR(consistency_index(etc), 0.0, 1e-12);
+}
+
+TEST(Consistency, TiesCountAsConsistent) {
+  EtcMatrix etc(Matrix{{2, 2}, {3, 3}});
+  EXPECT_TRUE(is_consistent(etc));
+  EXPECT_DOUBLE_EQ(consistency_index(etc), 1.0);
+}
+
+TEST(Consistency, PartialAgreement) {
+  // 3 of 4 task types prefer machine 1: f = 0.75, index = 0.5.
+  EtcMatrix etc(Matrix{{1, 2}, {1, 2}, {1, 2}, {2, 1}});
+  EXPECT_FALSE(is_consistent(etc));
+  EXPECT_NEAR(consistency_index(etc), 0.5, 1e-12);
+}
+
+TEST(Consistency, MakeConsistentRaisesIndexToOne) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(31);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 12;
+  opts.machines = 6;
+  const auto raw = hetero::etcgen::generate_range_based(opts, rng);
+  const auto sorted = hetero::etcgen::make_consistent(raw);
+  EXPECT_LT(consistency_index(raw), 1.0);
+  EXPECT_DOUBLE_EQ(consistency_index(sorted), 1.0);
+  EXPECT_TRUE(is_consistent(sorted));
+}
+
+TEST(Consistency, SemiConsistentInBetween) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(37);
+  hetero::etcgen::RangeBasedOptions opts;
+  opts.tasks = 30;
+  opts.machines = 8;
+  const auto raw = hetero::etcgen::generate_range_based(opts, rng);
+  hetero::etcgen::Rng rng2 = hetero::etcgen::make_rng(38);
+  const auto semi = hetero::etcgen::make_semi_consistent(raw, 0.5, rng2);
+  EXPECT_GT(consistency_index(semi), consistency_index(raw));
+  EXPECT_LT(consistency_index(semi), 1.0);
+}
+
+TEST(Statistics, AggregateStruct) {
+  EtcMatrix etc(Matrix{{1, 2}, {3, 4}});
+  const auto s = etc_statistics(etc);
+  EXPECT_GT(s.mean_task_heterogeneity, 0.0);
+  EXPECT_GT(s.mean_machine_heterogeneity, 0.0);
+  EXPECT_DOUBLE_EQ(s.consistency, 1.0);
+}
+
+TEST(Statistics, CvbCovControlsMeasuredCov) {
+  // The CVB generator's V parameters should surface in these statistics.
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(41);
+  hetero::etcgen::CvbOptions low;
+  low.tasks = 60;
+  low.machines = 10;
+  low.task_cov = 0.2;
+  low.machine_cov = 0.2;
+  hetero::etcgen::CvbOptions high = low;
+  high.task_cov = 1.0;
+  high.machine_cov = 1.0;
+  const auto s_low = etc_statistics(hetero::etcgen::generate_cvb(low, rng));
+  const auto s_high = etc_statistics(hetero::etcgen::generate_cvb(high, rng));
+  EXPECT_LT(s_low.mean_machine_heterogeneity, s_high.mean_machine_heterogeneity);
+  EXPECT_LT(s_low.mean_task_heterogeneity, s_high.mean_task_heterogeneity);
+}
+
+}  // namespace

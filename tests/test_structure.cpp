@@ -1,0 +1,190 @@
+#include "graph/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using hetero::ValueError;
+namespace g = hetero::graph;
+using hetero::linalg::Matrix;
+
+// The paper's eq. 10 matrix, reconstructed from its textual properties:
+// four nonzero entries, second row and third column sum to 2, others to 1,
+// decomposable by moving the last column to the front (eq. 12).
+Matrix eq10() { return Matrix{{0, 0, 1}, {1, 0, 1}, {0, 1, 0}}; }
+
+TEST(Support, PositiveMatrixHasEverything) {
+  const Matrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(g::has_support(m));
+  EXPECT_TRUE(g::has_total_support(m));
+  EXPECT_TRUE(g::is_fully_indecomposable(m));
+  EXPECT_TRUE(g::is_sinkhorn_normalizable(m));
+}
+
+TEST(Support, IdentityHasTotalSupportButIsDecomposable) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_TRUE(g::has_support(i));
+  EXPECT_TRUE(g::has_total_support(i));
+  // The paper notes diagonal matrices are decomposable (block form of
+  // eq. 11) yet still normalizable: indecomposability is sufficient, not
+  // necessary.
+  EXPECT_FALSE(g::is_fully_indecomposable(i));
+  EXPECT_TRUE(g::is_sinkhorn_normalizable(i));
+}
+
+TEST(Support, TriangularHasSupportOnly) {
+  const Matrix t{{1, 1}, {0, 1}};
+  EXPECT_TRUE(g::has_support(t));
+  EXPECT_FALSE(g::has_total_support(t));
+  EXPECT_FALSE(g::is_fully_indecomposable(t));
+  EXPECT_FALSE(g::is_sinkhorn_normalizable(t));
+}
+
+TEST(Support, NoSupportWithoutZeroLines) {
+  // Rows 0-2 live entirely in columns 0-1: Hall violation, yet no all-zero
+  // row or column.
+  const Matrix m{{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 1, 0, 0}, {0, 0, 1, 1}};
+  EXPECT_FALSE(g::has_support(m));
+  EXPECT_FALSE(g::has_total_support(m));
+  EXPECT_FALSE(g::is_fully_indecomposable(m));
+  EXPECT_FALSE(g::is_sinkhorn_normalizable(m));
+  EXPECT_FALSE(g::support_core(m).has_value());
+}
+
+TEST(Support, Eq10MatrixClassification) {
+  const Matrix m = eq10();
+  EXPECT_TRUE(g::has_support(m));
+  EXPECT_FALSE(g::has_total_support(m));
+  EXPECT_FALSE(g::is_fully_indecomposable(m));
+  EXPECT_FALSE(g::is_sinkhorn_normalizable(m));
+}
+
+TEST(Support, Eq10SupportCoreIsPermutation) {
+  const auto core = g::support_core(eq10());
+  ASSERT_TRUE(core.has_value());
+  // Entry (1, 2) is the only one off every positive diagonal.
+  EXPECT_EQ((*core)(1, 2), 0.0);
+  EXPECT_EQ((*core)(0, 2), 1.0);
+  EXPECT_EQ((*core)(1, 0), 1.0);
+  EXPECT_EQ((*core)(2, 1), 1.0);
+  EXPECT_TRUE(g::has_total_support(*core));
+}
+
+TEST(Support, SupportCoreOfTotalSupportMatrixIsUnchanged) {
+  const Matrix m{{1, 2}, {3, 4}};
+  const auto core = g::support_core(m);
+  ASSERT_TRUE(core.has_value());
+  EXPECT_EQ(*core, m);
+}
+
+TEST(Support, RejectsNonSquare) {
+  const Matrix r{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_THROW(g::has_support(r), ValueError);
+  EXPECT_THROW(g::has_total_support(r), ValueError);
+  EXPECT_THROW(g::is_fully_indecomposable(r), ValueError);
+}
+
+TEST(Support, RejectsNegativeEntries) {
+  EXPECT_THROW(g::has_support(Matrix{{1, -1}, {1, 1}}), ValueError);
+}
+
+TEST(FullIndecomposability, AllOnesIsFullyIndecomposable) {
+  EXPECT_TRUE(g::is_fully_indecomposable(Matrix(3, 3, 1.0)));
+}
+
+TEST(FullIndecomposability, OneByOne) {
+  EXPECT_TRUE(g::is_fully_indecomposable(Matrix{{2}}));
+  EXPECT_FALSE(g::is_fully_indecomposable(Matrix{{0}}));
+}
+
+TEST(FullIndecomposability, BlockDiagonalIsDecomposable) {
+  const Matrix m{{1, 1, 0}, {1, 1, 0}, {0, 0, 1}};
+  EXPECT_TRUE(g::has_total_support(m));
+  EXPECT_FALSE(g::is_fully_indecomposable(m));
+  EXPECT_TRUE(g::is_sinkhorn_normalizable(m));  // total support suffices
+}
+
+TEST(FullIndecomposability, CirculantIsFullyIndecomposable) {
+  // Each row has two adjacent ones: strongly connected pattern.
+  const Matrix m{{1, 1, 0}, {0, 1, 1}, {1, 0, 1}};
+  EXPECT_TRUE(g::is_fully_indecomposable(m));
+}
+
+TEST(FullIndecomposability, RectangularAllPositive) {
+  EXPECT_TRUE(g::is_fully_indecomposable_rect(Matrix(2, 4, 1.0)));
+  EXPECT_TRUE(g::is_fully_indecomposable_rect(Matrix(4, 2, 1.0)));
+}
+
+TEST(FullIndecomposability, RectangularWithBadSubmatrix) {
+  // The 2x2 submatrix of columns {1, 2} is [[1,0],[0,1]]: decomposable.
+  const Matrix m{{1, 1, 0}, {1, 0, 1}};
+  EXPECT_FALSE(g::is_fully_indecomposable_rect(m));
+}
+
+TEST(FullIndecomposability, RectangularGuardThrows) {
+  const Matrix wide(2, 30, 1.0);
+  EXPECT_THROW(g::is_fully_indecomposable_rect(wide, 10), ValueError);
+}
+
+TEST(SinkhornNormalizable, RectangularPositive) {
+  EXPECT_TRUE(g::is_sinkhorn_normalizable(Matrix(3, 5, 2.0)));
+}
+
+TEST(SinkhornNormalizable, RectangularWithBlockedPattern) {
+  // Tiled square of this pattern lacks total support: entry (0,1) is off
+  // every positive diagonal in the 2x2 case already.
+  const Matrix m{{1, 1}, {0, 1}};
+  EXPECT_FALSE(g::is_sinkhorn_normalizable(m));
+  // In the 4x4 tiling of this 2x4 pattern, entry (0,1) lies on no positive
+  // diagonal (both copies of row 2 compete for column 3), so no exact
+  // standard form exists.
+  const Matrix r{{1, 1, 1, 1}, {0, 1, 0, 1}};
+  EXPECT_FALSE(g::is_sinkhorn_normalizable(r));
+  // Its support core exists, though: the limit of the iteration is defined.
+  EXPECT_TRUE(g::support_core(r).has_value());
+}
+
+TEST(BlockTriangularForm, FullyIndecomposableIsOneBlock) {
+  const auto form = g::block_triangular_form(Matrix(3, 3, 1.0));
+  ASSERT_TRUE(form.has_value());
+  EXPECT_EQ(form->block_sizes, (std::vector<std::size_t>{3}));
+}
+
+TEST(BlockTriangularForm, NoSupportReturnsNullopt) {
+  const Matrix m{{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 1, 0, 0}, {0, 0, 1, 1}};
+  EXPECT_FALSE(g::block_triangular_form(m).has_value());
+}
+
+TEST(BlockTriangularForm, ExposesLowerTriangularBlocks) {
+  const Matrix m = eq10();
+  const auto form = g::block_triangular_form(m);
+  ASSERT_TRUE(form.has_value());
+  const Matrix p = m.permuted(form->row_perm, form->col_perm);
+
+  // Every diagonal entry positive, and zero block above the diagonal blocks.
+  std::size_t offset = 0;
+  for (const std::size_t size : form->block_sizes) {
+    for (std::size_t i = offset; i < offset + size; ++i) {
+      EXPECT_GT(p(i, i), 0.0);
+      for (std::size_t j = offset + size; j < p.cols(); ++j)
+        EXPECT_EQ(p(i, j), 0.0) << "nonzero above block at (" << i << "," << j
+                                << ")";
+    }
+    offset += size;
+  }
+  EXPECT_GT(form->block_sizes.size(), 1u);  // eq. 10 is decomposable
+}
+
+TEST(BlockTriangularForm, BlockDiagonalInput) {
+  const Matrix m{{0, 0, 1}, {1, 1, 0}, {1, 1, 0}};
+  const auto form = g::block_triangular_form(m);
+  ASSERT_TRUE(form.has_value());
+  std::size_t total = 0;
+  for (std::size_t s : form->block_sizes) total += s;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(form->block_sizes.size(), 2u);
+}
+
+}  // namespace

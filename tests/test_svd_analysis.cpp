@@ -1,0 +1,120 @@
+#include "core/svd_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/measures.hpp"
+
+namespace {
+
+using hetero::ConvergenceError;
+using hetero::core::affinity_analysis;
+using hetero::core::EcsMatrix;
+using hetero::core::machine_column_cosines;
+using hetero::core::max_column_angle;
+using hetero::linalg::Matrix;
+
+EcsMatrix specialized() {
+  return EcsMatrix(Matrix{{10, 1, 1}, {1, 10, 1}, {1, 1, 10}},
+                   {"ta", "tb", "tc"}, {"ma", "mb", "mc"});
+}
+
+TEST(ColumnCosines, RankOneIsAllOnes) {
+  const EcsMatrix rank1(Matrix{{1, 2}, {2, 4}, {3, 6}});
+  const auto cos = machine_column_cosines(rank1);
+  for (std::size_t j = 0; j < 2; ++j)
+    for (std::size_t k = 0; k < 2; ++k) EXPECT_NEAR(cos(j, k), 1.0, 1e-12);
+  EXPECT_NEAR(max_column_angle(rank1), 0.0, 1e-6);
+}
+
+TEST(ColumnCosines, SpecializedMachinesHaveLargeAngles) {
+  const auto cos = machine_column_cosines(specialized());
+  EXPECT_LT(cos(0, 1), 0.5);
+  EXPECT_GT(max_column_angle(specialized()), 1.0);  // > ~57 degrees
+}
+
+TEST(ColumnCosines, SymmetricWithUnitDiagonal) {
+  const EcsMatrix ecs(Matrix{{1, 5, 2}, {3, 1, 4}});
+  const auto cos = machine_column_cosines(ecs);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(cos(j, j), 1.0);
+    for (std::size_t k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(cos(j, k), cos(k, j));
+  }
+}
+
+TEST(ColumnCosines, OrthogonalColumns) {
+  const EcsMatrix ecs(Matrix{{1, 0}, {0, 1}});
+  const auto cos = machine_column_cosines(ecs);
+  EXPECT_NEAR(cos(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(max_column_angle(ecs), std::acos(0.0), 1e-9);
+}
+
+TEST(AffinityAnalysis, TmaMatchesMeasure) {
+  const auto analysis = affinity_analysis(specialized());
+  EXPECT_NEAR(analysis.tma, hetero::core::tma(specialized()), 1e-9);
+}
+
+TEST(AffinityAnalysis, ModeCountAndOrdering) {
+  const auto analysis = affinity_analysis(specialized());
+  ASSERT_EQ(analysis.modes.size(), 2u);
+  EXPECT_GE(analysis.modes[0].sigma, analysis.modes[1].sigma);
+  EXPECT_EQ(analysis.modes[0].task_component.size(), 3u);
+  EXPECT_EQ(analysis.modes[0].machine_component.size(), 3u);
+}
+
+TEST(AffinityAnalysis, MaxModesTruncates) {
+  const auto analysis = affinity_analysis(specialized(), {}, 1);
+  EXPECT_EQ(analysis.modes.size(), 1u);
+  // TMA still uses all modes, not the truncated list.
+  EXPECT_NEAR(analysis.tma, hetero::core::tma(specialized()), 1e-9);
+}
+
+TEST(AffinityAnalysis, RankOneHasNoSignificantModes) {
+  const EcsMatrix rank1(Matrix{{1, 2}, {2, 4}});
+  const auto analysis = affinity_analysis(rank1);
+  ASSERT_EQ(analysis.modes.size(), 1u);
+  EXPECT_NEAR(analysis.modes[0].sigma, 0.0, 1e-9);
+}
+
+TEST(AffinityAnalysis, ModePairsTaskWithItsMachine) {
+  // In the specialized environment, task i is tied to machine i: within a
+  // mode, the sign of task component i must match the sign of machine
+  // component i for the dominant pair.
+  const auto analysis = affinity_analysis(specialized());
+  const auto& mode = analysis.modes.front();
+  // Find the dominant machine of the mode.
+  std::size_t jmax = 0;
+  for (std::size_t j = 1; j < 3; ++j)
+    if (std::abs(mode.machine_component[j]) >
+        std::abs(mode.machine_component[jmax]))
+      jmax = j;
+  // Its paired task (same index) must align in sign.
+  EXPECT_GT(mode.task_component[jmax] * mode.machine_component[jmax], 0.0);
+}
+
+TEST(AffinityAnalysis, ThrowsWhenNoStandardForm) {
+  const Matrix no_support{{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 1, 0, 0},
+                          {0, 0, 1, 1}};
+  EXPECT_THROW(affinity_analysis(EcsMatrix(no_support)), ConvergenceError);
+}
+
+TEST(DescribeStrongestMode, MentionsTheSpecializedPair) {
+  const auto analysis = affinity_analysis(specialized());
+  const auto text = hetero::core::describe_strongest_mode(analysis, 1);
+  EXPECT_NE(text.find("sigma"), std::string::npos);
+  // The named task/machine must be one of the specialized pairs (ta-ma etc).
+  bool found_pair = false;
+  for (const char* pair : {"ta", "tb", "tc"}) {
+    if (text.find(pair) != std::string::npos) found_pair = true;
+  }
+  EXPECT_TRUE(found_pair) << text;
+}
+
+TEST(DescribeStrongestMode, HandlesNoModes) {
+  hetero::core::AffinityAnalysis empty;
+  EXPECT_NE(hetero::core::describe_strongest_mode(empty).find("no affinity"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::ValueError;
+namespace lin = hetero::linalg;
+
+TEST(VectorOps, Dot) {
+  const std::vector<double> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(lin::dot(a, b), 32.0);
+  const std::vector<double> c{1};
+  EXPECT_THROW(lin::dot(a, c), DimensionError);
+}
+
+TEST(VectorOps, Norm2) {
+  const std::vector<double> v{3, 4};
+  EXPECT_DOUBLE_EQ(lin::norm2(v), 5.0);
+}
+
+TEST(VectorOps, SumAndMean) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(lin::sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(lin::mean(v), 2.5);
+  EXPECT_THROW(lin::mean(std::vector<double>{}), ValueError);
+}
+
+TEST(VectorOps, PopulationStddevMatchesPaperFig2) {
+  // Paper Fig. 2 environment 1 reports COV = 0.88 for (1,2,4,8,16), which
+  // requires the population (divide-by-n) standard deviation.
+  const std::vector<double> v{1, 2, 4, 8, 16};
+  EXPECT_NEAR(lin::stddev_population(v) / lin::mean(v), 0.88, 0.005);
+}
+
+TEST(VectorOps, SampleStddev) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(lin::stddev_population(v), 2.0, 1e-12);
+  EXPECT_GT(lin::stddev_sample(v), lin::stddev_population(v));
+  EXPECT_THROW(lin::stddev_sample(std::vector<double>{1.0}), ValueError);
+}
+
+TEST(VectorOps, GeometricMean) {
+  const std::vector<double> v{1, 4, 16};
+  EXPECT_DOUBLE_EQ(lin::geometric_mean(v), 4.0);
+  EXPECT_THROW(lin::geometric_mean(std::vector<double>{1, 0}), ValueError);
+  EXPECT_THROW(lin::geometric_mean(std::vector<double>{}), ValueError);
+}
+
+TEST(VectorOps, CoefficientOfVariation) {
+  const std::vector<double> flat{5, 5, 5};
+  EXPECT_DOUBLE_EQ(lin::coefficient_of_variation(flat), 0.0);
+  const std::vector<double> zero_mean{-1, 1};
+  EXPECT_THROW(lin::coefficient_of_variation(zero_mean), ValueError);
+}
+
+TEST(VectorOps, AscendingOrder) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  const auto idx = lin::ascending_order(v);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(VectorOps, AscendingOrderIsStableOnTies) {
+  const std::vector<double> v{2.0, 1.0, 2.0, 1.0};
+  const auto idx = lin::ascending_order(v);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1, 3, 0, 2}));
+}
+
+TEST(VectorOps, SortedAscendingAndIsAscending) {
+  const std::vector<double> v{3, 1, 2};
+  EXPECT_EQ(lin::sorted_ascending(v), (std::vector<double>{1, 2, 3}));
+  EXPECT_FALSE(lin::is_ascending(v));
+  EXPECT_TRUE(lin::is_ascending(lin::sorted_ascending(v)));
+  EXPECT_TRUE(lin::is_ascending(std::vector<double>{1, 1, 2}));
+}
+
+TEST(VectorOps, Permutations) {
+  const auto id = lin::identity_permutation(4);
+  EXPECT_EQ(id, (std::vector<std::size_t>{0, 1, 2, 3}));
+  const std::vector<std::size_t> p{2, 0, 1};
+  EXPECT_TRUE(lin::is_permutation_vector(p));
+  EXPECT_EQ(lin::inverse_permutation(p), (std::vector<std::size_t>{1, 2, 0}));
+  const std::vector<std::size_t> dup{0, 0, 1};
+  EXPECT_FALSE(lin::is_permutation_vector(dup));
+  EXPECT_THROW(lin::inverse_permutation(dup), ValueError);
+  const std::vector<std::size_t> oob{0, 3};
+  EXPECT_FALSE(lin::is_permutation_vector(oob));
+}
+
+TEST(VectorOps, InversePermutationRoundTrip) {
+  const std::vector<std::size_t> p{3, 1, 0, 2};
+  const auto inv = lin::inverse_permutation(p);
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(inv[p[i]], i);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+#include "core/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::ValueError;
+using hetero::core::add_machine;
+using hetero::core::add_task;
+using hetero::core::EcsMatrix;
+using hetero::core::measure_set;
+using hetero::core::remove_machine;
+using hetero::core::remove_task;
+using hetero::core::Weights;
+using hetero::core::whatif_remove_each_machine;
+using hetero::core::whatif_remove_each_task;
+using hetero::linalg::Matrix;
+
+EcsMatrix sample() {
+  return EcsMatrix(Matrix{{1, 5, 2}, {3, 1, 4}, {2, 2, 2}},
+                   {"a", "b", "c"}, {"x", "y", "z"});
+}
+
+TEST(WhatIf, RemoveTask) {
+  const auto out = remove_task(sample(), 1);
+  EXPECT_EQ(out.task_count(), 2u);
+  EXPECT_EQ(out.task_names(), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(out(1, 0), 2);
+  EXPECT_THROW(remove_task(sample(), 3), DimensionError);
+}
+
+TEST(WhatIf, RemoveMachine) {
+  const auto out = remove_machine(sample(), 0);
+  EXPECT_EQ(out.machine_count(), 2u);
+  EXPECT_EQ(out.machine_names(), (std::vector<std::string>{"y", "z"}));
+  EXPECT_THROW(remove_machine(sample(), 9), DimensionError);
+}
+
+TEST(WhatIf, CannotRemoveLastTaskOrMachine) {
+  EcsMatrix tiny(Matrix{{1}});
+  EXPECT_THROW(remove_task(tiny, 0), ValueError);
+  EXPECT_THROW(remove_machine(tiny, 0), ValueError);
+}
+
+TEST(WhatIf, RemovalThatInvalidatesThrows) {
+  // Task b only runs on machine y; removing y leaves an all-zero row.
+  EcsMatrix ecs(Matrix{{1, 1}, {0, 1}});
+  EXPECT_THROW(remove_machine(ecs, 1), ValueError);
+}
+
+TEST(WhatIf, AddTask) {
+  const double speeds[] = {1.0, 2.0, 3.0};
+  const auto out = add_task(sample(), speeds, "new");
+  EXPECT_EQ(out.task_count(), 4u);
+  EXPECT_EQ(out.task_names().back(), "new");
+  EXPECT_EQ(out(3, 2), 3.0);
+  const double wrong[] = {1.0};
+  EXPECT_THROW(add_task(sample(), wrong), DimensionError);
+}
+
+TEST(WhatIf, AddTaskDefaultName) {
+  const double speeds[] = {1.0, 2.0, 3.0};
+  EXPECT_EQ(add_task(sample(), speeds).task_names().back(), "t4");
+}
+
+TEST(WhatIf, AddMachine) {
+  const double speeds[] = {9.0, 8.0, 7.0};
+  const auto out = add_machine(sample(), speeds, "gpu");
+  EXPECT_EQ(out.machine_count(), 4u);
+  EXPECT_EQ(out.machine_names().back(), "gpu");
+  EXPECT_EQ(out(0, 3), 9.0);
+  const double wrong[] = {1.0};
+  EXPECT_THROW(add_machine(sample(), wrong), DimensionError);
+}
+
+TEST(WhatIf, AddThenRemoveRoundTrip) {
+  const double speeds[] = {9.0, 8.0, 7.0};
+  const auto grown = add_machine(sample(), speeds);
+  const auto back = remove_machine(grown, 3);
+  EXPECT_EQ(back.values(), sample().values());
+}
+
+TEST(WhatIf, RemoveEachMachineProducesDeltas) {
+  const auto deltas = whatif_remove_each_machine(sample());
+  ASSERT_EQ(deltas.size(), 3u);
+  const auto base = measure_set(sample());
+  for (const auto& d : deltas) {
+    EXPECT_DOUBLE_EQ(d.before.mph, base.mph);
+    EXPECT_NE(d.description.find("remove machine"), std::string::npos);
+  }
+  // Removing a machine from a 3-machine environment must change something.
+  EXPECT_NE(deltas[0].after.mph, deltas[1].after.mph);
+}
+
+TEST(WhatIf, RemoveEachTaskProducesDeltas) {
+  const auto deltas = whatif_remove_each_task(sample());
+  ASSERT_EQ(deltas.size(), 3u);
+  for (const auto& d : deltas)
+    EXPECT_NE(d.description.find("remove task"), std::string::npos);
+}
+
+TEST(WhatIf, SkipsInvalidRemovals) {
+  // Machine y is the only one running task b: its removal is skipped.
+  EcsMatrix ecs(Matrix{{1, 1, 1}, {0, 1, 0}});
+  const auto deltas = whatif_remove_each_machine(ecs);
+  EXPECT_EQ(deltas.size(), 2u);
+  for (const auto& d : deltas)
+    EXPECT_EQ(d.description.find("remove machine m2"), std::string::npos);
+}
+
+TEST(WhatIf, DeltaAccessors) {
+  hetero::core::WhatIfDelta d;
+  d.before = {0.5, 0.6, 0.1};
+  d.after = {0.7, 0.5, 0.3};
+  EXPECT_NEAR(d.mph_delta(), 0.2, 1e-12);
+  EXPECT_NEAR(d.tdh_delta(), -0.1, 1e-12);
+  EXPECT_NEAR(d.tma_delta(), 0.2, 1e-12);
+}
+
+TEST(WhatIf, WeightedDeltasSliceWeights) {
+  Weights w;
+  w.machine = {1.0, 2.0, 3.0};
+  const auto deltas = whatif_remove_each_machine(sample(), w);
+  EXPECT_EQ(deltas.size(), 3u);  // weights sliced per removal, no throw
+}
+
+TEST(WhatIf, HomogenizingRemoval) {
+  // Machine z is the outlier; removing it must raise MPH.
+  EcsMatrix ecs(Matrix{{1, 1, 8}, {1, 1, 8}});
+  const auto deltas = whatif_remove_each_machine(ecs);
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_GT(deltas[2].mph_delta(), 0.0);
+}
+
+TEST(GreedyHomogenize, RemovesTheOutlierFirst) {
+  EcsMatrix ecs(Matrix{{1, 1.1, 8}, {1, 0.9, 8}});
+  const auto r = hetero::core::greedy_homogenize(ecs, 1);
+  ASSERT_EQ(r.removed_machines.size(), 1u);
+  EXPECT_EQ(r.removed_machines[0], 2u);  // the 8x machine
+  EXPECT_GT(r.mph_after, r.mph_before);
+  EXPECT_EQ(r.result.machine_count(), 2u);
+}
+
+TEST(GreedyHomogenize, StopsWhenNoImprovement) {
+  // Perfectly homogeneous: no removal can raise MPH above 1.
+  EcsMatrix ecs(Matrix{{1, 1, 1}, {2, 2, 2}});
+  const auto r = hetero::core::greedy_homogenize(ecs, 2);
+  EXPECT_TRUE(r.removed_machines.empty());
+  EXPECT_DOUBLE_EQ(r.mph_before, 1.0);
+  EXPECT_DOUBLE_EQ(r.mph_after, 1.0);
+}
+
+TEST(GreedyHomogenize, TracksOriginalIndicesAcrossRounds) {
+  // Outliers at original columns 0 (speed 16) and 3 (speed 8); both must be
+  // reported with their *original* indices.
+  EcsMatrix ecs(Matrix{{16, 1, 1.1, 8}, {16, 1, 0.9, 8}});
+  const auto r = hetero::core::greedy_homogenize(ecs, 2);
+  ASSERT_EQ(r.removed_machines.size(), 2u);
+  const std::set<std::size_t> removed(r.removed_machines.begin(),
+                                      r.removed_machines.end());
+  EXPECT_TRUE(removed.count(0));
+  EXPECT_TRUE(removed.count(3));
+  EXPECT_EQ(r.result.machine_count(), 2u);
+}
+
+TEST(GreedyHomogenize, CannotRemoveEverything) {
+  EcsMatrix ecs(Matrix{{1, 2}, {3, 4}});
+  EXPECT_THROW(hetero::core::greedy_homogenize(ecs, 2), ValueError);
+  EXPECT_NO_THROW(hetero::core::greedy_homogenize(ecs, 1));
+}
+
+TEST(GreedyHomogenize, MonotoneInMph) {
+  EcsMatrix ecs(Matrix{{1, 2, 5, 20}, {2, 3, 4, 18}, {1, 1, 6, 22}});
+  double last = hetero::core::mph(ecs);
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const auto r = hetero::core::greedy_homogenize(ecs, k);
+    EXPECT_GE(r.mph_after, last - 1e-12);
+    last = r.mph_after;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include "sched/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using hetero::DimensionError;
+using hetero::ValueError;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+namespace sc = hetero::sched;
+
+EtcMatrix env() {
+  return EtcMatrix(Matrix{{1, 2}, {3, 4}, {5, 6}}, {"a", "b", "c"},
+                   {"m1", "m2"});
+}
+
+TEST(Workload, ConstantRateMatchesExpectation) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(1);
+  sc::WorkloadOptions opts;
+  opts.base_rate = 4.0;
+  const auto arrivals = sc::generate_workload(env(), opts, 2000, rng);
+  ASSERT_EQ(arrivals.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end(),
+                             [](const sc::Arrival& x, const sc::Arrival& y) {
+                               return x.time < y.time;
+                             }));
+  // Mean inter-arrival ~ 1/4.
+  EXPECT_NEAR(arrivals.back().time / 2000.0, 0.25, 0.03);
+}
+
+TEST(Workload, MixControlsTypeFrequencies) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(2);
+  sc::WorkloadOptions opts;
+  opts.task_mix = {8.0, 1.0, 1.0};
+  const auto arrivals = sc::generate_workload(env(), opts, 3000, rng);
+  std::size_t type0 = 0;
+  for (const auto& a : arrivals)
+    if (a.type == 0) ++type0;
+  EXPECT_NEAR(static_cast<double>(type0) / 3000.0, 0.8, 0.05);
+}
+
+TEST(Workload, ZeroMixWeightExcludesType) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(3);
+  sc::WorkloadOptions opts;
+  opts.task_mix = {1.0, 0.0, 1.0};
+  const auto arrivals = sc::generate_workload(env(), opts, 500, rng);
+  for (const auto& a : arrivals) EXPECT_NE(a.type, 1u);
+}
+
+TEST(Workload, DiurnalModulatesDensity) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(4);
+  sc::WorkloadOptions opts;
+  opts.base_rate = 10.0;
+  opts.shape = sc::RateShape::diurnal;
+  opts.diurnal_amplitude = 0.9;
+  opts.diurnal_period = 10.0;
+  const auto arrivals = sc::generate_workload(env(), opts, 5000, rng);
+  // Count arrivals in the rising half-period vs the falling one: sin > 0
+  // for t mod 10 in (0, 5), < 0 in (5, 10).
+  std::size_t peak = 0, trough = 0;
+  for (const auto& a : arrivals) {
+    const double phase = std::fmod(a.time, 10.0);
+    (phase < 5.0 ? peak : trough) += 1;
+  }
+  EXPECT_GT(static_cast<double>(peak), 1.5 * static_cast<double>(trough));
+}
+
+TEST(Workload, BurstyHasHeavierTailGaps) {
+  // Bursty traffic: same mean-ish rate but far more variable inter-arrival
+  // gaps than constant-rate Poisson.
+  const auto gap_cov = [](const std::vector<sc::Arrival>& arrivals) {
+    std::vector<double> gaps;
+    for (std::size_t k = 1; k < arrivals.size(); ++k)
+      gaps.push_back(arrivals[k].time - arrivals[k - 1].time);
+    return hetero::linalg::coefficient_of_variation(gaps);
+  };
+  hetero::etcgen::Rng rng1 = hetero::etcgen::make_rng(5);
+  hetero::etcgen::Rng rng2 = hetero::etcgen::make_rng(5);
+  sc::WorkloadOptions flat;
+  flat.base_rate = 2.0;
+  sc::WorkloadOptions bursty = flat;
+  bursty.shape = sc::RateShape::bursty;
+  bursty.burst_factor = 20.0;
+  bursty.mean_normal_duration = 50.0;
+  bursty.mean_burst_duration = 5.0;
+  const auto a = sc::generate_workload(env(), flat, 3000, rng1);
+  const auto b = sc::generate_workload(env(), bursty, 3000, rng2);
+  EXPECT_GT(gap_cov(b), 1.2 * gap_cov(a));
+}
+
+TEST(Workload, ValidatesOptions) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(6);
+  sc::WorkloadOptions bad;
+  bad.base_rate = 0.0;
+  EXPECT_THROW(sc::generate_workload(env(), bad, 1, rng), ValueError);
+  bad = {};
+  bad.diurnal_amplitude = 1.0;
+  EXPECT_THROW(sc::generate_workload(env(), bad, 1, rng), ValueError);
+  bad = {};
+  bad.burst_factor = 0.5;
+  EXPECT_THROW(sc::generate_workload(env(), bad, 1, rng), ValueError);
+  bad = {};
+  bad.task_mix = {1.0};  // wrong arity
+  EXPECT_THROW(sc::generate_workload(env(), bad, 1, rng), DimensionError);
+  bad = {};
+  bad.task_mix = {0.0, 0.0, 0.0};
+  EXPECT_THROW(sc::generate_workload(env(), bad, 1, rng), ValueError);
+}
+
+TEST(Workload, TraceCsvRoundTrip) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(7);
+  const auto arrivals = sc::generate_workload(env(), {}, 50, rng);
+  const auto text = sc::write_trace_csv_string(env(), arrivals);
+  const auto parsed = sc::read_trace_csv_string(text, env());
+  ASSERT_EQ(parsed.size(), arrivals.size());
+  for (std::size_t k = 0; k < arrivals.size(); ++k) {
+    EXPECT_DOUBLE_EQ(parsed[k].time, arrivals[k].time);
+    EXPECT_EQ(parsed[k].type, arrivals[k].type);
+  }
+}
+
+TEST(Workload, TraceCsvAcceptsNumericTypes) {
+  const auto parsed = sc::read_trace_csv_string("time,task\n1.5,2\n", env());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].type, 2u);
+}
+
+TEST(Workload, TraceCsvRejectsBadInput) {
+  EXPECT_THROW(sc::read_trace_csv_string("garbage-no-comma\n", env()),
+               ValueError);
+  EXPECT_THROW(sc::read_trace_csv_string("x,a\n", env()), ValueError);
+  EXPECT_THROW(sc::read_trace_csv_string("-1,a\n", env()), ValueError);
+  EXPECT_THROW(sc::read_trace_csv_string("1,unknown-task\n", env()),
+               ValueError);
+  EXPECT_THROW(sc::read_trace_csv_string("1,9\n", env()), DimensionError);
+}
+
+TEST(Workload, FeedsDynamicSimulator) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(8);
+  sc::WorkloadOptions opts;
+  opts.shape = sc::RateShape::bursty;
+  opts.base_rate = 0.5;
+  const auto arrivals = sc::generate_workload(env(), opts, 100, rng);
+  const auto r = sc::simulate_immediate(env(), arrivals,
+                                        sc::ImmediateMode::mct);
+  EXPECT_EQ(r.assignment.size(), 100u);
+  EXPECT_TRUE(std::isfinite(r.makespan));
+}
+
+}  // namespace
