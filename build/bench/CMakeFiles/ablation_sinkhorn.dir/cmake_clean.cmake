@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sinkhorn.dir/ablation_sinkhorn.cpp.o"
+  "CMakeFiles/ablation_sinkhorn.dir/ablation_sinkhorn.cpp.o.d"
+  "ablation_sinkhorn"
+  "ablation_sinkhorn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sinkhorn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tma.dir/ablation_tma.cpp.o"
+  "CMakeFiles/ablation_tma.dir/ablation_tma.cpp.o.d"
+  "ablation_tma"
+  "ablation_tma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

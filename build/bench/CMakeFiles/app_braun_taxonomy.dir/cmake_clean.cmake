@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_braun_taxonomy.dir/app_braun_taxonomy.cpp.o"
+  "CMakeFiles/app_braun_taxonomy.dir/app_braun_taxonomy.cpp.o.d"
+  "app_braun_taxonomy"
+  "app_braun_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_braun_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_correlation_vs_tma.dir/app_correlation_vs_tma.cpp.o"
+  "CMakeFiles/app_correlation_vs_tma.dir/app_correlation_vs_tma.cpp.o.d"
+  "app_correlation_vs_tma"
+  "app_correlation_vs_tma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_correlation_vs_tma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

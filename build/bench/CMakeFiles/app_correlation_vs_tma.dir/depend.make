@@ -1,0 +1,2 @@
+# Empty dependencies file for app_correlation_vs_tma.
+# This may be replaced when dependencies are built.

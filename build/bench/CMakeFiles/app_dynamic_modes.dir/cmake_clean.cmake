@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_dynamic_modes.dir/app_dynamic_modes.cpp.o"
+  "CMakeFiles/app_dynamic_modes.dir/app_dynamic_modes.cpp.o.d"
+  "app_dynamic_modes"
+  "app_dynamic_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_dynamic_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

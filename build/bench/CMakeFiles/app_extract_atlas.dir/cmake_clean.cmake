@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_extract_atlas.dir/app_extract_atlas.cpp.o"
+  "CMakeFiles/app_extract_atlas.dir/app_extract_atlas.cpp.o.d"
+  "app_extract_atlas"
+  "app_extract_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_extract_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_heuristic_selection.dir/app_heuristic_selection.cpp.o"
+  "CMakeFiles/app_heuristic_selection.dir/app_heuristic_selection.cpp.o.d"
+  "app_heuristic_selection"
+  "app_heuristic_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_heuristic_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

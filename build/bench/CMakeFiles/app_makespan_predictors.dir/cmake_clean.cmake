@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_makespan_predictors.dir/app_makespan_predictors.cpp.o"
+  "CMakeFiles/app_makespan_predictors.dir/app_makespan_predictors.cpp.o.d"
+  "app_makespan_predictors"
+  "app_makespan_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_makespan_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_measure_sweep.dir/app_measure_sweep.cpp.o"
+  "CMakeFiles/app_measure_sweep.dir/app_measure_sweep.cpp.o.d"
+  "app_measure_sweep"
+  "app_measure_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_measure_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_robustness.dir/app_robustness.cpp.o"
+  "CMakeFiles/app_robustness.dir/app_robustness.cpp.o.d"
+  "app_robustness"
+  "app_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

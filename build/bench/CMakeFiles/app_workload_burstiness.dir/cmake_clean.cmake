@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_workload_burstiness.dir/app_workload_burstiness.cpp.o"
+  "CMakeFiles/app_workload_burstiness.dir/app_workload_burstiness.cpp.o.d"
+  "app_workload_burstiness"
+  "app_workload_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_workload_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_machine_performance.dir/fig1_machine_performance.cpp.o"
+  "CMakeFiles/fig1_machine_performance.dir/fig1_machine_performance.cpp.o.d"
+  "fig1_machine_performance"
+  "fig1_machine_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_machine_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

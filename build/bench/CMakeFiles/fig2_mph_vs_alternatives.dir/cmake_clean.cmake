@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mph_vs_alternatives.dir/fig2_mph_vs_alternatives.cpp.o"
+  "CMakeFiles/fig2_mph_vs_alternatives.dir/fig2_mph_vs_alternatives.cpp.o.d"
+  "fig2_mph_vs_alternatives"
+  "fig2_mph_vs_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mph_vs_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tma_motivation.dir/fig3_tma_motivation.cpp.o"
+  "CMakeFiles/fig3_tma_motivation.dir/fig3_tma_motivation.cpp.o.d"
+  "fig3_tma_motivation"
+  "fig3_tma_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tma_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_extremal_matrices.dir/fig4_extremal_matrices.cpp.o"
+  "CMakeFiles/fig4_extremal_matrices.dir/fig4_extremal_matrices.cpp.o.d"
+  "fig4_extremal_matrices"
+  "fig4_extremal_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_extremal_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

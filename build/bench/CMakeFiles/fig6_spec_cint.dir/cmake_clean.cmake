@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_spec_cint.dir/fig6_spec_cint.cpp.o"
+  "CMakeFiles/fig6_spec_cint.dir/fig6_spec_cint.cpp.o.d"
+  "fig6_spec_cint"
+  "fig6_spec_cint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spec_cint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spec_cfp.dir/fig7_spec_cfp.cpp.o"
+  "CMakeFiles/fig7_spec_cfp.dir/fig7_spec_cfp.cpp.o.d"
+  "fig7_spec_cfp"
+  "fig7_spec_cfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spec_cfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_spec_cfp.
+# This may be replaced when dependencies are built.

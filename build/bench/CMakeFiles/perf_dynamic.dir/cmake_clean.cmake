@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_dynamic.dir/perf_dynamic.cpp.o"
+  "CMakeFiles/perf_dynamic.dir/perf_dynamic.cpp.o.d"
+  "perf_dynamic"
+  "perf_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

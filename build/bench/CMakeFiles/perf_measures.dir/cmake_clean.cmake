@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_measures.dir/perf_measures.cpp.o"
+  "CMakeFiles/perf_measures.dir/perf_measures.cpp.o.d"
+  "perf_measures"
+  "perf_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sinkhorn.dir/perf_sinkhorn.cpp.o"
+  "CMakeFiles/perf_sinkhorn.dir/perf_sinkhorn.cpp.o.d"
+  "perf_sinkhorn"
+  "perf_sinkhorn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sinkhorn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_decomposable.dir/sec6_decomposable.cpp.o"
+  "CMakeFiles/sec6_decomposable.dir/sec6_decomposable.cpp.o.d"
+  "sec6_decomposable"
+  "sec6_decomposable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_decomposable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

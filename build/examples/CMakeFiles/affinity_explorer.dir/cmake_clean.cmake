@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_explorer.dir/affinity_explorer.cpp.o"
+  "CMakeFiles/affinity_explorer.dir/affinity_explorer.cpp.o.d"
+  "affinity_explorer"
+  "affinity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

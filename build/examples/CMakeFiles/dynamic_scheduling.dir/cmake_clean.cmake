@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_scheduling.dir/dynamic_scheduling.cpp.o"
+  "CMakeFiles/dynamic_scheduling.dir/dynamic_scheduling.cpp.o.d"
+  "dynamic_scheduling"
+  "dynamic_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_matrices.dir/generate_matrices.cpp.o"
+  "CMakeFiles/generate_matrices.dir/generate_matrices.cpp.o.d"
+  "generate_matrices"
+  "generate_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

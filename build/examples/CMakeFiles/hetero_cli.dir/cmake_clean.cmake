@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_cli.dir/hetero_cli.cpp.o"
+  "CMakeFiles/hetero_cli.dir/hetero_cli.cpp.o.d"
+  "hetero_cli"
+  "hetero_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

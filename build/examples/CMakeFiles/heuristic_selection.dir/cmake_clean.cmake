@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_selection.dir/heuristic_selection.cpp.o"
+  "CMakeFiles/heuristic_selection.dir/heuristic_selection.cpp.o.d"
+  "heuristic_selection"
+  "heuristic_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_analysis.dir/spec_analysis.cpp.o"
+  "CMakeFiles/spec_analysis.dir/spec_analysis.cpp.o.d"
+  "spec_analysis"
+  "spec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

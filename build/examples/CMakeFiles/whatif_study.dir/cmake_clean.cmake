@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_study.dir/whatif_study.cpp.o"
+  "CMakeFiles/whatif_study.dir/whatif_study.cpp.o.d"
+  "whatif_study"
+  "whatif_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

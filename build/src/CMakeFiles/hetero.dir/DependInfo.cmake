@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustering.cpp" "src/CMakeFiles/hetero.dir/core/clustering.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/clustering.cpp.o.d"
+  "/root/repo/src/core/confidence.cpp" "src/CMakeFiles/hetero.dir/core/confidence.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/confidence.cpp.o.d"
+  "/root/repo/src/core/etc_matrix.cpp" "src/CMakeFiles/hetero.dir/core/etc_matrix.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/etc_matrix.cpp.o.d"
+  "/root/repo/src/core/extracts.cpp" "src/CMakeFiles/hetero.dir/core/extracts.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/extracts.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "src/CMakeFiles/hetero.dir/core/measures.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/measures.cpp.o.d"
+  "/root/repo/src/core/performance.cpp" "src/CMakeFiles/hetero.dir/core/performance.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/performance.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/CMakeFiles/hetero.dir/core/region.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/region.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/hetero.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/CMakeFiles/hetero.dir/core/sensitivity.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/sensitivity.cpp.o.d"
+  "/root/repo/src/core/standard_form.cpp" "src/CMakeFiles/hetero.dir/core/standard_form.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/standard_form.cpp.o.d"
+  "/root/repo/src/core/statistics.cpp" "src/CMakeFiles/hetero.dir/core/statistics.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/statistics.cpp.o.d"
+  "/root/repo/src/core/svd_analysis.cpp" "src/CMakeFiles/hetero.dir/core/svd_analysis.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/svd_analysis.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/CMakeFiles/hetero.dir/core/whatif.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/core/whatif.cpp.o.d"
+  "/root/repo/src/etcgen/anneal.cpp" "src/CMakeFiles/hetero.dir/etcgen/anneal.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/etcgen/anneal.cpp.o.d"
+  "/root/repo/src/etcgen/correlation.cpp" "src/CMakeFiles/hetero.dir/etcgen/correlation.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/etcgen/correlation.cpp.o.d"
+  "/root/repo/src/etcgen/cvb.cpp" "src/CMakeFiles/hetero.dir/etcgen/cvb.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/etcgen/cvb.cpp.o.d"
+  "/root/repo/src/etcgen/noise.cpp" "src/CMakeFiles/hetero.dir/etcgen/noise.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/etcgen/noise.cpp.o.d"
+  "/root/repo/src/etcgen/range_based.cpp" "src/CMakeFiles/hetero.dir/etcgen/range_based.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/etcgen/range_based.cpp.o.d"
+  "/root/repo/src/etcgen/suite.cpp" "src/CMakeFiles/hetero.dir/etcgen/suite.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/etcgen/suite.cpp.o.d"
+  "/root/repo/src/etcgen/target_measures.cpp" "src/CMakeFiles/hetero.dir/etcgen/target_measures.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/etcgen/target_measures.cpp.o.d"
+  "/root/repo/src/graph/bipartite_matching.cpp" "src/CMakeFiles/hetero.dir/graph/bipartite_matching.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/graph/bipartite_matching.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/CMakeFiles/hetero.dir/graph/scc.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/graph/scc.cpp.o.d"
+  "/root/repo/src/graph/structure.cpp" "src/CMakeFiles/hetero.dir/graph/structure.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/graph/structure.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/hetero.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/CMakeFiles/hetero.dir/io/json.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/io/json.cpp.o.d"
+  "/root/repo/src/io/matrix_market.cpp" "src/CMakeFiles/hetero.dir/io/matrix_market.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/io/matrix_market.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/hetero.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/io/table.cpp.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cpp" "src/CMakeFiles/hetero.dir/linalg/jacobi_eigen.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/linalg/jacobi_eigen.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/hetero.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/hetero.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/hetero.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/CMakeFiles/hetero.dir/linalg/svd.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/linalg/svd.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/hetero.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/linalg/vector_ops.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/hetero.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/sched/dynamic.cpp" "src/CMakeFiles/hetero.dir/sched/dynamic.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/sched/dynamic.cpp.o.d"
+  "/root/repo/src/sched/evolutionary.cpp" "src/CMakeFiles/hetero.dir/sched/evolutionary.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/sched/evolutionary.cpp.o.d"
+  "/root/repo/src/sched/heuristics.cpp" "src/CMakeFiles/hetero.dir/sched/heuristics.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/sched/heuristics.cpp.o.d"
+  "/root/repo/src/sched/makespan.cpp" "src/CMakeFiles/hetero.dir/sched/makespan.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/sched/makespan.cpp.o.d"
+  "/root/repo/src/sched/robustness.cpp" "src/CMakeFiles/hetero.dir/sched/robustness.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/sched/robustness.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/CMakeFiles/hetero.dir/sched/workload.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/sched/workload.cpp.o.d"
+  "/root/repo/src/spec/spec_data.cpp" "src/CMakeFiles/hetero.dir/spec/spec_data.cpp.o" "gcc" "src/CMakeFiles/hetero.dir/spec/spec_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

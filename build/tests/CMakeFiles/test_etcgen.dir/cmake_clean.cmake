@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etcgen.dir/test_etcgen.cpp.o"
+  "CMakeFiles/test_etcgen.dir/test_etcgen.cpp.o.d"
+  "test_etcgen"
+  "test_etcgen.pdb"
+  "test_etcgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etcgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

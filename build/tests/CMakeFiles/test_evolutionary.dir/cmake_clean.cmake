@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evolutionary.dir/test_evolutionary.cpp.o"
+  "CMakeFiles/test_evolutionary.dir/test_evolutionary.cpp.o.d"
+  "test_evolutionary"
+  "test_evolutionary.pdb"
+  "test_evolutionary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evolutionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

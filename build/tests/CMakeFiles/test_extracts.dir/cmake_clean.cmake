@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extracts.dir/test_extracts.cpp.o"
+  "CMakeFiles/test_extracts.dir/test_extracts.cpp.o.d"
+  "test_extracts"
+  "test_extracts.pdb"
+  "test_extracts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

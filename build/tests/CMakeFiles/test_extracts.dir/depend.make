@@ -1,0 +1,2 @@
+# Empty dependencies file for test_extracts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jacobi_eigen.dir/test_jacobi_eigen.cpp.o"
+  "CMakeFiles/test_jacobi_eigen.dir/test_jacobi_eigen.cpp.o.d"
+  "test_jacobi_eigen"
+  "test_jacobi_eigen.pdb"
+  "test_jacobi_eigen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jacobi_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_performance.dir/test_performance.cpp.o"
+  "CMakeFiles/test_performance.dir/test_performance.cpp.o.d"
+  "test_performance"
+  "test_performance.pdb"
+  "test_performance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_target_measures.dir/test_target_measures.cpp.o"
+  "CMakeFiles/test_target_measures.dir/test_target_measures.cpp.o.d"
+  "test_target_measures"
+  "test_target_measures.pdb"
+  "test_target_measures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_target_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

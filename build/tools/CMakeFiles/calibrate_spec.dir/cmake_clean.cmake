@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_spec.dir/calibrate_spec.cpp.o"
+  "CMakeFiles/calibrate_spec.dir/calibrate_spec.cpp.o.d"
+  "calibrate_spec"
+  "calibrate_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
