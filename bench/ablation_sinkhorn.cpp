@@ -84,5 +84,29 @@ int main() {
   std::cout << "\nThe projection turns an impractical harmonic decay into "
                "geometric convergence while\nprovably preserving the limit "
                "(DESIGN.md, docs/measures.md).\n";
+
+  std::cout << "\n4. Warm start vs cold start on perturbed matrices "
+               "(the annealing proposal pattern)\n\n";
+  // One entry of the CFP matrix is scaled by (1 + eps); the incumbent's
+  // converged scalings seed the perturbed solve.
+  const auto cold_base = core::standardize(cfp);
+  hetero::io::Table t4(
+      {"perturbation", "cold iterations", "warm iterations"});
+  for (const double eps : {1e-4, 1e-2, 1e-1, 1.0}) {
+    hetero::linalg::Matrix perturbed = cfp;
+    perturbed(0, 0) *= 1.0 + eps;
+    core::SinkhornOptions warm;
+    warm.warm_row_scale = cold_base.row_scale;
+    warm.warm_col_scale = cold_base.col_scale;
+    const auto cold = core::standardize(perturbed);
+    const auto warm_r = core::standardize(perturbed, warm);
+    t4.add_row({format_general(eps), std::to_string(cold.iterations),
+                std::to_string(warm_r.iterations)});
+  }
+  t4.print(std::cout);
+  std::cout << "\nThe smaller the proposal, the more incumbent iterations "
+               "the warm seed skips — one of the\nthree levers (with the "
+               "fused pass and the incremental sums) behind the annealing "
+               "generator's\nspeedup.\n";
   return 0;
 }

@@ -3,8 +3,13 @@
 // (MPH, TDH, TMA) targets and reports what the measure-targeted generator
 // achieves — the capability simulation studies need to cover the whole
 // heterogeneity space.
+#include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <optional>
+#include <vector>
 
+#include "core/batch.hpp"
 #include "etcgen/target_measures.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -17,30 +22,49 @@ int main() {
   const double homogeneity_levels[] = {0.9, 0.5, 0.25};
   const double tma_levels[] = {0.05, 0.3};
 
+  // The grid points are independent, so the sweep parallelizes over targets
+  // (each generation runs its restarts serially inside one worker).
+  std::vector<eg::TargetMeasures> targets;
+  for (double mph : homogeneity_levels)
+    for (double tdh : homogeneity_levels)
+      for (double tma : tma_levels) targets.push_back({mph, tdh, tma});
+
+  std::vector<std::optional<eg::TargetGenResult>> results(targets.size());
+  hetero::par::parallel_for(pool, 0, targets.size(), [&](std::size_t k) {
+    const auto& target = targets[k];
+    eg::TargetGenOptions opts;
+    opts.tasks = 8;
+    opts.machines = 5;
+    opts.seed = static_cast<std::uint64_t>(1000 * target.mph +
+                                           100 * target.tdh +
+                                           10 * target.tma + 1);
+    opts.anneal_iterations = 9000;
+    opts.restarts = 2;
+    opts.tolerance = 0.02;
+    results[k].emplace(eg::generate_with_measures(target, opts));
+  });
+
+  // Re-measure every generated environment through the public batch API —
+  // an independent verification of the generator's achieved values.
+  std::vector<hetero::core::EcsMatrix> generated;
+  generated.reserve(results.size());
+  for (const auto& r : results) generated.push_back(r->ecs);
+  const auto verified = hetero::core::batch_measures(generated, pool);
+
   std::cout << "Spanning the heterogeneity space (8 tasks x 5 machines)\n\n";
   hetero::io::Table t({"target MPH", "target TDH", "target TMA",
                        "achieved MPH", "achieved TDH", "achieved TMA",
                        "max err"});
-  for (double mph : homogeneity_levels) {
-    for (double tdh : homogeneity_levels) {
-      for (double tma : tma_levels) {
-        eg::TargetGenOptions opts;
-        opts.tasks = 8;
-        opts.machines = 5;
-        opts.seed = static_cast<std::uint64_t>(1000 * mph + 100 * tdh +
-                                               10 * tma + 1);
-        opts.anneal_iterations = 9000;
-        opts.restarts = 2;
-        opts.tolerance = 0.02;
-        opts.pool = &pool;
-        const auto r = eg::generate_with_measures({mph, tdh, tma}, opts);
-        t.add_row({format_fixed(mph, 2), format_fixed(tdh, 2),
-                   format_fixed(tma, 2), format_fixed(r.achieved.mph, 3),
-                   format_fixed(r.achieved.tdh, 3),
-                   format_fixed(r.achieved.tma, 3),
-                   format_fixed(r.error, 4)});
-      }
-    }
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    const auto& target = targets[k];
+    const auto& v = verified[k];
+    const double err = std::max({std::abs(v.mph - target.mph),
+                                 std::abs(v.tdh - target.tdh),
+                                 std::abs(v.tma - target.tma)});
+    t.add_row({format_fixed(target.mph, 2), format_fixed(target.tdh, 2),
+               format_fixed(target.tma, 2), format_fixed(v.mph, 3),
+               format_fixed(v.tdh, 3), format_fixed(v.tma, 3),
+               format_fixed(err, 4)});
   }
   t.print(std::cout);
   std::cout << "\nEvery corner of the (MPH, TDH, TMA) space is reachable "

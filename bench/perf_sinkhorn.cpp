@@ -38,6 +38,51 @@ BENCHMARK(BM_SinkhornPositive)
     ->Args({64, 32})
     ->Args({128, 64});
 
+void BM_SinkhornReference(benchmark::State& state) {
+  // The pre-fusion kernel (per-column strided col_sum recomputation), kept
+  // in-tree for equivalence tests — the honest before/after baseline.
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Matrix input = random_positive(t, m, 42);
+  for (auto _ : state) {
+    auto r = hetero::core::standardize_reference(input);
+    benchmark::DoNotOptimize(r.residual);
+  }
+}
+BENCHMARK(BM_SinkhornReference)
+    ->Args({4, 4})
+    ->Args({12, 5})
+    ->Args({17, 5})
+    ->Args({32, 16})
+    ->Args({64, 32})
+    ->Args({128, 64});
+
+void BM_SinkhornWarmStart(benchmark::State& state) {
+  // The annealing proposal pattern: one entry nudged, the incumbent's
+  // converged scalings seed the solve, skipping most cold iterations (see
+  // the "iterations" counters here and above).
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Matrix incumbent = random_positive(t, m, 42);
+  const auto base = hetero::core::standardize(incumbent);
+  Matrix proposal = incumbent;
+  proposal(t / 2, m / 2) *= 1.05;
+  hetero::core::SinkhornOptions warm;
+  warm.warm_row_scale = base.row_scale;
+  warm.warm_col_scale = base.col_scale;
+  for (auto _ : state) {
+    auto r = hetero::core::standardize(proposal, warm);
+    benchmark::DoNotOptimize(r.residual);
+  }
+  state.counters["iterations"] = static_cast<double>(
+      hetero::core::standardize(proposal, warm).iterations);
+}
+BENCHMARK(BM_SinkhornWarmStart)
+    ->Args({12, 5})
+    ->Args({32, 16})
+    ->Args({64, 32})
+    ->Args({128, 64});
+
 void BM_SinkhornLimitOnlyPattern(benchmark::State& state) {
   // Support without total support: row 0 runs only on machine 0, so the
   // other rows' (i, 0) entries lie on no positive diagonal — exercises the

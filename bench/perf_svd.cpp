@@ -35,6 +35,25 @@ BENCHMARK(BM_SingularValues)
     ->Args({64, 64})
     ->Args({128, 32});
 
+void BM_SingularValuesReference(benchmark::State& state) {
+  // The pre-optimization kernel (row-major access, column norms recomputed
+  // per rotation), kept in-tree for equivalence tests — the honest
+  // before/after baseline.
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const auto c = static_cast<std::size_t>(state.range(1));
+  const Matrix m = random_matrix(r, c, 42);
+  for (auto _ : state) {
+    auto sv = hetero::linalg::singular_values_reference(m);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_SingularValuesReference)
+    ->Args({12, 5})
+    ->Args({17, 5})
+    ->Args({32, 32})
+    ->Args({64, 64})
+    ->Args({128, 32});
+
 void BM_FullSvd(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Matrix m = random_matrix(n, n, 7);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every perf_* benchmark binary and records one JSON file per suite
+# under bench_results/, named BENCH_<tag>_<suite>.json. The tag defaults to
+# the current git short SHA so runs from different commits can sit side by
+# side; pass a tag explicitly as the first argument (e.g. pr1) when
+# labelling a milestone.
+#
+# Usage, from the repository root (after cmake --build build):
+#   bench/run_benchmarks.sh [tag]
+set -euo pipefail
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${BUILD_DIR:-$REPO_ROOT/build}
+TAG=${1:-$(git -C "$REPO_ROOT" rev-parse --short HEAD)}
+OUT_DIR=${OUT_DIR:-$REPO_ROOT/bench_results}
+MIN_TIME=${MIN_TIME:-0.3}
+mkdir -p "$OUT_DIR"
+
+found=0
+for bench in "$BUILD_DIR"/bench/perf_*; do
+  [ -x "$bench" ] || continue
+  found=1
+  name=$(basename "$bench")
+  out="$OUT_DIR/BENCH_${TAG}_${name#perf_}.json"
+  echo "== $name -> $out"
+  "$bench" --benchmark_out="$out" --benchmark_out_format=json \
+           --benchmark_min_time="$MIN_TIME"
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "no perf_* binaries under $BUILD_DIR/bench — build with" \
+       "cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi

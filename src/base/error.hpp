@@ -38,11 +38,23 @@ class ConvergenceError : public Error {
 namespace detail {
 
 /// Throws DimensionError with a formatted message when `ok` is false.
+/// The const char* overloads matter: message arguments are evaluated
+/// eagerly, and a std::string parameter would heap-allocate for every
+/// literal longer than the small-string buffer even when `ok` holds —
+/// measurable in per-proposal hot loops. Literals stay raw until a throw.
+inline void require_dims(bool ok, const char* what) {
+  if (!ok) throw DimensionError(what);
+}
+
 inline void require_dims(bool ok, const std::string& what) {
   if (!ok) throw DimensionError(what);
 }
 
 /// Throws ValueError with a formatted message when `ok` is false.
+inline void require_value(bool ok, const char* what) {
+  if (!ok) throw ValueError(what);
+}
+
 inline void require_value(bool ok, const std::string& what) {
   if (!ok) throw ValueError(what);
 }

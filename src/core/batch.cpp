@@ -1,0 +1,51 @@
+#include "core/batch.hpp"
+
+namespace hetero::core {
+namespace {
+
+MeasureSet one_measure_set(const EcsMatrix& ecs, const TmaOptions& options) {
+  MeasureSet s;
+  s.mph = mph(ecs);
+  s.tdh = tdh(ecs);
+  s.tma = tma_detailed(ecs, {}, options).value;
+  return s;
+}
+
+}  // namespace
+
+std::vector<MeasureSet> batch_measures(std::span<const linalg::Matrix> inputs,
+                                       par::ThreadPool& pool,
+                                       const BatchOptions& options) {
+  std::vector<MeasureSet> out(inputs.size());
+  par::parallel_for(
+      pool, 0, inputs.size(),
+      [&](std::size_t i) {
+        out[i] = one_measure_set(EcsMatrix(inputs[i]), options.tma);
+      },
+      options.grain);
+  return out;
+}
+
+std::vector<MeasureSet> batch_measures(std::span<const EcsMatrix> inputs,
+                                       par::ThreadPool& pool,
+                                       const BatchOptions& options) {
+  std::vector<MeasureSet> out(inputs.size());
+  par::parallel_for(
+      pool, 0, inputs.size(),
+      [&](std::size_t i) { out[i] = one_measure_set(inputs[i], options.tma); },
+      options.grain);
+  return out;
+}
+
+std::vector<EnvironmentReport> batch_characterize(
+    std::span<const EcsMatrix> inputs, par::ThreadPool& pool,
+    const BatchOptions& options) {
+  std::vector<EnvironmentReport> out(inputs.size());
+  par::parallel_for(
+      pool, 0, inputs.size(),
+      [&](std::size_t i) { out[i] = characterize(inputs[i], {}, options.tma); },
+      options.grain);
+  return out;
+}
+
+}  // namespace hetero::core

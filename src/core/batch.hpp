@@ -1,0 +1,41 @@
+// Parallel batch front end for the measure pipeline.
+//
+// HEET-style inventory scoring and interactive sweeps over generated ETC
+// suites both evaluate the (MPH, TDH, TMA) triple for many matrices at
+// once; each evaluation is independent, so the batch maps perfectly onto
+// the thread pool. One call amortizes pool dispatch over the whole batch
+// and returns results in input order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hetero::core {
+
+struct BatchOptions {
+  /// TMA configuration applied to every matrix in the batch.
+  TmaOptions tma;
+  /// Matrices handed to a worker at a time. The default of 1 is right for
+  /// measure-sized work (each item is thousands of flops); raise it only
+  /// for very large batches of very small matrices.
+  std::size_t grain = 1;
+};
+
+/// (MPH, TDH, TMA) for each input, computed across the pool in input order.
+/// An invalid input (empty, non-positive, ...) rethrows that input's error.
+std::vector<MeasureSet> batch_measures(std::span<const linalg::Matrix> inputs,
+                                       par::ThreadPool& pool,
+                                       const BatchOptions& options = {});
+std::vector<MeasureSet> batch_measures(std::span<const EcsMatrix> inputs,
+                                       par::ThreadPool& pool,
+                                       const BatchOptions& options = {});
+
+/// Full EnvironmentReport for each input, computed across the pool.
+std::vector<EnvironmentReport> batch_characterize(
+    std::span<const EcsMatrix> inputs, par::ThreadPool& pool,
+    const BatchOptions& options = {});
+
+}  // namespace hetero::core

@@ -41,10 +41,18 @@ double adjacent_ratio_homogeneity(std::span<const double> values) {
   require_positive(values, "adjacent_ratio_homogeneity");
   if (values.size() == 1) return 1.0;
   const auto sorted = linalg::sorted_ascending(values);
+  return adjacent_ratio_homogeneity_sorted(sorted);
+}
+
+double adjacent_ratio_homogeneity_sorted(std::span<const double> ascending) {
+  detail::require_value(!ascending.empty() && ascending.front() > 0.0,
+                        "adjacent_ratio_homogeneity_sorted: values must be "
+                        "positive and sorted ascending");
+  if (ascending.size() == 1) return 1.0;
   double acc = 0.0;
-  for (std::size_t i = 0; i + 1 < sorted.size(); ++i)
-    acc += sorted[i] / sorted[i + 1];
-  return acc / static_cast<double>(sorted.size() - 1);
+  for (std::size_t i = 0; i + 1 < ascending.size(); ++i)
+    acc += ascending[i] / ascending[i + 1];
+  return acc / static_cast<double>(ascending.size() - 1);
 }
 
 double min_max_ratio(std::span<const double> values) {
@@ -127,13 +135,14 @@ MeasureSet measure_set(const EcsMatrix& ecs, const Weights& w) {
   return MeasureSet{mph(ecs, w), tdh(ecs, w), tma(ecs, w)};
 }
 
-EnvironmentReport characterize(const EcsMatrix& ecs, const Weights& w) {
+EnvironmentReport characterize(const EcsMatrix& ecs, const Weights& w,
+                               const TmaOptions& options) {
   EnvironmentReport report;
   report.machine_performances = machine_performances(ecs, w);
   report.task_difficulties = task_difficulties(ecs, w);
   report.measures.mph = adjacent_ratio_homogeneity(report.machine_performances);
   report.measures.tdh = adjacent_ratio_homogeneity(report.task_difficulties);
-  report.tma_detail = tma_detailed(ecs, w);
+  report.tma_detail = tma_detailed(ecs, w, options);
   report.measures.tma = report.tma_detail.value;
   report.mph_alt_ratio = min_max_ratio(report.machine_performances);
   report.mph_alt_geometric =

@@ -30,6 +30,11 @@ namespace hetero::core {
 /// positive.
 double adjacent_ratio_homogeneity(std::span<const double> values);
 
+/// Same measure for values that are already sorted ascending (the
+/// incremental annealing path maintains sorted sum vectors and skips the
+/// per-evaluation sort). Precondition: ascending order, positive values.
+double adjacent_ratio_homogeneity_sorted(std::span<const double> ascending);
+
 /// Alternative homogeneity measures the paper evaluates and rejects
 /// (Section II-D): they miss the spread of intermediate values (R, G) or
 /// fail to match intuition (COV).
@@ -102,6 +107,7 @@ struct EnvironmentReport {
   TmaResult tma_detail;
 };
 
-EnvironmentReport characterize(const EcsMatrix& ecs, const Weights& w = {});
+EnvironmentReport characterize(const EcsMatrix& ecs, const Weights& w = {},
+                               const TmaOptions& options = {});
 
 }  // namespace hetero::core

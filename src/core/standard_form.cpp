@@ -17,8 +17,65 @@ void validate_input(const Matrix& m) {
                         "standardize: entries must be nonnegative");
   for (std::size_t i = 0; i < m.rows(); ++i)
     detail::require_value(m.row_sum(i) > 0.0, "standardize: all-zero row");
+  const auto cs = m.col_sums();
   for (std::size_t j = 0; j < m.cols(); ++j)
-    detail::require_value(m.col_sum(j) > 0.0, "standardize: all-zero column");
+    detail::require_value(cs[j] > 0.0, "standardize: all-zero column");
+}
+
+void validate_warm_scale(const std::vector<double>& scale, std::size_t dim,
+                         const char* which) {
+  if (scale.empty()) return;
+  // Diagnostic strings are built only on failure: require_* takes its
+  // message eagerly, which would put a heap-allocating concatenation per
+  // entry on the warm-started hot path.
+  if (scale.size() != dim)
+    throw DimensionError(std::string("standardize: ") + which +
+                         " size does not match the input");
+  bool ok = true;
+  for (double s : scale) ok = ok && s > 0.0 && std::isfinite(s);
+  if (!ok)
+    throw ValueError(std::string("standardize: ") + which +
+                     " entries must be positive and finite");
+}
+
+// Common setup shared by the fused and reference implementations: targets,
+// pattern diagnosis, working copy (core-projected when limit_only) and the
+// warm-start seed folded into the working matrix and the scale vectors.
+void prepare(const Matrix& ecs, const SinkhornOptions& options,
+             StandardFormResult& result, Matrix& work) {
+  validate_input(ecs);
+  validate_warm_scale(options.warm_row_scale, ecs.rows(), "warm_row_scale");
+  validate_warm_scale(options.warm_col_scale, ecs.cols(), "warm_col_scale");
+  const auto t = static_cast<double>(ecs.rows());
+  const auto m = static_cast<double>(ecs.cols());
+
+  result.target_row_sum = std::sqrt(m / t);  // Mk with k = 1/sqrt(TM)
+  result.target_col_sum = std::sqrt(t / m);  // Tk
+  result.pattern = classify_pattern(ecs);
+  result.row_scale.assign(ecs.rows(), 1.0);
+  result.col_scale.assign(ecs.cols(), 1.0);
+
+  work = ecs;
+  if (result.pattern == NormalizabilityClass::limit_only) {
+    // Entries off every positive diagonal decay to zero in the Sinkhorn
+    // limit but only at rate O(1/k); dropping them up front leaves the
+    // limit unchanged and restores geometric convergence.
+    work = *graph::support_core(ecs);
+    result.projected_to_core = true;
+  }
+
+  if (!options.warm_row_scale.empty() || !options.warm_col_scale.empty()) {
+    if (!options.warm_row_scale.empty())
+      result.row_scale = options.warm_row_scale;
+    if (!options.warm_col_scale.empty())
+      result.col_scale = options.warm_col_scale;
+    for (std::size_t i = 0; i < work.rows(); ++i) {
+      const double ri = result.row_scale[i];
+      auto row = work.row(i);
+      for (std::size_t j = 0; j < work.cols(); ++j)
+        row[j] *= ri * result.col_scale[j];
+    }
+  }
 }
 
 }  // namespace
@@ -37,32 +94,220 @@ double standard_form_residual(const Matrix& m, double row_target,
   double r = 0.0;
   for (std::size_t i = 0; i < m.rows(); ++i)
     r = std::max(r, std::abs(m.row_sum(i) - row_target));
+  const auto cs = m.col_sums();
   for (std::size_t j = 0; j < m.cols(); ++j)
-    r = std::max(r, std::abs(m.col_sum(j) - col_target));
+    r = std::max(r, std::abs(cs[j] - col_target));
   return r;
 }
 
+namespace {
+
+// The fused eq. 9 loop shared by standardize() and
+// standardize_positive_into(). `work` must already carry the warm seed and
+// `result` the targets and seeded scale vectors; the scratch vectors are
+// (re)sized here so callers can reuse their heap blocks across calls.
+//
+// Incremental state: each pass consumes the sums of its own dimension and
+// produces fresh sums of the opposite dimension as a side effect of the
+// row-major application sweep, so the per-column strided recomputation and
+// the separate residual pass of the reference implementation disappear.
+// Per-column additions happen in increasing row order and per-row
+// additions in increasing column order — the same order the reference's
+// col_sum/row_sum scans use — so every scale factor (and therefore the
+// result) is bit-identical to the reference path.
+// When `sums_primed` is true the caller has already filled `row_sums` and
+// `col_sums` with the sums of `work` in the reference scan order (fused with
+// its own setup pass); otherwise they are computed here.
+void run_fused(Matrix& work, const SinkhornOptions& options,
+               StandardFormResult& result, std::vector<double>& row_sums,
+               std::vector<double>& col_sums, std::vector<double>& factor,
+               bool sums_primed) {
+  const std::size_t rows = work.rows();
+  const std::size_t cols = work.cols();
+  const double rt = result.target_row_sum;
+  const double ct = result.target_col_sum;
+
+  factor.assign(cols, 0.0);  // per-column factors, column pass
+
+  if (!sums_primed) {
+    row_sums.assign(rows, 0.0);
+    col_sums.assign(cols, 0.0);
+    if (options.row_first) {
+      for (std::size_t i = 0; i < rows; ++i) row_sums[i] = work.row_sum(i);
+    } else {
+      // Same row-major accumulation order as Matrix::col_sums(), minus its
+      // return-by-value allocation.
+      for (std::size_t i = 0; i < rows; ++i) {
+        const auto row = work.row(i);
+        for (std::size_t j = 0; j < cols; ++j) col_sums[j] += row[j];
+      }
+    }
+  }
+
+  // Scales rows to `rt` using the current row_sums, refilling col_sums with
+  // the sums of the scaled matrix; returns the max row-sum deviation of the
+  // scaled matrix (floating-point noise only, but the reference measures it,
+  // so the fused path measures it identically).
+  const auto row_pass = [&] {
+    std::fill(col_sums.begin(), col_sums.end(), 0.0);
+    double err = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double f = rt / row_sums[i];
+      result.row_scale[i] *= f;
+      auto row = work.row(i);
+      double s = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) {
+        row[j] *= f;
+        s += row[j];
+        col_sums[j] += row[j];
+      }
+      err = std::max(err, std::abs(s - rt));
+    }
+    return err;
+  };
+  // Scales columns to `ct` using the current col_sums, refilling row_sums;
+  // returns the max column-sum deviation of the scaled matrix.
+  const auto column_pass = [&] {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double f = ct / col_sums[j];
+      factor[j] = f;
+      result.col_scale[j] *= f;
+    }
+    std::fill(col_sums.begin(), col_sums.end(), 0.0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      auto row = work.row(i);
+      double s = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) {
+        row[j] *= factor[j];
+        s += row[j];
+        col_sums[j] += row[j];
+      }
+      row_sums[i] = s;
+    }
+    double err = 0.0;
+    for (std::size_t j = 0; j < cols; ++j)
+      err = std::max(err, std::abs(col_sums[j] - ct));
+    return err;
+  };
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // Eq. 9: one column pass and one row pass per iteration (column first
+    // unless the ordering ablation flips it). The second pass leaves its own
+    // dimension within floating-point noise of the target, and the first
+    // pass's dimension carries the true residual, already accumulated.
+    double first_err = 0.0, second_err = 0.0;
+    if (options.row_first) {
+      first_err = row_pass();
+      second_err = column_pass();
+      // column_pass refilled row_sums with the final matrix's row sums.
+      first_err = 0.0;
+      for (std::size_t i = 0; i < rows; ++i)
+        first_err = std::max(first_err, std::abs(row_sums[i] - rt));
+    } else {
+      first_err = column_pass();
+      second_err = row_pass();
+      // row_pass refilled col_sums with the final matrix's column sums.
+      first_err = 0.0;
+      for (std::size_t j = 0; j < cols; ++j)
+        first_err = std::max(first_err, std::abs(col_sums[j] - ct));
+    }
+    result.iterations = it + 1;
+    result.residual = std::max(first_err, second_err);
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
 StandardFormResult standardize(const Matrix& ecs,
                                const SinkhornOptions& options) {
-  validate_input(ecs);
-  const auto t = static_cast<double>(ecs.rows());
-  const auto m = static_cast<double>(ecs.cols());
-
   StandardFormResult result;
-  result.target_row_sum = std::sqrt(m / t);  // Mk with k = 1/sqrt(TM)
-  result.target_col_sum = std::sqrt(t / m);  // Tk
-  result.pattern = classify_pattern(ecs);
-  result.row_scale.assign(ecs.rows(), 1.0);
-  result.col_scale.assign(ecs.cols(), 1.0);
+  Matrix work;
+  prepare(ecs, options, result, work);
+  std::vector<double> row_sums, col_sums, factor;
+  run_fused(work, options, result, row_sums, col_sums, factor, false);
 
-  Matrix work = ecs;
-  if (result.pattern == NormalizabilityClass::limit_only) {
-    // Entries off every positive diagonal decay to zero in the Sinkhorn
-    // limit but only at rate O(1/k); dropping them up front leaves the
-    // limit unchanged and restores geometric convergence.
-    work = *graph::support_core(ecs);
-    result.projected_to_core = true;
+  result.standard = std::move(work);
+  if (!result.converged && options.throw_on_failure)
+    throw ConvergenceError(
+        "standardize: Sinkhorn iteration did not reach tolerance (pattern "
+        "may be decomposable; see Section VI)");
+  return result;
+}
+
+void standardize_positive_into(const Matrix& ecs,
+                               const SinkhornOptions& options,
+                               StandardFormResult& out) {
+  detail::require_dims(!ecs.empty(), "standardize: empty matrix");
+  validate_warm_scale(options.warm_row_scale, ecs.rows(), "warm_row_scale");
+  validate_warm_scale(options.warm_col_scale, ecs.cols(), "warm_col_scale");
+  const std::size_t rows = ecs.rows();
+  const std::size_t cols = ecs.cols();
+
+  if (out.standard.rows() != rows || out.standard.cols() != cols)
+    out.standard = Matrix(rows, cols, 0.0);
+  out.row_scale.assign(rows, 1.0);
+  out.col_scale.assign(cols, 1.0);
+  out.iterations = 0;
+  out.converged = false;
+  out.residual = 0.0;
+  out.pattern = NormalizabilityClass::positive;
+  out.projected_to_core = false;
+  out.target_row_sum =
+      std::sqrt(static_cast<double>(cols) / static_cast<double>(rows));
+  out.target_col_sum =
+      std::sqrt(static_cast<double>(rows) / static_cast<double>(cols));
+
+  // One fused setup pass replaces the matrix copy, the warm-seed
+  // application, and run_fused's sum priming: each source entry is loaded
+  // once, seeded, stored, and accumulated into both sum vectors in the
+  // reference scan order, so the seeded matrix and the primed sums are
+  // bit-identical to the layered path in standardize().
+  const bool seeded =
+      !options.warm_row_scale.empty() || !options.warm_col_scale.empty();
+  if (!options.warm_row_scale.empty()) out.row_scale = options.warm_row_scale;
+  if (!options.warm_col_scale.empty()) out.col_scale = options.warm_col_scale;
+  thread_local std::vector<double> row_sums, col_sums, factor;
+  row_sums.assign(rows, 0.0);
+  col_sums.assign(cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto src = ecs.row(i);
+    auto dst = out.standard.row(i);
+    double s = 0.0;
+    if (seeded) {
+      const double ri = out.row_scale[i];
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double v = src[j] * (ri * out.col_scale[j]);
+        dst[j] = v;
+        s += v;
+        col_sums[j] += v;
+      }
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double v = src[j];
+        dst[j] = v;
+        s += v;
+        col_sums[j] += v;
+      }
+    }
+    row_sums[i] = s;
   }
+
+  run_fused(out.standard, options, out, row_sums, col_sums, factor, true);
+  if (!out.converged && options.throw_on_failure)
+    throw ConvergenceError(
+        "standardize: Sinkhorn iteration did not reach tolerance (pattern "
+        "may be decomposable; see Section VI)");
+}
+
+StandardFormResult standardize_reference(const Matrix& ecs,
+                                         const SinkhornOptions& options) {
+  StandardFormResult result;
+  Matrix work;
+  prepare(ecs, options, result, work);
 
   const auto column_pass = [&] {
     for (std::size_t j = 0; j < work.cols(); ++j) {
@@ -82,8 +327,6 @@ StandardFormResult standardize(const Matrix& ecs,
   };
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    // Eq. 9: one column pass and one row pass per iteration (column first
-    // unless the ordering ablation flips it).
     if (options.row_first) {
       row_pass();
       column_pass();

@@ -37,6 +37,20 @@ struct SinkhornOptions {
   /// form (the scaling is unique up to a scalar); exposed for the ordering
   /// ablation.
   bool row_first = false;
+  /// Warm start: when non-empty, the iteration begins from
+  /// diag(warm_row_scale) * input * diag(warm_col_scale) instead of the
+  /// input itself. Sizes must match the input (or be empty, meaning all
+  /// ones); entries must be positive and finite. The seed scalings are
+  /// folded into the reported row_scale/col_scale, so the result contract
+  /// (standard ~= diag(row_scale) * input * diag(col_scale)) is unchanged.
+  /// Seeding with the scalings of a previous result for a nearby matrix
+  /// (e.g. a single perturbed entry) starts the iteration near its fixed
+  /// point and skips the cold ramp-in; an arbitrary seed is safe (the
+  /// iteration is globally convergent) but may not help. At least one
+  /// iteration always runs, so a warm start never skips convergence
+  /// verification.
+  std::vector<double> warm_row_scale;
+  std::vector<double> warm_col_scale;
 };
 
 /// Zero-pattern diagnosis attached to non-convergent inputs (Section VI).
@@ -78,8 +92,32 @@ struct StandardFormResult {
 };
 
 /// Runs eq. 9 on a raw nonnegative matrix (no all-zero rows/columns).
+///
+/// The iteration is fused: each normalization pass streams the matrix once
+/// in row-major order, updating the scale vectors and accumulating the
+/// opposite dimension's sums (and the convergence residual) as it goes, so
+/// no strided column traversals or separate residual passes are needed.
+/// Summation order matches the unfused reference exactly, so results are
+/// bit-identical to standardize_reference for empty warm-start seeds.
 StandardFormResult standardize(const linalg::Matrix& ecs,
                                const SinkhornOptions& options = {});
+
+/// Allocation-lean fused solver for trusted hot loops (the annealing
+/// evaluator standardizes thousands of single-entry perturbations per
+/// second): `ecs` MUST be strictly positive — positivity, finiteness, and
+/// pattern classification are all skipped. Reuses `out`'s storage (the
+/// matrix and scale vectors keep their heap blocks across same-shape calls)
+/// plus thread-local iteration scratch. Results are bit-identical to
+/// standardize() on the same positive input and options.
+void standardize_positive_into(const linalg::Matrix& ecs,
+                               const SinkhornOptions& options,
+                               StandardFormResult& out);
+
+/// Unfused baseline implementation (per-column strided sums, separate
+/// residual pass). Kept for equivalence tests and before/after perf
+/// benchmarks; prefer standardize() everywhere else.
+StandardFormResult standardize_reference(const linalg::Matrix& ecs,
+                                         const SinkhornOptions& options = {});
 
 /// Runs eq. 9 on the weighted view of an ECS matrix.
 StandardFormResult standardize(const EcsMatrix& ecs, const Weights& w = {},

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 
 #include "base/error.hpp"
@@ -87,7 +88,158 @@ EigenResult jacobi_eigen(const Matrix& a, const JacobiEigenOptions& opt) {
 
 std::vector<double> symmetric_eigenvalues(const Matrix& a,
                                           const JacobiEigenOptions& options) {
-  return jacobi_eigen(a, options).values;
+  check_symmetric(a);
+  Matrix d = a;
+  std::vector<double> values;
+  symmetric_eigenvalues_into(d, values, options);
+  return values;
+}
+
+void symmetric_eigenvalues_into(Matrix& a, std::vector<double>& values,
+                                const JacobiEigenOptions& opt) {
+  detail::require_value(a.rows() == a.cols(), "jacobi_eigen: not square");
+  const std::size_t n = a.rows();
+  const double stop = opt.tol * std::max(frobenius_norm(a), 1e-300);
+
+  for (std::size_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        off = std::max(off, std::abs(a(i, j)));
+    if (off <= stop) {
+      values.resize(n);
+      for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i);
+      std::sort(values.begin(), values.end(), std::greater<>());
+      return;
+    }
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= stop * 1e-3) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(1.0 + theta * theta)), theta);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  throw ConvergenceError("jacobi_eigen: did not converge");
+}
+
+void symmetric_eigenvalues_warm(const Matrix& a, Matrix& basis,
+                                std::vector<double>& values,
+                                WarmEigenWorkspace& ws,
+                                const JacobiEigenOptions& opt) {
+  detail::require_value(a.rows() == a.cols(), "jacobi_eigen: not square");
+  detail::require_value(basis.rows() == a.rows() && basis.cols() == a.cols(),
+                        "jacobi_eigen: basis shape mismatch");
+  const std::size_t n = a.rows();
+  if (ws.product.rows() != n || ws.product.cols() != n) {
+    ws.product = Matrix(n, n, 0.0);
+    ws.congruence = Matrix(n, n, 0.0);
+  } else {
+    std::fill(ws.product.data().begin(), ws.product.data().end(), 0.0);
+    std::fill(ws.congruence.data().begin(), ws.congruence.data().end(), 0.0);
+  }
+  Matrix& t = ws.product;
+  Matrix& b = ws.congruence;
+  // T = A * V with i-k-j loop order: every inner access is row-contiguous.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto arow = a.row(i);
+    auto trow = t.row(i);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = arow[k];
+      const auto vrow = basis.row(k);
+      for (std::size_t j = 0; j < n; ++j) trow[j] += aik * vrow[j];
+    }
+  }
+  // B = V^T * T, k-outer for the same reason.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto vrow = basis.row(k);
+    const auto trow = t.row(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vki = vrow[i];
+      auto brow = b.row(i);
+      for (std::size_t j = 0; j < n; ++j) brow[j] += vki * trow[j];
+    }
+  }
+  // B is symmetric in exact arithmetic; average away the rounding skew so
+  // the two-sided rotations see a truly symmetric matrix.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double mean = 0.5 * (b(i, j) + b(j, i));
+      b(i, j) = mean;
+      b(j, i) = mean;
+    }
+
+  const double stop = opt.tol * std::max(frobenius_norm(b), 1e-300);
+  for (std::size_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        off = std::max(off, std::abs(b(i, j)));
+    if (off <= stop) {
+      values.resize(n);
+      for (std::size_t i = 0; i < n; ++i) values[i] = b(i, i);
+      std::sort(values.begin(), values.end(), std::greater<>());
+      return;
+    }
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double bpq = b(p, q);
+        // Entries already below half the stopping threshold cannot block
+        // convergence and shift eigenvalues only quadratically below it;
+        // skipping them leaves the cleanup sweep touching just the pairs
+        // the perturbation actually excited.
+        if (std::abs(bpq) <= stop * 0.5) continue;
+        const double bpp = b(p, p);
+        const double bqq = b(q, q);
+        const double theta = (bqq - bpp) / (2.0 * bpq);
+        const double tt = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(1.0 + theta * theta)), theta);
+        const double c = 1.0 / std::sqrt(1.0 + tt * tt);
+        const double s = c * tt;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double bkp = b(k, p);
+          const double bkq = b(k, q);
+          b(k, p) = c * bkp - s * bkq;
+          b(k, q) = s * bkp + c * bkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double bpk = b(p, k);
+          const double bqk = b(q, k);
+          b(p, k) = c * bpk - s * bqk;
+          b(q, k) = s * bpk + c * bqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = basis(k, p);
+          const double vkq = basis(k, q);
+          basis(k, p) = c * vkp - s * vkq;
+          basis(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  throw ConvergenceError("jacobi_eigen: did not converge");
 }
 
 }  // namespace hetero::linalg

@@ -36,4 +36,34 @@ EigenResult jacobi_eigen(const Matrix& a, const JacobiEigenOptions& options = {}
 std::vector<double> symmetric_eigenvalues(const Matrix& a,
                                           const JacobiEigenOptions& options = {});
 
+/// Allocation-free eigenvalues for hot loops: diagonalizes `a` IN PLACE (no
+/// eigenvector accumulation, `a` is destroyed) and fills `values` with the
+/// eigenvalues sorted descending, reusing its capacity. Same rotations,
+/// convergence rule, and results as symmetric_eigenvalues(), but symmetry
+/// of `a` is the caller's responsibility (only squareness is checked).
+void symmetric_eigenvalues_into(Matrix& a, std::vector<double>& values,
+                                const JacobiEigenOptions& options = {});
+
+/// Scratch buffers for symmetric_eigenvalues_warm; reuse one instance across
+/// calls to keep the hot path allocation-free.
+struct WarmEigenWorkspace {
+  Matrix congruence;
+  Matrix product;
+};
+
+/// Warm-started eigenvalues for slowly-drifting matrices (proposal chains).
+/// `basis` must be an orthogonal matrix whose columns approximately
+/// diagonalize `a` — typically the eigenbasis of a nearby matrix, or the
+/// identity for a cold start. Forms B = basis^T a basis (an exact orthogonal
+/// similarity, so the spectrum is untouched), finishes diagonalizing B with
+/// Jacobi sweeps — one or two when the basis is close — applies the same
+/// rotations to `basis` so it exits as an eigenbasis of `a`, and fills
+/// `values` with the eigenvalues sorted descending. `a` is read-only.
+/// Symmetry of `a` and orthogonality of `basis` are the caller's
+/// responsibility (only shapes are checked).
+void symmetric_eigenvalues_warm(const Matrix& a, Matrix& basis,
+                                std::vector<double>& values,
+                                WarmEigenWorkspace& workspace,
+                                const JacobiEigenOptions& options = {});
+
 }  // namespace hetero::linalg

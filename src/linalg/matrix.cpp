@@ -80,8 +80,11 @@ double Matrix::row_sum(std::size_t i) const {
 
 double Matrix::col_sum(std::size_t j) const {
   detail::require_dims(j < cols_, "Matrix::col_sum: index out of range");
+  // A single column is inherently strided; walk it with one running pointer
+  // instead of re-deriving i * cols_ + j every step.
   double s = 0.0;
-  for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, j);
+  const double* p = data_.data() + j;
+  for (std::size_t i = 0; i < rows_; ++i, p += cols_) s += *p;
   return s;
 }
 
@@ -92,9 +95,14 @@ std::vector<double> Matrix::row_sums() const {
 }
 
 std::vector<double> Matrix::col_sums() const {
+  // One row-major pass scatter-accumulating into the (small, cache-resident)
+  // output vector — never traverses a strided column. Per-column additions
+  // still happen in ascending row order, so sums are bit-identical to
+  // repeated col_sum calls.
   std::vector<double> out(cols_, 0.0);
+  const double* p = data_.data();
   for (std::size_t i = 0; i < rows_; ++i)
-    for (std::size_t j = 0; j < cols_; ++j) out[j] += (*this)(i, j);
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += *p++;
   return out;
 }
 

@@ -42,6 +42,23 @@ SvdResult svd(const Matrix& a, const SvdOptions& options = {});
 std::vector<double> singular_values(const Matrix& a,
                                     const SvdOptions& options = {});
 
+/// Singular values via the pre-optimization Jacobi kernel (three dot
+/// products per column pair, strided row-major access). Kept for the
+/// equivalence tests and before/after perf benchmarks; prefer
+/// singular_values() everywhere else.
+std::vector<double> singular_values_reference(const Matrix& a,
+                                              const SvdOptions& options = {});
+
+/// Singular values via the eigenvalues of the min-dimension Gram matrix,
+/// sorted descending. Costs one min^2 * max Gram build plus a min-sized
+/// symmetric Jacobi solve — far cheaper than one-sided Jacobi on the full
+/// matrix when one dimension is small. Squaring the condition number halves
+/// the attainable accuracy: singular values below ~sqrt(eps) * sigma_max
+/// come back with absolute error up to ~1e-8 * sigma_max. Intended for
+/// search loops that tolerate that (the annealing energy evaluator); use
+/// singular_values() for reported measures.
+std::vector<double> singular_values_gram(const Matrix& a);
+
 /// Numerical rank: number of singular values > rel_tol * sigma_max.
 std::size_t numerical_rank(const Matrix& a, double rel_tol = 1e-10);
 

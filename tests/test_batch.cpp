@@ -1,0 +1,112 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using hetero::core::batch_characterize;
+using hetero::core::batch_measures;
+using hetero::core::BatchOptions;
+using hetero::core::characterize;
+using hetero::core::EcsMatrix;
+using hetero::core::measure_set;
+using hetero::linalg::Matrix;
+using hetero::par::ThreadPool;
+
+Matrix random_positive(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.5, 20.0);
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+TEST(BatchMeasures, MatchesSerialEvaluation) {
+  ThreadPool pool(3);
+  std::vector<EcsMatrix> suite;
+  for (unsigned k = 0; k < 9; ++k)
+    suite.emplace_back(random_positive(7 + k % 3, 4 + k % 2, 100 + k));
+  const auto batch = batch_measures(suite, pool);
+  ASSERT_EQ(batch.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto serial = measure_set(suite[i]);
+    EXPECT_DOUBLE_EQ(batch[i].mph, serial.mph) << "matrix " << i;
+    EXPECT_DOUBLE_EQ(batch[i].tdh, serial.tdh) << "matrix " << i;
+    EXPECT_DOUBLE_EQ(batch[i].tma, serial.tma) << "matrix " << i;
+  }
+}
+
+TEST(BatchMeasures, RawMatrixOverloadMatchesEcsOverload) {
+  ThreadPool pool(2);
+  std::vector<Matrix> raw;
+  std::vector<EcsMatrix> wrapped;
+  for (unsigned k = 0; k < 5; ++k) {
+    raw.push_back(random_positive(6, 5, 40 + k));
+    wrapped.emplace_back(raw.back());
+  }
+  const auto from_raw = batch_measures(std::span<const Matrix>(raw), pool);
+  const auto from_ecs =
+      batch_measures(std::span<const EcsMatrix>(wrapped), pool);
+  ASSERT_EQ(from_raw.size(), from_ecs.size());
+  for (std::size_t i = 0; i < from_raw.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_raw[i].mph, from_ecs[i].mph);
+    EXPECT_DOUBLE_EQ(from_raw[i].tdh, from_ecs[i].tdh);
+    EXPECT_DOUBLE_EQ(from_raw[i].tma, from_ecs[i].tma);
+  }
+}
+
+TEST(BatchMeasures, EmptyBatchReturnsEmpty) {
+  ThreadPool pool(2);
+  const std::vector<Matrix> none;
+  EXPECT_TRUE(batch_measures(std::span<const Matrix>(none), pool).empty());
+}
+
+TEST(BatchMeasures, GrainLargerThanBatch) {
+  ThreadPool pool(2);
+  std::vector<Matrix> suite;
+  for (unsigned k = 0; k < 3; ++k) suite.push_back(random_positive(5, 4, k));
+  BatchOptions opts;
+  opts.grain = 100;
+  const auto batch = batch_measures(std::span<const Matrix>(suite), pool, opts);
+  ASSERT_EQ(batch.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto serial = measure_set(EcsMatrix(suite[i]));
+    EXPECT_DOUBLE_EQ(batch[i].tma, serial.tma);
+  }
+}
+
+TEST(BatchMeasures, InvalidInputRethrowsItsError) {
+  ThreadPool pool(2);
+  std::vector<Matrix> suite;
+  suite.push_back(random_positive(4, 3, 9));
+  Matrix bad(4, 3, 1.0);
+  bad(2, 1) = -5.0;  // negative ECS entry is rejected by EcsMatrix
+  suite.push_back(bad);
+  suite.push_back(random_positive(4, 3, 10));
+  EXPECT_THROW(batch_measures(std::span<const Matrix>(suite), pool),
+               hetero::ValueError);
+}
+
+TEST(BatchCharacterize, MatchesSerialReports) {
+  ThreadPool pool(2);
+  std::vector<EcsMatrix> suite;
+  for (unsigned k = 0; k < 4; ++k)
+    suite.emplace_back(random_positive(8, 5, 60 + k));
+  const auto reports = batch_characterize(suite, pool);
+  ASSERT_EQ(reports.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto serial = characterize(suite[i]);
+    EXPECT_DOUBLE_EQ(reports[i].measures.mph, serial.measures.mph);
+    EXPECT_DOUBLE_EQ(reports[i].measures.tdh, serial.measures.tdh);
+    EXPECT_DOUBLE_EQ(reports[i].measures.tma, serial.measures.tma);
+  }
+}
+
+}  // namespace

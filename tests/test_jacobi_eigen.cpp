@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <random>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
@@ -71,5 +73,57 @@ TEST_P(JacobiEigenRandom, TraceEqualsEigenvalueSum) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, JacobiEigenRandom,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ---- In-place and warm-started eigenvalue paths ----
+
+TEST(JacobiEigenInto, MatchesPublicSolver) {
+  const Matrix a = random_symmetric(9, 41);
+  const auto expected = lin::symmetric_eigenvalues(a);
+  Matrix work = a;
+  std::vector<double> values;
+  lin::symmetric_eigenvalues_into(work, values);
+  EXPECT_EQ(values, expected);  // same rotations, bit-identical
+}
+
+TEST(JacobiEigenWarm, IdentityBasisMatchesCold) {
+  const Matrix a = random_symmetric(8, 19);
+  const auto expected = lin::symmetric_eigenvalues(a);
+  Matrix basis = Matrix::identity(8);
+  lin::WarmEigenWorkspace ws;
+  std::vector<double> values;
+  lin::symmetric_eigenvalues_warm(a, basis, values, ws);
+  ASSERT_EQ(values.size(), expected.size());
+  double scale = std::abs(expected[0]);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(values[i], expected[i], 1e-10 * scale);
+  // The refined basis is an orthonormal eigenbasis of a.
+  EXPECT_LE(lin::max_abs_diff(lin::gram(basis), Matrix::identity(8)), 1e-10);
+}
+
+TEST(JacobiEigenWarm, ConvergedBasisAbsorbsSmallPerturbations) {
+  const Matrix a = random_symmetric(10, 23);
+  const auto er = lin::jacobi_eigen(a);
+  Matrix perturbed = a;
+  perturbed(2, 7) += 1e-5;
+  perturbed(7, 2) += 1e-5;
+  Matrix basis = er.vectors;
+  lin::WarmEigenWorkspace ws;
+  std::vector<double> values;
+  lin::symmetric_eigenvalues_warm(perturbed, basis, values, ws);
+  const auto expected = lin::symmetric_eigenvalues(perturbed);
+  const double scale = std::abs(expected[0]);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(values[i], expected[i], 1e-10 * scale);
+  EXPECT_LE(lin::max_abs_diff(lin::gram(basis), Matrix::identity(10)), 1e-10);
+}
+
+TEST(JacobiEigenWarm, RejectsShapeMismatch) {
+  const Matrix a = random_symmetric(4, 3);
+  Matrix basis = Matrix::identity(5);
+  lin::WarmEigenWorkspace ws;
+  std::vector<double> values;
+  EXPECT_THROW(lin::symmetric_eigenvalues_warm(a, basis, values, ws),
+               ValueError);
+}
 
 }  // namespace

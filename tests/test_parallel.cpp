@@ -106,4 +106,40 @@ TEST(ParallelFor, ResultsMatchSerial) {
   EXPECT_EQ(parallel_out, serial_out);
 }
 
+TEST(ParallelFor, FirstExceptionWinsDeterministically) {
+  // Futures are drained in index order, so when several iterations throw,
+  // the lowest-index failure is the one rethrown — regardless of which
+  // worker finished first.
+  ThreadPool pool(4);
+  try {
+    parallel_for(pool, 0, 8, [](std::size_t i) {
+      if (i == 0) throw ValueError("lowest-index failure");
+      if (i == 7) throw std::runtime_error("late failure");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const ValueError& e) {
+    EXPECT_STREQ(e.what(), "lowest-index failure");
+  }
+  // The pool stays usable after a failed run.
+  std::atomic<int> ran{0};
+  parallel_for(pool, 0, 16, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelFor, GrainLargerThanRange) {
+  ThreadPool pool(2);
+  std::vector<int> hits(5, 0);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; }, 1000);
+  EXPECT_EQ(hits, std::vector<int>(5, 1));
+}
+
+TEST(ParallelFor, EmptyRangeWithLargeGrainIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  parallel_for(pool, 3, 3, [&](std::size_t) { ++ran; }, 64);
+  parallel_for(pool, 5, 2, [&](std::size_t) { ++ran; }, 64);
+  EXPECT_EQ(ran.load(), 0);
+}
+
 }  // namespace

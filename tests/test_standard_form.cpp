@@ -215,4 +215,130 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{10, 10},
                       std::pair<std::size_t, std::size_t>{31, 7}));
 
+// ---- Fused-vs-reference and warm-start equivalence ----
+
+using hetero::DimensionError;
+using hetero::core::standardize_positive_into;
+using hetero::core::standardize_reference;
+using hetero::core::StandardFormResult;
+using hetero::linalg::max_abs_diff;
+
+TEST(StandardFormEquivalence, FusedMatchesReferenceOnPositive) {
+  for (auto [t, m] : {std::pair<std::size_t, std::size_t>{4, 3},
+                      std::pair<std::size_t, std::size_t>{12, 5},
+                      std::pair<std::size_t, std::size_t>{7, 11},
+                      std::pair<std::size_t, std::size_t>{32, 16}}) {
+    const Matrix ecs = random_positive(t, m, static_cast<unsigned>(71 + t));
+    const auto fused = standardize(ecs);
+    const auto ref = standardize_reference(ecs);
+    EXPECT_EQ(fused.iterations, ref.iterations) << t << "x" << m;
+    EXPECT_EQ(fused.converged, ref.converged);
+    EXPECT_LE(max_abs_diff(fused.standard, ref.standard), 1e-12);
+    for (std::size_t i = 0; i < t; ++i)
+      EXPECT_NEAR(fused.row_scale[i], ref.row_scale[i],
+                  1e-12 * std::abs(ref.row_scale[i]));
+    for (std::size_t j = 0; j < m; ++j)
+      EXPECT_NEAR(fused.col_scale[j], ref.col_scale[j],
+                  1e-12 * std::abs(ref.col_scale[j]));
+  }
+}
+
+TEST(StandardFormEquivalence, FusedMatchesReferenceOnLimitOnly) {
+  const Matrix m{{10, 5}, {0, 1}};
+  const auto fused = standardize(m);
+  const auto ref = standardize_reference(m);
+  EXPECT_EQ(fused.pattern, NormalizabilityClass::limit_only);
+  EXPECT_EQ(fused.iterations, ref.iterations);
+  EXPECT_LE(max_abs_diff(fused.standard, ref.standard), 1e-12);
+}
+
+TEST(StandardFormEquivalence, FusedMatchesReferenceOnRankDeficient) {
+  // Positive rank-1 input: Sinkhorn converges in one iteration and the
+  // standard form is the constant matrix.
+  Matrix m(6, 4);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      m(i, j) = (1.0 + static_cast<double>(i)) *
+                (2.0 + static_cast<double>(j));
+  const auto fused = standardize(m);
+  const auto ref = standardize_reference(m);
+  EXPECT_EQ(fused.iterations, ref.iterations);
+  EXPECT_LE(max_abs_diff(fused.standard, ref.standard), 1e-12);
+}
+
+TEST(StandardFormWarm, AllOnesSeedEqualsColdStart) {
+  const Matrix ecs = random_positive(9, 6, 5);
+  const auto cold = standardize(ecs);
+  SinkhornOptions warm;
+  warm.warm_row_scale.assign(9, 1.0);
+  warm.warm_col_scale.assign(6, 1.0);
+  const auto seeded = standardize(ecs, warm);
+  EXPECT_EQ(seeded.iterations, cold.iterations);
+  EXPECT_EQ(seeded.standard, cold.standard);  // bit-identical
+  EXPECT_EQ(seeded.row_scale, cold.row_scale);
+  EXPECT_EQ(seeded.col_scale, cold.col_scale);
+}
+
+TEST(StandardFormWarm, ConvergedScalesReconvergeQuickly) {
+  // At a tight tolerance both runs land on the (unique) fixed point, so the
+  // warm restart must agree to 1e-12 rather than only to the tolerance.
+  const Matrix ecs = random_positive(12, 7, 17);
+  SinkhornOptions tight;
+  tight.tolerance = 1e-13;
+  const auto cold = standardize(ecs, tight);
+  SinkhornOptions warm = tight;
+  warm.warm_row_scale = cold.row_scale;
+  warm.warm_col_scale = cold.col_scale;
+  const auto seeded = standardize(ecs, warm);
+  // Restarting at the fixed point must cost at most the cold iteration
+  // count and land on the same standard form; the seed is folded into the
+  // reported scales, so they still map the ORIGINAL input.
+  EXPECT_LE(seeded.iterations, cold.iterations);
+  EXPECT_LE(max_abs_diff(seeded.standard, cold.standard), 1e-12);
+  for (std::size_t i = 0; i < ecs.rows(); ++i)
+    EXPECT_NEAR(seeded.row_scale[i] * seeded.col_scale[0] * ecs(i, 0),
+                seeded.standard(i, 0), 1e-12);
+}
+
+TEST(StandardFormWarm, ValidatesSeedShapeAndSign) {
+  const Matrix ecs = random_positive(4, 3, 2);
+  SinkhornOptions bad_size;
+  bad_size.warm_row_scale.assign(5, 1.0);  // 4 rows
+  EXPECT_THROW(standardize(ecs, bad_size), DimensionError);
+  SinkhornOptions bad_value;
+  bad_value.warm_col_scale.assign(3, 1.0);
+  bad_value.warm_col_scale[1] = -2.0;
+  EXPECT_THROW(standardize(ecs, bad_value), ValueError);
+  StandardFormResult out;
+  EXPECT_THROW(standardize_positive_into(ecs, bad_size, out), DimensionError);
+  EXPECT_THROW(standardize_positive_into(ecs, bad_value, out), ValueError);
+}
+
+TEST(StandardFormLean, PositiveIntoMatchesStandardizeExactly) {
+  StandardFormResult out;  // reused across shapes to exercise storage reuse
+  for (auto [t, m] : {std::pair<std::size_t, std::size_t>{8, 5},
+                      std::pair<std::size_t, std::size_t>{5, 8},
+                      std::pair<std::size_t, std::size_t>{16, 16}}) {
+    const Matrix ecs = random_positive(t, m, static_cast<unsigned>(3 * t));
+    const auto full = standardize(ecs);
+    standardize_positive_into(ecs, {}, out);
+    EXPECT_EQ(out.standard, full.standard);  // bit-identical
+    EXPECT_EQ(out.row_scale, full.row_scale);
+    EXPECT_EQ(out.col_scale, full.col_scale);
+    EXPECT_EQ(out.iterations, full.iterations);
+    EXPECT_EQ(out.residual, full.residual);
+    EXPECT_TRUE(out.converged);
+    EXPECT_EQ(out.pattern, NormalizabilityClass::positive);
+
+    // Warm-seeded calls must agree with the validating front end too.
+    SinkhornOptions warm;
+    warm.warm_row_scale = full.row_scale;
+    warm.warm_col_scale = full.col_scale;
+    const auto full_warm = standardize(ecs, warm);
+    standardize_positive_into(ecs, warm, out);
+    EXPECT_EQ(out.standard, full_warm.standard);
+    EXPECT_EQ(out.iterations, full_warm.iterations);
+  }
+}
+
 }  // namespace

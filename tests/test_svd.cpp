@@ -181,4 +181,47 @@ TEST(NumericalRank, DetectsRankDeficiency) {
   EXPECT_EQ(lin::numerical_rank(Matrix::identity(3)), 3u);
 }
 
+// ---- Incremental kernel vs pre-optimization reference ----
+
+TEST(SvdEquivalence, IncrementalMatchesReference) {
+  for (auto [r, c] : {std::pair<std::size_t, std::size_t>{5, 3},
+                      std::pair<std::size_t, std::size_t>{12, 5},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{9, 33}}) {
+    const Matrix a = random_matrix(r, c, static_cast<unsigned>(13 * r + c));
+    const auto fast = lin::singular_values(a);
+    const auto ref = lin::singular_values_reference(a);
+    ASSERT_EQ(fast.size(), ref.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(fast[i], ref[i], 1e-12 * ref[0]) << r << "x" << c;
+  }
+}
+
+TEST(SvdEquivalence, IncrementalMatchesReferenceOnRankDeficient) {
+  Matrix a = random_matrix(8, 5, 77);
+  for (std::size_t i = 0; i < 8; ++i) a(i, 4) = a(i, 2);  // duplicate column
+  const auto fast = lin::singular_values(a);
+  const auto ref = lin::singular_values_reference(a);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_NEAR(fast[i], ref[i], 1e-12 * ref[0]);
+  EXPECT_NEAR(fast.back(), 0.0, 1e-12 * ref[0]);
+}
+
+TEST(SvdEquivalence, GramPathNearCanonical) {
+  // The Gram path squares the condition number: tiny singular values carry
+  // up to ~sqrt(eps) * sigma_max absolute error, which is the documented
+  // contract for search loops. Dominant values agree much tighter.
+  for (auto [r, c] : {std::pair<std::size_t, std::size_t>{8, 5},
+                      std::pair<std::size_t, std::size_t>{6, 14},
+                      std::pair<std::size_t, std::size_t>{20, 10}}) {
+    const Matrix a = random_matrix(r, c, static_cast<unsigned>(5 * r + c));
+    const auto gram_sv = lin::singular_values_gram(a);
+    const auto canonical = lin::singular_values(a);
+    ASSERT_EQ(gram_sv.size(), canonical.size());
+    for (std::size_t i = 0; i < gram_sv.size(); ++i)
+      EXPECT_NEAR(gram_sv[i], canonical[i], 1e-7 * canonical[0]);
+  }
+}
+
 }  // namespace
