@@ -10,6 +10,7 @@
 #include "etcgen/target_measures.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sched/evolutionary.hpp"
 #include "sched/heuristics.hpp"
 
 int main() {
@@ -27,8 +28,17 @@ int main() {
 
   std::vector<std::string> header{"MPH", "TMA"};
   for (const auto& h : sc::standard_heuristics()) header.push_back(h.name);
+  header.push_back("GA");
   header.push_back("winner");
   hetero::io::Table t(std::move(header));
+
+  // The GA breeds across the same pool used by the generator; per-slot RNG
+  // substreams keep the result identical to a serial run.
+  sc::GaMapperOptions ga;
+  ga.population = 40;
+  ga.generations = 60;
+  ga.seed = 7;
+  ga.pool = &pool;
 
   for (double mph : mph_levels) {
     for (double tma : tma_levels) {
@@ -62,6 +72,13 @@ int main() {
           winner = h.name;
         }
       }
+      const double ga_ms =
+          sc::makespan(etc, tasks, sc::map_genetic(etc, tasks, ga));
+      row.push_back(format_fixed(ga_ms / lb, 3));
+      if (ga_ms < best) {
+        best = ga_ms;
+        winner = "GA";
+      }
       row.push_back(winner);
       t.add_row(std::move(row));
     }
@@ -69,6 +86,8 @@ int main() {
   t.print(std::cout);
   std::cout << "\nExpected shape: load-blind heuristics (OLB, MET) degrade "
                "as MPH falls or TMA rises;\nbatch heuristics (Min-Min, "
-               "Sufferage, Duplex) dominate in heterogeneous regions.\n";
+               "Sufferage, Duplex) dominate in heterogeneous regions; the "
+               "GA\n(seeded with Min-Min) matches or beats the list "
+               "heuristics at ~100x their cost.\n";
   return 0;
 }

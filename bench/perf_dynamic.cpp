@@ -1,6 +1,8 @@
 // Microbenchmarks of the dynamic simulator: immediate modes are O(N * M)
-// over N arrivals; batch-mode Min-Min re-maps the pending set at every
-// arrival and is quadratic-ish in the queue depth.
+// over N arrivals. Batch mode re-maps the pending set at every arrival;
+// the default simulate_batch warm-starts the incremental BatchEngine from
+// the previous event, while the *Reference variants re-run the heuristic
+// cold (quadratic-ish in the queue depth) for before/after comparison.
 #include <benchmark/benchmark.h>
 
 #include "etcgen/range_based.hpp"
@@ -54,5 +56,35 @@ void BM_BatchMinMin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BatchMinMin)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_BatchMinMinReference(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = sc::simulate_batch_reference(f.etc, f.arrivals,
+                                          sc::BatchHeuristic::min_min);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_BatchMinMinReference)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_BatchSufferage(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = sc::simulate_batch(f.etc, f.arrivals,
+                                sc::BatchHeuristic::sufferage);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_BatchSufferage)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_BatchSufferageReference(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = sc::simulate_batch_reference(f.etc, f.arrivals,
+                                          sc::BatchHeuristic::sufferage);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_BatchSufferageReference)->Arg(100)->Arg(400)->Arg(1000);
 
 }  // namespace

@@ -1,8 +1,13 @@
-// Microbenchmarks of the mapping heuristics across batch sizes: the list
-// heuristics are O(T*M) or O(T^2*M); the search mappers dominate runtime.
+// Microbenchmarks of the mapping heuristics across batch sizes. The batch
+// heuristics (Min-Min, Max-Min, Sufferage) run on the incremental
+// BatchEngine — O(T * M + affected rescans) per round versus the retained
+// O(T^2 * M) references benchmarked alongside (the *Reference variants).
+// The search mappers dominate runtime; the GA also runs across a pool with
+// bit-identical results (BM_GaMapperParallel).
 #include <benchmark/benchmark.h>
 
 #include "etcgen/range_based.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sched/evolutionary.hpp"
 #include "sched/heuristics.hpp"
 
@@ -19,21 +24,38 @@ EtcMatrix env(std::size_t tasks, std::size_t machines) {
   return hetero::etcgen::generate_range_based(opts, rng);
 }
 
-void BM_MinMin(benchmark::State& state) {
-  const auto etc = env(static_cast<std::size_t>(state.range(0)), 8);
+// Shared body: every batch heuristic benchmark maps one task instance per
+// type of a T x M environment, so fast/reference rows line up exactly.
+template <sc::Assignment (*Map)(const EtcMatrix&, const sc::TaskList&)>
+void BM_Batch(benchmark::State& state) {
+  const auto etc = env(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(1)));
   const auto tasks = sc::one_of_each(etc);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(sc::map_min_min(etc, tasks).data());
+  for (auto _ : state) benchmark::DoNotOptimize(Map(etc, tasks).data());
 }
-BENCHMARK(BM_MinMin)->Arg(16)->Arg(64)->Arg(256);
 
-void BM_Sufferage(benchmark::State& state) {
-  const auto etc = env(static_cast<std::size_t>(state.range(0)), 8);
-  const auto tasks = sc::one_of_each(etc);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(sc::map_sufferage(etc, tasks).data());
+void BM_MinMin(benchmark::State& s) { BM_Batch<sc::map_min_min>(s); }
+void BM_MinMinReference(benchmark::State& s) {
+  BM_Batch<sc::map_min_min_reference>(s);
 }
-BENCHMARK(BM_Sufferage)->Arg(16)->Arg(64)->Arg(256);
+void BM_MaxMin(benchmark::State& s) { BM_Batch<sc::map_max_min>(s); }
+void BM_MaxMinReference(benchmark::State& s) {
+  BM_Batch<sc::map_max_min_reference>(s);
+}
+void BM_Sufferage(benchmark::State& s) { BM_Batch<sc::map_sufferage>(s); }
+void BM_SufferageReference(benchmark::State& s) {
+  BM_Batch<sc::map_sufferage_reference>(s);
+}
+
+BENCHMARK(BM_MinMin)->Args({64, 8})->Args({256, 8})->Args({512, 16});
+BENCHMARK(BM_MinMinReference)->Args({64, 8})->Args({256, 8})->Args({512, 16});
+BENCHMARK(BM_MaxMin)->Args({512, 16});
+BENCHMARK(BM_MaxMinReference)->Args({512, 16});
+BENCHMARK(BM_Sufferage)->Args({64, 8})->Args({256, 8})->Args({512, 16});
+BENCHMARK(BM_SufferageReference)
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({512, 16});
 
 void BM_Mct(benchmark::State& state) {
   const auto etc = env(static_cast<std::size_t>(state.range(0)), 8);
@@ -64,5 +86,18 @@ void BM_GaMapper(benchmark::State& state) {
     benchmark::DoNotOptimize(sc::map_genetic(etc, tasks, opts).data());
 }
 BENCHMARK(BM_GaMapper)->Arg(10)->Arg(40);
+
+void BM_GaMapperParallel(benchmark::State& state) {
+  const auto etc = env(64, 8);
+  const auto tasks = sc::one_of_each(etc);
+  hetero::par::ThreadPool pool;
+  sc::GaMapperOptions opts;
+  opts.population = 40;
+  opts.generations = static_cast<std::size_t>(state.range(0));
+  opts.pool = &pool;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sc::map_genetic(etc, tasks, opts).data());
+}
+BENCHMARK(BM_GaMapperParallel)->Arg(10)->Arg(40);
 
 }  // namespace

@@ -7,6 +7,10 @@
 #
 # Usage, from the repository root (after cmake --build build):
 #   bench/run_benchmarks.sh [tag]
+#
+# Set FILTER to a google-benchmark regex to restrict what runs, e.g.
+#   FILTER='BM_MinMin|BM_Batch' bench/run_benchmarks.sh pr2
+# runs only the scheduler suites touched by a change.
 set -euo pipefail
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -14,6 +18,7 @@ BUILD_DIR=${BUILD_DIR:-$REPO_ROOT/build}
 TAG=${1:-$(git -C "$REPO_ROOT" rev-parse --short HEAD)}
 OUT_DIR=${OUT_DIR:-$REPO_ROOT/bench_results}
 MIN_TIME=${MIN_TIME:-0.3}
+FILTER=${FILTER:-}
 mkdir -p "$OUT_DIR"
 
 found=0
@@ -24,7 +29,8 @@ for bench in "$BUILD_DIR"/bench/perf_*; do
   out="$OUT_DIR/BENCH_${TAG}_${name#perf_}.json"
   echo "== $name -> $out"
   "$bench" --benchmark_out="$out" --benchmark_out_format=json \
-           --benchmark_min_time="$MIN_TIME"
+           --benchmark_min_time="$MIN_TIME" \
+           ${FILTER:+--benchmark_filter="$FILTER"}
 done
 
 if [ "$found" -eq 0 ]; then

@@ -37,6 +37,8 @@ int main() {
   add("KPB 50%",
       sc::simulate_immediate(etc, arrivals, sc::ImmediateMode::kpb));
   add("batch Min-Min", sc::simulate_batch_min_min(etc, arrivals));
+  add("batch Sufferage",
+      sc::simulate_batch(etc, arrivals, sc::BatchHeuristic::sufferage));
   t.print(std::cout);
 
   // Why do execution-time-aware policies matter here? The affinity modes

@@ -1,6 +1,8 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 
 #include "base/error.hpp"
 
@@ -35,21 +37,80 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& f,
-                  std::size_t grain) {
-  detail::require_value(grain > 0, "parallel_for: grain must be positive");
+namespace {
+
+// Shared state of one parallel_for call. Stack-allocated in the caller;
+// helpers are joined (helpers_running reaches 0 under the mutex) before
+// the caller returns, so no helper can outlive it.
+struct ClaimState {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  void (*body)(void*, std::size_t) = nullptr;
+  void* ctx = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t helpers_running = 0;
+  std::size_t error_index = static_cast<std::size_t>(-1);
+  std::exception_ptr error;
+
+  // Claims and runs chunks until the range is exhausted. A throwing
+  // iteration aborts its chunk but not the range; the failure with the
+  // lowest iteration index is kept for the caller to rethrow.
+  void run_chunks() {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + grain);
+      std::size_t i = lo;
+      try {
+        for (; i < hi; ++i) body(ctx, i);
+      } catch (...) {
+        const std::scoped_lock lock(mutex);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void detail::parallel_for_impl(ThreadPool& pool, std::size_t begin,
+                               std::size_t end, std::size_t grain,
+                               void (*body)(void*, std::size_t), void* ctx) {
+  hetero::detail::require_value(grain > 0,
+                                "parallel_for: grain must be positive");
   if (begin >= end) return;
 
-  std::vector<std::future<void>> futures;
-  futures.reserve((end - begin + grain - 1) / grain);
-  for (std::size_t lo = begin; lo < end; lo += grain) {
-    const std::size_t hi = std::min(end, lo + grain);
-    futures.push_back(pool.submit([&f, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) f(i);
-    }));
+  ClaimState state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.end = end;
+  state.grain = grain;
+  state.body = body;
+  state.ctx = ctx;
+
+  // The caller claims chunks too, so at most chunks - 1 helpers are useful.
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  const std::size_t helpers = std::min(pool.thread_count(), chunks - 1);
+  state.helpers_running = helpers;
+  for (std::size_t w = 0; w < helpers; ++w) {
+    pool.submit([&state] {
+      state.run_chunks();
+      const std::scoped_lock lock(state.mutex);
+      if (--state.helpers_running == 0) state.cv.notify_all();
+    });
   }
-  for (auto& fut : futures) fut.get();  // rethrows the first failure
+
+  state.run_chunks();
+  if (helpers > 0) {
+    std::unique_lock lock(state.mutex);
+    state.cv.wait(lock, [&state] { return state.helpers_running == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
 }
 
 }  // namespace hetero::par

@@ -11,8 +11,10 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace hetero::par {
@@ -54,11 +56,35 @@ class ThreadPool {
   std::vector<std::jthread> workers_;  // last member: joins before the rest die
 };
 
-/// Runs f(i) for i in [begin, end) across the pool, blocking until all
-/// iterations finish. Exceptions from any iteration are rethrown (first
-/// one wins). `grain` iterations are handed to a worker at a time.
+namespace detail {
+
+/// Type-erased core of parallel_for: chunked atomic work claiming with no
+/// per-chunk heap allocation. `body(ctx, i)` runs iteration i.
+void parallel_for_impl(ThreadPool& pool, std::size_t begin, std::size_t end,
+                       std::size_t grain, void (*body)(void*, std::size_t),
+                       void* ctx);
+
+}  // namespace detail
+
+/// Runs f(i) for i in [begin, end) and blocks until all iterations finish.
+///
+/// Fast path: instead of enqueuing one heap-allocated closure per chunk,
+/// the range is claimed in `grain`-sized chunks off a shared atomic
+/// counter. At most thread_count() helper jobs are enqueued (each a single
+/// small allocation), and the calling thread claims chunks too, so the
+/// range completes even when the pool is busy. Exceptions from iterations
+/// are collected and the one thrown by the lowest iteration index is
+/// rethrown after the whole range has been attempted (iterations after a
+/// throw within the same chunk are skipped, matching the pre-claiming
+/// behavior).
+template <typename F>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& f,
-                  std::size_t grain = 1);
+                  F&& f, std::size_t grain = 1) {
+  using Fn = std::remove_reference_t<F>;
+  detail::parallel_for_impl(
+      pool, begin, end, grain,
+      [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+}
 
 }  // namespace hetero::par

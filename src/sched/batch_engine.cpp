@@ -1,0 +1,269 @@
+#include "sched/batch_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace hetero::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr std::uint32_t kPlanned = static_cast<std::uint32_t>(-1);
+
+// First index attaining the maximum of v, with NaN entries skipped (NaN
+// compares false). Four independent accumulator lanes break the compare's
+// loop-carried dependency; each lane records the first index in its residue
+// class attaining its lane maximum, and the first global attainment is the
+// minimum recorded index among the lanes that reach the global maximum
+// (any earlier attainment would have been recorded by its own lane). This
+// reassociation is exact, so the reference's strict `>` first-max-wins scan
+// is reproduced bit for bit.
+std::size_t argmax_first(const std::vector<double>& v) {
+  const double* p = v.data();
+  const std::size_t n = v.size();
+  double m0 = -kInf, m1 = -kInf, m2 = -kInf, m3 = -kInf;
+  std::size_t i0 = 0, i1 = 0, i2 = 0, i3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (p[i] > m0) { m0 = p[i]; i0 = i; }
+    if (p[i + 1] > m1) { m1 = p[i + 1]; i1 = i + 1; }
+    if (p[i + 2] > m2) { m2 = p[i + 2]; i2 = i + 2; }
+    if (p[i + 3] > m3) { m3 = p[i + 3]; i3 = i + 3; }
+  }
+  for (; i < n; ++i)
+    if (p[i] > m0) { m0 = p[i]; i0 = i; }
+  double best = m0;
+  if (m1 > best) best = m1;
+  if (m2 > best) best = m2;
+  if (m3 > best) best = m3;
+  std::size_t at = static_cast<std::size_t>(-1);
+  if (m0 == best && i0 < at) at = i0;
+  if (m1 == best && i1 < at) at = i1;
+  if (m2 == best && i2 < at) at = i2;
+  if (m3 == best && i3 < at) at = i3;
+  if (best == -kInf) {
+    // Every remaining priority is -inf (tasks with no capable machine —
+    // excluded by the EtcMatrix invariant): the strict `>` never fires, so
+    // degrade deterministically to the first non-NaN (unplanned) slot.
+    at = 0;
+    while (std::isnan(p[at])) ++at;
+  }
+  return at;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(const core::EtcMatrix& etc, BatchPolicy policy)
+    : etc_(etc),
+      policy_(policy),
+      base_ready_(etc.machine_count(), 0.0),
+      ready_(etc.machine_count(), 0.0) {}
+
+void BatchEngine::rescan(std::size_t type, const std::vector<double>& ready,
+                         double& best_ct, double& second_ct,
+                         std::size_t& best_j) const {
+  // Single fused pass: best machine (first strict minimum, as in the
+  // reference scans) and the second-smallest completion time together.
+  double best = kInf, second = kInf;
+  std::size_t bj = 0;
+  for (std::size_t j = 0; j < etc_.machine_count(); ++j) {
+    const double x = etc_(type, j);
+    if (std::isinf(x)) continue;
+    const double ct = ready[j] + x;
+    if (ct < best) {
+      second = best;
+      best = ct;
+      bj = j;
+    } else {
+      second = std::min(second, ct);
+    }
+  }
+  best_ct = best;
+  second_ct = second;
+  best_j = bj;
+}
+
+double BatchEngine::priority_of(double best_ct, double second_ct) const {
+  switch (policy_) {
+    case BatchPolicy::min_min:
+      return -best_ct;
+    case BatchPolicy::max_min:
+      return best_ct;
+    case BatchPolicy::sufferage:
+      return std::isinf(second_ct) ? kInf : second_ct - best_ct;
+  }
+  return -kInf;  // unreachable
+}
+
+bool BatchEngine::involves(std::size_t type, std::size_t j,
+                           double ready_before, std::size_t best_j,
+                           double second_ct) const {
+  if (best_j == j) return true;
+  if (policy_ != BatchPolicy::sufferage) return false;  // only best matters
+  // j was not the best, so its completion time sat at or above the cached
+  // second-best; it contributed to the decision only when it attained it.
+  const double x = etc_(type, j);
+  return !std::isinf(x) && ready_before + x <= second_ct;
+}
+
+void BatchEngine::rescan_pending(std::size_t i) {
+  double best_ct = kInf, second_ct = kInf;
+  std::size_t best_j = 0;
+  rescan(pend_type_[i], ready_, best_ct, second_ct, best_j);
+  pend_best_j_[i] = static_cast<std::uint32_t>(best_j);
+  pend_second_ct_[i] = second_ct;
+  pend_prio_[i] = priority_of(best_ct, second_ct);
+}
+
+void BatchEngine::add_slot(std::size_t slot, std::size_t type) {
+  detail::require_dims(type < etc_.task_count(),
+                       "BatchEngine: task type out of range");
+  if (slot >= type_.size()) {
+    const std::size_t n = slot + 1;
+    type_.resize(n, 0);
+    base_best_ct_.resize(n, kInf);
+    base_second_ct_.resize(n, kInf);
+    base_best_j_.resize(n, 0);
+    has_base_.resize(n, 0);
+  }
+  type_[slot] = type;
+  has_base_[slot] = 0;
+  active_.push_back(slot);
+}
+
+void BatchEngine::remove_slot(std::size_t slot) {
+  const auto it = std::find(active_.begin(), active_.end(), slot);
+  detail::require_value(it != active_.end(),
+                        "BatchEngine: removing an unregistered slot");
+  active_.erase(it);
+  if (slot < has_base_.size()) has_base_[slot] = 0;
+}
+
+void BatchEngine::begin_epoch(const std::vector<double>& base_ready) {
+  detail::require_dims(base_ready.size() == etc_.machine_count(),
+                       "BatchEngine: ready vector size mismatch");
+  // Diff against the previous epoch's base. Ready times are non-decreasing
+  // in the dynamic simulator; a decrease (API misuse or a reset) falls back
+  // to a full rebuild, which is always correct.
+  changed_.clear();
+  bool rebuild = !have_epoch_;
+  if (!rebuild) {
+    for (std::size_t j = 0; j < base_ready.size(); ++j) {
+      if (base_ready[j] != base_ready_[j]) {
+        changed_.push_back(j);
+        if (base_ready[j] < base_ready_[j]) rebuild = true;
+      }
+    }
+  }
+
+  for (const std::size_t s : active_) {
+    if (rebuild || !has_base_[s]) {
+      rescan(type_[s], base_ready, base_best_ct_[s], base_second_ct_[s],
+             base_best_j_[s]);
+      has_base_[s] = 1;
+      continue;
+    }
+    for (const std::size_t j : changed_) {
+      if (involves(type_[s], j, base_ready_[j], base_best_j_[s],
+                   base_second_ct_[s])) {
+        rescan(type_[s], base_ready, base_best_ct_[s], base_second_ct_[s],
+               base_best_j_[s]);
+        break;
+      }
+    }
+  }
+
+  base_ready_ = base_ready;
+  ready_ = base_ready;
+  have_epoch_ = true;
+}
+
+void BatchEngine::plan(
+    const std::function<void(std::size_t, std::size_t)>& commit) {
+  detail::require_value(have_epoch_,
+                        "BatchEngine: plan() before begin_epoch()");
+  // Seed the compact pending arrays from the epoch-start cache; the
+  // epoch-start entries stay untouched for the next begin_epoch() diff.
+  const std::size_t n = active_.size();
+  pend_slot_.resize(n);
+  pend_type_.resize(n);
+  pend_best_j_.resize(n);
+  pend_prio_.resize(n);
+  pend_second_ct_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = active_[i];
+    pend_slot_[i] = static_cast<std::uint32_t>(s);
+    pend_type_[i] = static_cast<std::uint32_t>(type_[s]);
+    pend_best_j_[i] = static_cast<std::uint32_t>(base_best_j_[s]);
+    pend_second_ct_[i] = base_second_ct_[s];
+    pend_prio_[i] = priority_of(base_best_ct_[s], base_second_ct_[s]);
+  }
+
+  const bool sufferage = policy_ == BatchPolicy::sufferage;
+  if (!sufferage) {
+    bucket_.resize(etc_.machine_count());
+    for (auto& b : bucket_) b.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      bucket_[pend_best_j_[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  for (std::size_t round = 0; round < n; ++round) {
+    // Pick the highest-priority unplanned slot, first-max-wins in
+    // registration order (the reference's strict `>` scan). Planned slots
+    // carry NaN priorities, which compare false everywhere, so the flat
+    // argmax over the pending arrays — still in registration order —
+    // reproduces the reference tie-break with no per-round compaction.
+    const std::size_t chosen_at = argmax_first(pend_prio_);
+    const std::size_t chosen = pend_slot_[chosen_at];
+    const std::size_t ctype = pend_type_[chosen_at];
+    const std::size_t jstar = pend_best_j_[chosen_at];
+    // Mark planned: NaN/kPlanned sentinels fall through every scan below.
+    pend_prio_[chosen_at] = kNan;
+    pend_second_ct_[chosen_at] = kNan;
+    pend_best_j_[chosen_at] = kPlanned;
+
+    commit(chosen, jstar);
+    const double before = ready_[jstar];
+    ready_[jstar] += etc_(ctype, jstar);
+
+    // Affected-set recomputation: only slots whose cached decision could
+    // involve jstar can have changed.
+    if (sufferage) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (involves(pend_type_[i], jstar, before, pend_best_j_[i],
+                     pend_second_ct_[i]))
+          rescan_pending(i);
+    } else {
+      // Exactly bucket_[jstar]: rescan each member and rebucket it (its
+      // new best may land anywhere, including jstar again). The chosen
+      // slot sits in this bucket too; its kPlanned mark skips it.
+      scratch_bucket_.swap(bucket_[jstar]);
+      bucket_[jstar].clear();
+      for (const std::uint32_t i : scratch_bucket_) {
+        if (pend_best_j_[i] == kPlanned) continue;
+        rescan_pending(i);
+        bucket_[pend_best_j_[i]].push_back(i);
+      }
+      scratch_bucket_.clear();
+    }
+  }
+}
+
+Assignment BatchEngine::map_static(const TaskList& tasks) {
+  active_.clear();
+  have_epoch_ = false;
+  for (std::size_t k = 0; k < tasks.size(); ++k) add_slot(k, tasks[k]);
+  begin_epoch(std::vector<double>(etc_.machine_count(), 0.0));
+  Assignment assignment(tasks.size(), 0);
+  plan([&assignment](std::size_t slot, std::size_t j) {
+    assignment[slot] = j;
+  });
+  active_.clear();
+  have_epoch_ = false;
+  return assignment;
+}
+
+}  // namespace hetero::sched

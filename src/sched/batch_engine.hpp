@@ -1,0 +1,130 @@
+// Incremental batch-mode mapping engine shared by the static heuristics
+// (Min-Min, Max-Min, Sufferage) and the dynamic batch-mode simulator.
+//
+// The classic batch-mode greedy re-evaluates every unmapped task against
+// every machine in every round — O(T^2 * M). This engine caches, per task
+// slot, the best machine / best completion time / second-best completion
+// time against the current ready vector, and after committing a task to
+// machine j re-evaluates only the slots whose cached decision could involve
+// j (the "affected set" R): cost drops toward O(T*M + T^2 + R*M). Cached
+// values are produced by the same left-to-right strict-minimum scan the
+// reference implementations use, so assignments — including every
+// tie-break — are bit-identical to the O(T^2 * M) twins retained in
+// heuristics.cpp and dynamic.cpp (asserted by the `sched_equiv` test
+// label).
+//
+// Why the affected set is sufficient: ready times only grow, and only on
+// the committed machine j. A slot whose cached best machine is not j keeps
+// a valid best (j's completion time was strictly worse, or tied at a higher
+// index, and grew); its second-best completion time can change only if j
+// attained it, i.e. only if j's pre-commit completion time was <= the
+// cached second-best. Both conditions are O(1) per slot, and a conservative
+// rescan is always exact.
+//
+// The epoch interface extends the same invariant across the events of the
+// dynamic simulator: begin_epoch() diffs the new base ready vector against
+// the previous epoch's and rescans only slots whose cached epoch-start
+// entry involves a changed machine, so successive remaps warm-start from
+// the previous epoch instead of running cold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/makespan.hpp"
+
+namespace hetero::sched {
+
+/// Batch-mode priority rule: which unmapped task is "most critical".
+enum class BatchPolicy {
+  min_min,    // smallest best completion time first
+  max_min,    // largest best completion time first
+  sufferage,  // largest (second-best - best) completion-time gap first
+};
+
+class BatchEngine {
+ public:
+  /// The engine keeps a reference to `etc`; it must outlive the engine.
+  BatchEngine(const core::EtcMatrix& etc, BatchPolicy policy);
+
+  /// One-shot static mapping: slot k runs task type tasks[k], machine loads
+  /// start at zero. Bit-identical to the reference batch_mode greedy.
+  Assignment map_static(const TaskList& tasks);
+
+  // --- incremental epoch interface (dynamic batch-mode simulation) ---
+
+  /// Registers a task slot (dynamic: an arrival index). Slots are scanned
+  /// in registration order, matching the reference's pending-queue order.
+  void add_slot(std::size_t slot, std::size_t type);
+
+  /// Unregisters a slot (dynamic: the task started executing).
+  void remove_slot(std::size_t slot);
+
+  std::size_t active_count() const noexcept { return active_.size(); }
+
+  /// Starts a planning epoch against `base_ready` (one entry per machine).
+  /// Cached epoch-start entries are revalidated against the previous
+  /// epoch's base: only slots whose decision involves a machine whose ready
+  /// time changed are rescanned. Ready times are expected to be
+  /// non-decreasing across epochs; a decrease triggers a full (still
+  /// correct) rebuild.
+  void begin_epoch(const std::vector<double>& base_ready);
+
+  /// Greedily commits every active slot against the epoch's ready vector,
+  /// invoking commit(slot, machine) in commit order. Slots stay registered
+  /// (the dynamic simulator re-plans them until they start). Requires
+  /// begin_epoch() first.
+  void plan(const std::function<void(std::size_t, std::size_t)>& commit);
+
+ private:
+  // Recomputes a task type's cached decision against `ready`: the first
+  // machine attaining the strict minimum completion time (the reference
+  // scan's tie-break) and the second-smallest completion time in multiset
+  // order.
+  void rescan(std::size_t type, const std::vector<double>& ready,
+              double& best_ct, double& second_ct, std::size_t& best_j) const;
+  double priority_of(double best_ct, double second_ct) const;
+  // Could a cached decision involve machine j, whose ready time was
+  // `ready_before` prior to an increase?
+  bool involves(std::size_t type, std::size_t j, double ready_before,
+                std::size_t best_j, double second_ct) const;
+  void rescan_pending(std::size_t i);
+
+  const core::EtcMatrix& etc_;
+  BatchPolicy policy_;
+
+  std::vector<std::size_t> active_;  // slot ids in registration order
+  // Per-slot-id state (vectors grow to the largest registered id + 1):
+  // the epoch-start cache, valid against base_ready_.
+  std::vector<std::size_t> type_;
+  std::vector<double> base_best_ct_, base_second_ct_;
+  std::vector<std::size_t> base_best_j_;
+  std::vector<char> has_base_;
+
+  // plan() scratch: the unplanned slots in registration order, as parallel
+  // compact arrays so the two hot scans — the priority max-scan (pend_prio_
+  // only) and the affected-set filter (pend_best_j_ and, for sufferage,
+  // pend_second_ct_) — each stream one flat vector with no per-slot
+  // indirection. 32-bit ids halve the scan and erase bandwidth (slot and
+  // machine counts are nowhere near 2^32). pend_prio_ mirrors
+  // priority_of(best, second) so the max-scan never recomputes the policy
+  // switch.
+  std::vector<std::uint32_t> pend_slot_, pend_type_, pend_best_j_;
+  std::vector<double> pend_prio_, pend_second_ct_;
+  // Min-Min/Max-Min affected-set index: bucket_[j] holds the pending
+  // indices whose cached best machine is j, so a commit to j rescans
+  // exactly its bucket instead of filtering every pending slot. (Sufferage
+  // decisions also depend on the second-best completion time, which buckets
+  // cannot capture — it keeps the linear involves() filter.)
+  std::vector<std::vector<std::uint32_t>> bucket_;
+  std::vector<std::uint32_t> scratch_bucket_;
+
+  std::vector<double> base_ready_;  // previous epoch's base
+  std::vector<double> ready_;       // working ready vector during plan()
+  std::vector<std::size_t> changed_;
+  bool have_epoch_ = false;
+};
+
+}  // namespace hetero::sched

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <numeric>
 
 #include "base/error.hpp"
+#include "sched/batch_engine.hpp"
 
 namespace hetero::sched {
 namespace {
@@ -155,6 +157,59 @@ DynamicResult simulate_immediate(const core::EtcMatrix& etc,
 DynamicResult simulate_batch(const core::EtcMatrix& etc,
                              const std::vector<Arrival>& arrivals,
                              BatchHeuristic heuristic) {
+  validate_arrivals(etc, arrivals);
+  const std::size_t m = etc.machine_count();
+
+  BatchEngine engine(etc, heuristic == BatchHeuristic::min_min
+                              ? BatchPolicy::min_min
+                              : BatchPolicy::sufferage);
+
+  // committed[j]: the time machine j finishes all *started* work.
+  std::vector<double> committed(m, 0.0);
+  // Planned queues from the last remap: arrival indices per machine.
+  std::vector<std::deque<std::size_t>> plan(m);
+  std::vector<double> completion(arrivals.size(), 0.0);
+  std::vector<std::size_t> assignment(arrivals.size(), 0);
+  std::vector<double> base_ready(m, 0.0);  // reused across events
+
+  const auto advance_to = [&](double now) {
+    // Start planned work whose start instant falls strictly before `now`;
+    // started tasks leave the engine's pending set.
+    for (std::size_t j = 0; j < m; ++j) {
+      while (!plan[j].empty()) {
+        const std::size_t k = plan[j].front();
+        const double start = std::max(committed[j], arrivals[k].time);
+        if (start >= now) break;
+        plan[j].pop_front();
+        committed[j] = start + etc(arrivals[k].type, j);
+        completion[k] = committed[j];
+        assignment[k] = j;
+        engine.remove_slot(k);
+      }
+    }
+  };
+
+  const std::function<void(std::size_t, std::size_t)> enqueue =
+      [&plan](std::size_t k, std::size_t j) { plan[j].push_back(k); };
+
+  for (const std::size_t k : time_order(arrivals)) {
+    const double now = arrivals[k].time;
+    advance_to(now);
+    engine.add_slot(k, arrivals[k].type);
+    for (std::size_t j = 0; j < m; ++j) {
+      base_ready[j] = std::max(committed[j], now);
+      plan[j].clear();
+    }
+    engine.begin_epoch(base_ready);
+    engine.plan(enqueue);
+  }
+  advance_to(kInf);  // drain everything
+  return finish(arrivals, std::move(completion), std::move(assignment));
+}
+
+DynamicResult simulate_batch_reference(const core::EtcMatrix& etc,
+                                       const std::vector<Arrival>& arrivals,
+                                       BatchHeuristic heuristic) {
   validate_arrivals(etc, arrivals);
   const std::size_t m = etc.machine_count();
 

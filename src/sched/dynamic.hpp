@@ -75,10 +75,21 @@ enum class BatchHeuristic { min_min, sufferage };
 
 /// Simulates batch-mode mapping: at each arrival, all tasks that have not
 /// yet *started* are remapped with the chosen heuristic against current
-/// machine ready times (a standard batch-mode regime).
+/// machine ready times (a standard batch-mode regime). Each remap
+/// warm-starts from the previous scheduling event through the incremental
+/// BatchEngine (sched/batch_engine.hpp) and reuses the ready/plan buffers
+/// across events; results are bit-identical to the cold reference below.
 DynamicResult simulate_batch(const core::EtcMatrix& etc,
                              const std::vector<Arrival>& arrivals,
                              BatchHeuristic heuristic);
+
+/// Pre-optimization batch-mode simulator: re-runs the heuristic cold (full
+/// O(U^2 * M) greedy over the pending set) at every arrival. Retained as
+/// the equivalence yardstick for the warm-started engine above (asserted
+/// under the `sched_equiv` test label; measured by bench/perf_dynamic).
+DynamicResult simulate_batch_reference(const core::EtcMatrix& etc,
+                                       const std::vector<Arrival>& arrivals,
+                                       BatchHeuristic heuristic);
 
 /// Convenience wrapper for BatchHeuristic::min_min.
 DynamicResult simulate_batch_min_min(const core::EtcMatrix& etc,

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 
 #include "etcgen/anneal.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sched/heuristics.hpp"
 
 namespace hetero::sched {
@@ -18,6 +20,20 @@ std::size_t random_valid_machine(const core::EtcMatrix& etc, std::size_t task,
     j = etcgen::uniform_index(rng, etc.machine_count());
   } while (std::isinf(etc(task, j)));
   return j;
+}
+
+// Substream seed for the chromosome bred into slot `slot` of generation
+// `gen`: a SplitMix64 finalizer decorrelates the (seed, gen, slot) lattice.
+// Seeding per slot — not per thread — is what makes the parallel GA
+// bit-identical to the serial one for any thread count.
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t gen,
+                             std::uint64_t slot, std::uint64_t slots) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (gen * slots + slot + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -69,37 +85,54 @@ Assignment map_genetic(const core::EtcMatrix& etc, const TaskList& tasks,
   const auto fitness = [&](const Assignment& a) {
     return makespan(etc, tasks, a);
   };
-  std::vector<double> score(pop_size);
-  for (std::size_t i = 0; i < pop_size; ++i) score[i] = fitness(population[i]);
-
-  const auto tournament = [&]() -> const Assignment& {
-    const std::size_t a = etcgen::uniform_index(rng, pop_size);
-    const std::size_t b = etcgen::uniform_index(rng, pop_size);
-    return score[a] <= score[b] ? population[a] : population[b];
+  // Runs body(i) for i in [begin, end) — across the pool when one is given,
+  // serially otherwise. Bodies only write state owned by slot i, so the
+  // parallel and serial paths compute identical results.
+  const auto for_slots = [&](std::size_t begin, std::size_t end,
+                             const auto& body) {
+    if (options.pool != nullptr)
+      par::parallel_for(*options.pool, begin, end, body);
+    else
+      for (std::size_t i = begin; i < end; ++i) body(i);
   };
 
+  std::vector<double> score(pop_size);
+  for_slots(0, pop_size,
+            [&](std::size_t i) { score[i] = fitness(population[i]); });
+
+  std::vector<Assignment> next(pop_size);
+  std::vector<double> next_score(pop_size);
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
-    std::vector<Assignment> next;
-    next.reserve(pop_size);
     // Elitism: carry the best chromosome over unchanged.
     const std::size_t best_idx = static_cast<std::size_t>(
         std::min_element(score.begin(), score.end()) - score.begin());
-    next.push_back(population[best_idx]);
+    next[0] = population[best_idx];
+    next_score[0] = score[best_idx];
 
-    while (next.size() < pop_size) {
+    // Breed slots 1..pop-1 independently, each from its own substream; the
+    // previous generation's population and scores are read-only here.
+    for_slots(1, pop_size, [&](std::size_t i) {
+      etcgen::Rng r = etcgen::make_rng(
+          substream_seed(options.seed, gen, i, pop_size));
+      const auto tournament = [&]() -> const Assignment& {
+        const std::size_t a = etcgen::uniform_index(r, pop_size);
+        const std::size_t b = etcgen::uniform_index(r, pop_size);
+        return score[a] <= score[b] ? population[a] : population[b];
+      };
       Assignment child = tournament();
-      if (etcgen::uniform(rng, 0.0, 1.0) < options.crossover_rate) {
+      if (etcgen::uniform(r, 0.0, 1.0) < options.crossover_rate) {
         const Assignment& other = tournament();
-        const std::size_t cut = etcgen::uniform_index(rng, child.size());
+        const std::size_t cut = etcgen::uniform_index(r, child.size());
         for (std::size_t k = cut; k < child.size(); ++k) child[k] = other[k];
       }
       for (std::size_t k = 0; k < child.size(); ++k)
-        if (etcgen::uniform(rng, 0.0, 1.0) < options.mutation_rate)
-          child[k] = random_valid_machine(etc, tasks[k], rng);
-      next.push_back(std::move(child));
-    }
-    population = std::move(next);
-    for (std::size_t i = 0; i < pop_size; ++i) score[i] = fitness(population[i]);
+        if (etcgen::uniform(r, 0.0, 1.0) < options.mutation_rate)
+          child[k] = random_valid_machine(etc, tasks[k], r);
+      next_score[i] = fitness(child);
+      next[i] = std::move(child);
+    });
+    population.swap(next);
+    score.swap(next_score);
   }
 
   const std::size_t best_idx = static_cast<std::size_t>(

@@ -8,6 +8,10 @@
 #include "etcgen/rng.hpp"
 #include "sched/makespan.hpp"
 
+namespace hetero::par {
+class ThreadPool;
+}
+
 namespace hetero::sched {
 
 struct SaMapperOptions {
@@ -31,6 +35,11 @@ struct GaMapperOptions {
   /// Seed one chromosome with the Min-Min solution (elitist seeding, as in
   /// Braun et al.).
   bool seed_with_min_min = true;
+  /// Optional worker pool: breeding and fitness evaluation fan out across
+  /// it. Each child chromosome is bred from its own RNG substream seeded by
+  /// (seed, generation, population slot), so the result is bit-identical
+  /// for any thread count — including the serial path (pool == nullptr).
+  par::ThreadPool* pool = nullptr;
 };
 
 /// Generational GA with tournament selection, single-point crossover,

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "base/error.hpp"
+#include "sched/batch_engine.hpp"
 
 namespace hetero::sched {
 namespace {
@@ -35,9 +36,11 @@ std::size_t best_machine(const core::EtcMatrix& etc,
   return best;
 }
 
-// Batch-mode skeleton shared by Min-Min, Max-Min, and Sufferage: repeatedly
-// pick the "most critical" unmapped task per `priority` (higher wins) and
-// commit it to its best machine.
+// Pre-optimization O(T^2 M) batch-mode skeleton shared by the reference
+// twins of Min-Min, Max-Min, and Sufferage: repeatedly pick the "most
+// critical" unmapped task per `priority` (higher wins) and commit it to its
+// best machine. Retained verbatim as the equivalence yardstick for the
+// incremental BatchEngine (the fast paths must match it bit for bit).
 template <typename PriorityFn>
 Assignment batch_mode(const core::EtcMatrix& etc, const TaskList& tasks,
                       PriorityFn&& priority) {
@@ -68,17 +71,39 @@ Assignment batch_mode(const core::EtcMatrix& etc, const TaskList& tasks,
 
 }  // namespace
 
+std::size_t olb_earliest_capable(const linalg::Matrix& etc,
+                                 const std::vector<double>& load,
+                                 std::size_t t) {
+  std::size_t best = etc.cols();
+  for (std::size_t j = 0; j < etc.cols(); ++j) {
+    if (std::isinf(etc(t, j))) continue;
+    if (best == etc.cols() || load[j] < load[best]) best = j;
+  }
+  detail::require_value(best < etc.cols(),
+                        "map_olb: task runs on no machine");
+  return best;
+}
+
+std::size_t met_fastest_machine(const linalg::Matrix& etc, std::size_t t) {
+  std::size_t best = 0;
+  double best_e = kInf;
+  for (std::size_t j = 0; j < etc.cols(); ++j) {
+    if (etc(t, j) < best_e) {
+      best_e = etc(t, j);
+      best = j;
+    }
+  }
+  detail::require_value(std::isfinite(best_e),
+                        "map_met: task runs on no machine");
+  return best;
+}
+
 Assignment map_olb(const core::EtcMatrix& etc, const TaskList& tasks) {
   check_tasks(etc, tasks);
   std::vector<double> load(etc.machine_count(), 0.0);
   Assignment assignment(tasks.size(), 0);
   for (std::size_t k = 0; k < tasks.size(); ++k) {
-    // Earliest-available machine that can actually run the task.
-    std::size_t best = etc.machine_count();
-    for (std::size_t j = 0; j < etc.machine_count(); ++j) {
-      if (std::isinf(etc(tasks[k], j))) continue;
-      if (best == etc.machine_count() || load[j] < load[best]) best = j;
-    }
+    const std::size_t best = olb_earliest_capable(etc.values(), load, tasks[k]);
     assignment[k] = best;
     load[best] += etc(tasks[k], best);
   }
@@ -88,17 +113,8 @@ Assignment map_olb(const core::EtcMatrix& etc, const TaskList& tasks) {
 Assignment map_met(const core::EtcMatrix& etc, const TaskList& tasks) {
   check_tasks(etc, tasks);
   Assignment assignment(tasks.size(), 0);
-  for (std::size_t k = 0; k < tasks.size(); ++k) {
-    std::size_t best = 0;
-    double best_e = kInf;
-    for (std::size_t j = 0; j < etc.machine_count(); ++j) {
-      if (etc(tasks[k], j) < best_e) {
-        best_e = etc(tasks[k], j);
-        best = j;
-      }
-    }
-    assignment[k] = best;
-  }
+  for (std::size_t k = 0; k < tasks.size(); ++k)
+    assignment[k] = met_fastest_machine(etc.values(), tasks[k]);
   return assignment;
 }
 
@@ -116,6 +132,22 @@ Assignment map_mct(const core::EtcMatrix& etc, const TaskList& tasks) {
 
 Assignment map_min_min(const core::EtcMatrix& etc, const TaskList& tasks) {
   check_tasks(etc, tasks);
+  return BatchEngine(etc, BatchPolicy::min_min).map_static(tasks);
+}
+
+Assignment map_max_min(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  return BatchEngine(etc, BatchPolicy::max_min).map_static(tasks);
+}
+
+Assignment map_sufferage(const core::EtcMatrix& etc, const TaskList& tasks) {
+  check_tasks(etc, tasks);
+  return BatchEngine(etc, BatchPolicy::sufferage).map_static(tasks);
+}
+
+Assignment map_min_min_reference(const core::EtcMatrix& etc,
+                                 const TaskList& tasks) {
+  check_tasks(etc, tasks);
   return batch_mode(etc, tasks,
                     [&](std::size_t t, std::size_t j,
                         const std::vector<double>& load) {
@@ -123,7 +155,8 @@ Assignment map_min_min(const core::EtcMatrix& etc, const TaskList& tasks) {
                     });
 }
 
-Assignment map_max_min(const core::EtcMatrix& etc, const TaskList& tasks) {
+Assignment map_max_min_reference(const core::EtcMatrix& etc,
+                                 const TaskList& tasks) {
   check_tasks(etc, tasks);
   return batch_mode(etc, tasks,
                     [&](std::size_t t, std::size_t j,
@@ -132,11 +165,13 @@ Assignment map_max_min(const core::EtcMatrix& etc, const TaskList& tasks) {
                     });
 }
 
-Assignment map_sufferage(const core::EtcMatrix& etc, const TaskList& tasks) {
+Assignment map_sufferage_reference(const core::EtcMatrix& etc,
+                                   const TaskList& tasks) {
   check_tasks(etc, tasks);
   return batch_mode(
       etc, tasks,
-      [&](std::size_t t, std::size_t best_j, const std::vector<double>& load) {
+      [&](std::size_t t, std::size_t /*best_j*/,
+          const std::vector<double>& load) {
         // Sufferage = second-best CT minus best CT.
         double best_ct = kInf, second_ct = kInf;
         for (std::size_t j = 0; j < etc.machine_count(); ++j) {
@@ -149,7 +184,6 @@ Assignment map_sufferage(const core::EtcMatrix& etc, const TaskList& tasks) {
             second_ct = std::min(second_ct, ct);
           }
         }
-        (void)best_j;
         return std::isinf(second_ct) ? kInf : second_ct - best_ct;
       });
 }

@@ -36,6 +36,31 @@ Assignment map_max_min(const core::EtcMatrix& etc, const TaskList& tasks);
 Assignment map_sufferage(const core::EtcMatrix& etc, const TaskList& tasks);
 Assignment map_duplex(const core::EtcMatrix& etc, const TaskList& tasks);
 
+/// Pre-optimization O(T^2 * M) implementations of the three batch-mode
+/// heuristics, retained verbatim as the equivalence yardstick for the
+/// incremental engine (sched/batch_engine.hpp): the fast paths above must
+/// produce bit-identical assignments, tie-breaks included (asserted by the
+/// `sched_equiv` test label; measured by bench/perf_heuristics).
+Assignment map_min_min_reference(const core::EtcMatrix& etc,
+                                 const TaskList& tasks);
+Assignment map_max_min_reference(const core::EtcMatrix& etc,
+                                 const TaskList& tasks);
+Assignment map_sufferage_reference(const core::EtcMatrix& etc,
+                                   const TaskList& tasks);
+
+/// OLB pick over raw values: the earliest-available (lowest current load)
+/// machine with a finite ETC entry for task `t`. Throws ValueError when the
+/// task runs on no machine — the EtcMatrix invariant normally rules that
+/// out, but the guard replaces a latent out-of-bounds write (the old code
+/// indexed load[machine_count()]) for raw-matrix callers.
+std::size_t olb_earliest_capable(const linalg::Matrix& etc,
+                                 const std::vector<double>& load,
+                                 std::size_t t);
+
+/// MET pick over raw values: the minimum-execution-time machine for task
+/// `t`. Throws ValueError when the task runs on no machine.
+std::size_t met_fastest_machine(const linalg::Matrix& etc, std::size_t t);
+
 /// Uniform random valid assignment (baseline).
 Assignment map_random(const core::EtcMatrix& etc, const TaskList& tasks,
                       etcgen::Rng& rng);

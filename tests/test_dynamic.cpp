@@ -288,6 +288,61 @@ TEST(DynamicBatch, SufferageDrainsPoissonLoad) {
   EXPECT_GT(r.mean_flow_time, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Warm-start equivalence (ctest label: sched_equiv). simulate_batch keeps
+// the BatchEngine's cached decisions across scheduling events; it must be
+// bit-identical to simulate_batch_reference, which re-runs the heuristic
+// cold at every arrival.
+
+void expect_warm_matches_cold(const EtcMatrix& etc,
+                              const std::vector<Arrival>& arrivals) {
+  for (const auto h :
+       {sc::BatchHeuristic::min_min, sc::BatchHeuristic::sufferage}) {
+    const auto fast = sc::simulate_batch(etc, arrivals, h);
+    const auto ref = sc::simulate_batch_reference(etc, arrivals, h);
+    const char* name = h == sc::BatchHeuristic::min_min ? "min_min"
+                                                        : "sufferage";
+    EXPECT_EQ(fast.assignment, ref.assignment) << name;
+    EXPECT_DOUBLE_EQ(fast.makespan, ref.makespan) << name;
+    EXPECT_DOUBLE_EQ(fast.mean_flow_time, ref.mean_flow_time) << name;
+    EXPECT_DOUBLE_EQ(fast.max_flow_time, ref.max_flow_time) << name;
+  }
+}
+
+TEST(DynamicBatchEquivalence, PoissonLoadMatchesColdReference) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(101);
+  hetero::etcgen::RangeBasedOptions gopts;
+  gopts.tasks = 10;
+  gopts.machines = 6;
+  const auto etc = hetero::etcgen::generate_range_based(gopts, rng);
+  expect_warm_matches_cold(etc, sc::poisson_arrivals(etc, 1.5, 200, rng));
+}
+
+TEST(DynamicBatchEquivalence, BurstyArrivalsMatchColdReference) {
+  // Simultaneous arrivals keep large pending sets alive across events —
+  // the regime where the warm cache does the most work.
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(103);
+  hetero::etcgen::RangeBasedOptions gopts;
+  gopts.tasks = 8;
+  gopts.machines = 4;
+  const auto etc = hetero::etcgen::generate_range_based(gopts, rng);
+  std::vector<Arrival> arrivals;
+  for (std::size_t wave = 0; wave < 6; ++wave)
+    for (std::size_t k = 0; k < 20; ++k)
+      arrivals.push_back({static_cast<double>(wave) * 3.0, k % 8});
+  expect_warm_matches_cold(etc, arrivals);
+}
+
+TEST(DynamicBatchEquivalence, IncapableMachinesMatchColdReference) {
+  EtcMatrix etc(Matrix{{1, kInf, 4}, {kInf, 1, 5}, {2, 2, kInf}});
+  std::vector<Arrival> arrivals;
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(107);
+  for (std::size_t k = 0; k < 60; ++k)
+    arrivals.push_back(
+        {static_cast<double>(k) * 0.3, k % etc.task_count()});
+  expect_warm_matches_cold(etc, arrivals);
+}
+
 TEST(DynamicBatch, LighterLoadLowersFlowTime) {
   hetero::etcgen::Rng rng1 = hetero::etcgen::make_rng(89);
   hetero::etcgen::Rng rng2 = hetero::etcgen::make_rng(89);

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "etcgen/range_based.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sched/heuristics.hpp"
 
 namespace {
@@ -121,6 +122,37 @@ TEST(GaMapper, Reproducible) {
   opts.seed = 9;
   EXPECT_EQ(sc::map_genetic(etc, tasks, opts),
             sc::map_genetic(etc, tasks, opts));
+}
+
+TEST(GaMapper, ParallelBitIdenticalToSerial) {
+  // Per-slot RNG substreams make the GA deterministic in the thread count:
+  // 1, 2, and 4 pool threads must all reproduce the serial (pool == nullptr)
+  // run exactly (ctest label: sched_equiv).
+  const auto etc = random_env(12, 24, 6);
+  const auto tasks = sc::one_of_each(etc);
+  sc::GaMapperOptions opts;
+  opts.generations = 20;
+  opts.population = 16;
+  opts.seed = 5;
+  const auto serial = sc::map_genetic(etc, tasks, opts);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    hetero::par::ThreadPool pool(threads);
+    sc::GaMapperOptions popts = opts;
+    popts.pool = &pool;
+    EXPECT_EQ(sc::map_genetic(etc, tasks, popts), serial)
+        << threads << " threads";
+  }
+}
+
+TEST(GaMapper, ParallelRespectsIncapableMachines) {
+  EtcMatrix etc(Matrix{{1, kInf}, {kInf, 1}});
+  hetero::par::ThreadPool pool(2);
+  sc::GaMapperOptions opts;
+  opts.generations = 10;
+  opts.population = 10;
+  opts.pool = &pool;
+  const auto a = sc::map_genetic(etc, {0, 1, 0, 1}, opts);
+  EXPECT_FALSE(std::isinf(sc::makespan(etc, {0, 1, 0, 1}, a)));
 }
 
 TEST(SearchMappers, BeatGreedyOnHardInstance) {

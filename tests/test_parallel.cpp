@@ -107,9 +107,10 @@ TEST(ParallelFor, ResultsMatchSerial) {
 }
 
 TEST(ParallelFor, FirstExceptionWinsDeterministically) {
-  // Futures are drained in index order, so when several iterations throw,
-  // the lowest-index failure is the one rethrown — regardless of which
-  // worker finished first.
+  // Chunks are claimed dynamically, but the implementation keeps only the
+  // failure with the lowest iteration index, so when several iterations
+  // throw, that one is rethrown — regardless of which worker finished
+  // first.
   ThreadPool pool(4);
   try {
     parallel_for(pool, 0, 8, [](std::size_t i) {
@@ -124,6 +125,32 @@ TEST(ParallelFor, FirstExceptionWinsDeterministically) {
   std::atomic<int> ran{0};
   parallel_for(pool, 0, 16, [&](std::size_t) { ++ran; });
   EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelFor, RepeatedRunsClaimEveryChunkExactlyOnce) {
+  // Stress the atomic work-claiming fast path: many back-to-back runs with
+  // a range that does not divide evenly by the grain. Every iteration must
+  // execute exactly once per run (checked via the exact sum), and the pool
+  // must be reusable immediately after the caller returns.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 257;
+  for (int rep = 0; rep < 50; ++rep) {
+    std::atomic<long> sum{0};
+    parallel_for(pool, 0, kN,
+                 [&](std::size_t i) { sum += static_cast<long>(i); }, 3);
+    ASSERT_EQ(sum.load(), static_cast<long>(kN) * (kN - 1) / 2);
+  }
+}
+
+TEST(ParallelFor, StatefulBodyIsNotCopied) {
+  // The fast path passes the caller's functor by address (no per-chunk
+  // std::function copies), so mutable state observed through a reference
+  // capture reflects every iteration.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  auto body = [&hits](std::size_t i) { ++hits[i]; };
+  parallel_for(pool, 0, hits.size(), body, 5);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelFor, GrainLargerThanRange) {

@@ -6,11 +6,13 @@
 #include <limits>
 
 #include "etcgen/range_based.hpp"
+#include "etcgen/suite.hpp"
 #include "sched/makespan.hpp"
 
 namespace {
 
 using hetero::DimensionError;
+using hetero::ValueError;
 using hetero::core::EtcMatrix;
 using hetero::linalg::Matrix;
 namespace sc = hetero::sched;
@@ -171,6 +173,120 @@ TEST(Heuristics, RegistryNamesAndOrder) {
   EXPECT_EQ(hs[0].name, "OLB");
   EXPECT_EQ(hs[3].name, "Min-Min");
   EXPECT_EQ(hs[6].name, "Duplex");
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-engine equivalence (ctest label: sched_equiv). The fast batch
+// heuristics run on the cached BatchEngine; they must produce bit-identical
+// assignments to the O(T^2 M) references — tie-breaking included.
+
+struct FastRefPair {
+  const char* name;
+  sc::Assignment (*fast)(const EtcMatrix&, const sc::TaskList&);
+  sc::Assignment (*reference)(const EtcMatrix&, const sc::TaskList&);
+};
+
+const FastRefPair kBatchPairs[] = {
+    {"Min-Min", sc::map_min_min, sc::map_min_min_reference},
+    {"Max-Min", sc::map_max_min, sc::map_max_min_reference},
+    {"Sufferage", sc::map_sufferage, sc::map_sufferage_reference},
+};
+
+TEST(BatchEquivalence, MatchesReferenceAcrossBraunSuite) {
+  hetero::etcgen::BraunSuiteOptions opts;
+  opts.tasks = 128;
+  opts.machines = 16;
+  opts.seed = 17;
+  for (const auto& c : hetero::etcgen::braun_suite(opts)) {
+    const auto tasks = sc::one_of_each(c.etc);
+    for (const auto& p : kBatchPairs)
+      EXPECT_EQ(p.fast(c.etc, tasks), p.reference(c.etc, tasks))
+          << p.name << " diverged on " << c.name;
+  }
+}
+
+TEST(BatchEquivalence, MatchesReferenceAtBraunScale) {
+  // One full-size 512x16 instance per heuristic (the benchmark shape).
+  hetero::etcgen::BraunSuiteOptions opts;
+  opts.seed = 23;
+  const auto suite = hetero::etcgen::braun_suite(opts);
+  const auto& c = suite.front();  // hi-hi consistent
+  const auto tasks = sc::one_of_each(c.etc);
+  for (const auto& p : kBatchPairs)
+    EXPECT_EQ(p.fast(c.etc, tasks), p.reference(c.etc, tasks)) << p.name;
+}
+
+TEST(BatchEquivalence, TieStressOnSmallIntegerEtc) {
+  // Small-integer entries force massive completion-time ties; any deviation
+  // from the reference's first-minimum / first-maximum scan order shows up
+  // as a different (still optimal-looking) assignment.
+  Matrix m(12, 5);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m(i, j) = static_cast<double>((i + 2 * j) % 3 + 1);
+  EtcMatrix etc(m);
+  sc::TaskList tasks;
+  for (std::size_t rep = 0; rep < 4; ++rep)
+    for (std::size_t t = 0; t < etc.task_count(); ++t) tasks.push_back(t);
+  for (const auto& p : kBatchPairs)
+    EXPECT_EQ(p.fast(etc, tasks), p.reference(etc, tasks)) << p.name;
+}
+
+TEST(BatchEquivalence, MatchesReferenceWithInfiniteEntries) {
+  // Scattered cannot-run entries: the affected-set rescan must skip them
+  // exactly like the reference scan, including sufferage's "no second
+  // machine" convention.
+  Matrix m(8, 4);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m(i, j) = static_cast<double>(1 + ((3 * i + j) % 7));
+  m(0, 1) = kInf;
+  m(0, 2) = kInf;
+  m(0, 3) = kInf;  // task 0 runs only on machine 0
+  m(3, 0) = kInf;
+  m(5, 2) = kInf;
+  m(5, 3) = kInf;
+  EtcMatrix etc(m);
+  const auto tasks = sc::one_of_each(etc);
+  for (const auto& p : kBatchPairs) {
+    const auto a = p.fast(etc, tasks);
+    EXPECT_EQ(a, p.reference(etc, tasks)) << p.name;
+    EXPECT_TRUE(std::isfinite(sc::makespan(etc, tasks, a))) << p.name;
+  }
+}
+
+TEST(BatchEquivalence, RepeatedInstancesAndDuplexAgree) {
+  hetero::etcgen::Rng rng = hetero::etcgen::make_rng(41);
+  hetero::etcgen::RangeBasedOptions gopts;
+  gopts.tasks = 10;
+  gopts.machines = 4;
+  const auto etc = hetero::etcgen::generate_range_based(gopts, rng);
+  sc::TaskList tasks;
+  for (std::size_t k = 0; k < 60; ++k) tasks.push_back(k % etc.task_count());
+  for (const auto& p : kBatchPairs)
+    EXPECT_EQ(p.fast(etc, tasks), p.reference(etc, tasks)) << p.name;
+}
+
+// ---------------------------------------------------------------------------
+// Guard regression: `best` used to be initialized to machine_count() and was
+// indexed/written unguarded when a task could run nowhere. The helpers take a
+// raw matrix because EtcMatrix construction rejects all-infinite rows.
+
+TEST(HeuristicGuards, OlbThrowsWhenTaskRunsNowhere) {
+  const Matrix raw{{1.0, 2.0}, {kInf, kInf}};
+  const std::vector<double> load{0.0, 0.0};
+  EXPECT_EQ(sc::olb_earliest_capable(raw, load, 0), 0u);
+  EXPECT_THROW(sc::olb_earliest_capable(raw, load, 1), ValueError);
+}
+
+TEST(HeuristicGuards, MetThrowsWhenTaskRunsNowhere) {
+  const Matrix raw{{3.0, 1.0}, {kInf, kInf}};
+  EXPECT_EQ(sc::met_fastest_machine(raw, 0), 1u);
+  EXPECT_THROW(sc::met_fastest_machine(raw, 1), ValueError);
+}
+
+TEST(HeuristicGuards, EtcMatrixRejectsAllInfiniteRowUpfront) {
+  EXPECT_THROW(EtcMatrix(Matrix{{1.0, 2.0}, {kInf, kInf}}), ValueError);
 }
 
 TEST(Heuristics, MinMinNoWorseThanRandomOnAverage) {
