@@ -1,0 +1,138 @@
+// Microbenchmarks of the SIMD kernel layer itself: each hot kernel runs
+// against every compiled-in backend (scalar twin vs dispatched AVX2/NEON),
+// so a regression in the vector paths shows up as a ratio change without
+// needing two builds. Sizes bracket the paper's 512-task x 16-machine shape:
+// 16 is a scheduler row, 512 a Sinkhorn row/column pass worth of elements.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+namespace {
+
+using hetero::simd::Backend;
+using hetero::simd::backend_name;
+using hetero::simd::Kernels;
+using hetero::simd::kernels_for;
+
+std::vector<double> random_vector(std::size_t n, unsigned seed, double lo = 0.5,
+                                  double hi = 2.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+// Registers one benchmark per available backend so `perf_simd` output reads
+// as BM_Sum/scalar/512 next to BM_Sum/avx2/512.
+template <typename F>
+void for_each_backend(const char* name, F body) {
+  for (Backend b : {Backend::scalar, Backend::avx2, Backend::neon}) {
+    const Kernels* k = kernels_for(b);
+    if (k == nullptr) continue;
+    benchmark::RegisterBenchmark(
+        (std::string(name) + "/" + backend_name(b)).c_str(),
+        [k, body](benchmark::State& state) { body(state, *k); })
+        ->Arg(16)
+        ->Arg(512)
+        ->Arg(8192);
+  }
+}
+
+void register_all() {
+  for_each_backend("BM_Sum", [](benchmark::State& state, const Kernels& k) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = random_vector(n, 1);
+    for (auto _ : state) {
+      double s = k.sum(x.data(), n);
+      benchmark::DoNotOptimize(s);
+    }
+  });
+
+  for_each_backend("BM_Dot", [](benchmark::State& state, const Kernels& k) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = random_vector(n, 2);
+    const auto b = random_vector(n, 3);
+    for (auto _ : state) {
+      double s = k.dot(a.data(), b.data(), n);
+      benchmark::DoNotOptimize(s);
+    }
+  });
+
+  // The fused Sinkhorn row pass: scale a row in place and accumulate it into
+  // the running column sums, returning the new row sum.
+  for_each_backend("BM_ScaleAccum",
+                   [](benchmark::State& state, const Kernels& k) {
+                     const auto n = static_cast<std::size_t>(state.range(0));
+                     auto row = random_vector(n, 4);
+                     std::vector<double> acc(n, 0.0);
+                     for (auto _ : state) {
+                       double s = k.scale_accum(row.data(), n, 1.0, acc.data());
+                       benchmark::DoNotOptimize(s);
+                       benchmark::DoNotOptimize(acc.data());
+                     }
+                   });
+
+  for_each_backend("BM_RotatePair",
+                   [](benchmark::State& state, const Kernels& k) {
+                     const auto n = static_cast<std::size_t>(state.range(0));
+                     auto x = random_vector(n, 5, -1.0, 1.0);
+                     auto y = random_vector(n, 6, -1.0, 1.0);
+                     for (auto _ : state) {
+                       k.rotate_pair(x.data(), y.data(), n, 0.8, 0.6);
+                       benchmark::DoNotOptimize(x.data());
+                       benchmark::DoNotOptimize(y.data());
+                     }
+                   });
+
+  for_each_backend("BM_ReciprocalOrZero",
+                   [](benchmark::State& state, const Kernels& k) {
+                     const auto n = static_cast<std::size_t>(state.range(0));
+                     const auto x = random_vector(n, 7);
+                     std::vector<double> out(n);
+                     for (auto _ : state) {
+                       k.reciprocal_or_zero(x.data(), out.data(), n);
+                       benchmark::DoNotOptimize(out.data());
+                     }
+                   });
+
+  // The MCT/Min-Min inner loop: fused completion-time scan for the best and
+  // second-best machine of one task row.
+  for_each_backend("BM_BestSecondScan",
+                   [](benchmark::State& state, const Kernels& k) {
+                     const auto n = static_cast<std::size_t>(state.range(0));
+                     const auto etc = random_vector(n, 8, 1.0, 16.0);
+                     const auto ready = random_vector(n, 9, 0.0, 64.0);
+                     for (auto _ : state) {
+                       double best = 0.0;
+                       double second = 0.0;
+                       std::size_t at = 0;
+                       k.best_second_scan(etc.data(), ready.data(), n, &best,
+                                          &second, &at);
+                       benchmark::DoNotOptimize(best);
+                       benchmark::DoNotOptimize(second);
+                       benchmark::DoNotOptimize(at);
+                     }
+                   });
+
+  for_each_backend("BM_ArgminFirst",
+                   [](benchmark::State& state, const Kernels& k) {
+                     const auto n = static_cast<std::size_t>(state.range(0));
+                     const auto x = random_vector(n, 10);
+                     for (auto _ : state) {
+                       double m = 0.0;
+                       std::size_t at = 0;
+                       k.argmin_first(x.data(), n, &m, &at);
+                       benchmark::DoNotOptimize(m);
+                       benchmark::DoNotOptimize(at);
+                     }
+                   });
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

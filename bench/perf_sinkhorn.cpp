@@ -36,7 +36,8 @@ BENCHMARK(BM_SinkhornPositive)
     ->Args({17, 5})
     ->Args({32, 16})
     ->Args({64, 32})
-    ->Args({128, 64});
+    ->Args({128, 64})
+    ->Args({512, 16});
 
 void BM_SinkhornReference(benchmark::State& state) {
   // The pre-fusion kernel (per-column strided col_sum recomputation), kept
@@ -55,7 +56,8 @@ BENCHMARK(BM_SinkhornReference)
     ->Args({17, 5})
     ->Args({32, 16})
     ->Args({64, 32})
-    ->Args({128, 64});
+    ->Args({128, 64})
+    ->Args({512, 16});
 
 void BM_SinkhornWarmStart(benchmark::State& state) {
   // The annealing proposal pattern: one entry nudged, the incumbent's

@@ -33,7 +33,8 @@ BENCHMARK(BM_SingularValues)
     ->Args({17, 5})
     ->Args({32, 32})
     ->Args({64, 64})
-    ->Args({128, 32});
+    ->Args({128, 32})
+    ->Args({512, 16});
 
 void BM_SingularValuesReference(benchmark::State& state) {
   // The pre-optimization kernel (row-major access, column norms recomputed
@@ -52,7 +53,8 @@ BENCHMARK(BM_SingularValuesReference)
     ->Args({17, 5})
     ->Args({32, 32})
     ->Args({64, 64})
-    ->Args({128, 32});
+    ->Args({128, 32})
+    ->Args({512, 16});
 
 void BM_FullSvd(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -11,10 +11,24 @@
 # Set FILTER to a google-benchmark regex to restrict what runs, e.g.
 #   FILTER='BM_MinMin|BM_Batch' bench/run_benchmarks.sh pr2
 # runs only the scheduler suites touched by a change.
+#
+# Set HETERO_NATIVE=1 to configure and build a separate build-native tree
+# with -DHETERO_NATIVE=ON (-march=native) and benchmark that instead — for
+# measuring what the host ISA buys on top of the dispatched kernels.
 set -euo pipefail
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD_DIR=${BUILD_DIR:-$REPO_ROOT/build}
+
+if [ "${HETERO_NATIVE:-0}" = "1" ]; then
+  BUILD_DIR=$REPO_ROOT/build-native
+  echo "== HETERO_NATIVE=1: configuring and building $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DHETERO_NATIVE=ON \
+        -DHETERO_BUILD_TESTS=OFF -DHETERO_BUILD_EXAMPLES=OFF \
+        -DHETERO_BUILD_TOOLS=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+fi
+
 TAG=${1:-$(git -C "$REPO_ROOT" rev-parse --short HEAD)}
 OUT_DIR=${OUT_DIR:-$REPO_ROOT/bench_results}
 MIN_TIME=${MIN_TIME:-0.3}

@@ -5,28 +5,34 @@
 #include <limits>
 
 #include "linalg/vector_ops.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::core {
 namespace {
 
 using linalg::Matrix;
 
-// Cosine-similarity matrix between the columns of `values`.
-Matrix column_cosines(const Matrix& values) {
-  const std::size_t n = values.cols();
+// Cosine-similarity matrix between the rows of `values`. Rows are contiguous
+// in the row-major storage, so every pair is one kernel dot product — no
+// per-entity column copies (callers clustering columns transpose once).
+Matrix row_cosines(const Matrix& values) {
+  const std::size_t n = values.rows();
+  const std::size_t dim = values.cols();
   Matrix cos(n, n, 1.0);
-  std::vector<std::vector<double>> cols(n);
+  const auto& K = simd::kernels();
   std::vector<double> norms(n);
   for (std::size_t j = 0; j < n; ++j) {
-    cols[j] = values.col(j);
-    norms[j] = linalg::norm2(cols[j]);
+    const double* r = values.row(j).data();
+    norms[j] = std::sqrt(K.dot(r, r, dim));
   }
-  for (std::size_t a = 0; a < n; ++a)
+  for (std::size_t a = 0; a < n; ++a) {
+    const double* ra = values.row(a).data();
     for (std::size_t b = a + 1; b < n; ++b) {
       const double c =
-          linalg::dot(cols[a], cols[b]) / (norms[a] * norms[b]);
+          K.dot(ra, values.row(b).data(), dim) / (norms[a] * norms[b]);
       cos(a, b) = cos(b, a) = c;
     }
+  }
   return cos;
 }
 
@@ -67,18 +73,19 @@ std::vector<std::size_t> agglomerate(const Matrix& cosine, std::size_t k) {
   return labels;
 }
 
-MachineClustering cluster_columns(const Matrix& values, std::size_t k) {
-  detail::require_value(k >= 1 && k <= values.cols(),
+// Clusters the ROWS of `values` (entities contiguous in memory).
+MachineClustering cluster_rows(const Matrix& values, std::size_t k) {
+  detail::require_value(k >= 1 && k <= values.rows(),
                         "cluster: k must be in [1, count]");
-  const Matrix cosine = column_cosines(values);
+  const Matrix cosine = row_cosines(values);
   MachineClustering out;
   out.cluster = agglomerate(cosine, k);
   out.cluster_count = k;
 
   double within = 0.0, between = 0.0;
   std::size_t within_pairs = 0, between_pairs = 0;
-  for (std::size_t a = 0; a < values.cols(); ++a)
-    for (std::size_t b = a + 1; b < values.cols(); ++b) {
+  for (std::size_t a = 0; a < values.rows(); ++a)
+    for (std::size_t b = a + 1; b < values.rows(); ++b) {
       if (out.cluster[a] == out.cluster[b]) {
         within += cosine(a, b);
         ++within_pairs;
@@ -98,12 +105,15 @@ MachineClustering cluster_columns(const Matrix& values, std::size_t k) {
 
 MachineClustering cluster_machines(const EcsMatrix& ecs, std::size_t k,
                                    const Weights& w) {
-  return cluster_columns(ecs.weighted_values(w), k);
+  // Machines are columns; one transpose makes each machine a contiguous row.
+  return cluster_rows(ecs.weighted_values(w).transposed(), k);
 }
 
 MachineClustering cluster_tasks(const EcsMatrix& ecs, std::size_t k,
                                 const Weights& w) {
-  return cluster_columns(ecs.weighted_values(w).transposed(), k);
+  // Tasks are already rows — no transpose at all (the old column-based path
+  // transposed first and then copied every column back out).
+  return cluster_rows(ecs.weighted_values(w), k);
 }
 
 }  // namespace hetero::core

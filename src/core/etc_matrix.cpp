@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/vector_ops.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::core {
 namespace {
@@ -66,11 +67,10 @@ EtcMatrix::EtcMatrix(linalg::Matrix values, std::vector<std::string> task_names,
 
 EcsMatrix EtcMatrix::to_ecs() const {
   linalg::Matrix ecs(values_.rows(), values_.cols());
-  for (std::size_t i = 0; i < values_.rows(); ++i)
-    for (std::size_t j = 0; j < values_.cols(); ++j) {
-      const double t = values_(i, j);
-      ecs(i, j) = std::isfinite(t) ? 1.0 / t : 0.0;
-    }
+  // Entrywise reciprocal over the whole contiguous buffer; incapable (+inf)
+  // entries map to speed 0.
+  simd::kernels().reciprocal_or_zero(values_.data().data(),
+                                     ecs.data().data(), ecs.size());
   return EcsMatrix(std::move(ecs), task_names_, machine_names_);
 }
 
@@ -112,11 +112,9 @@ EcsMatrix::EcsMatrix(linalg::Matrix values, std::vector<std::string> task_names,
 
 EtcMatrix EcsMatrix::to_etc() const {
   linalg::Matrix etc(values_.rows(), values_.cols());
-  for (std::size_t i = 0; i < values_.rows(); ++i)
-    for (std::size_t j = 0; j < values_.cols(); ++j) {
-      const double s = values_(i, j);
-      etc(i, j) = s > 0.0 ? 1.0 / s : kInf;
-    }
+  // Reverse conversion: zero speed (incapable) maps back to +inf time.
+  simd::kernels().reciprocal_or_inf(values_.data().data(),
+                                    etc.data().data(), etc.size());
   return EtcMatrix(std::move(etc), task_names_, machine_names_);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/structure.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::core {
 namespace {
@@ -111,10 +112,11 @@ namespace {
 // produces fresh sums of the opposite dimension as a side effect of the
 // row-major application sweep, so the per-column strided recomputation and
 // the separate residual pass of the reference implementation disappear.
-// Per-column additions happen in increasing row order and per-row
-// additions in increasing column order — the same order the reference's
-// col_sum/row_sum scans use — so every scale factor (and therefore the
-// result) is bit-identical to the reference path.
+// Per-column additions happen in increasing row order (elementwise over
+// the row, which never reorders within a column) and per-row sums use the
+// kernel layer's fixed 4-lane order — exactly how the reference's
+// col_sum/row_sum scans accumulate — so every scale factor (and therefore
+// the result) is bit-identical to the reference path.
 // When `sums_primed` is true the caller has already filled `row_sums` and
 // `col_sums` with the sums of `work` in the reference scan order (fused with
 // its own setup pass); otherwise they are computed here.
@@ -126,6 +128,7 @@ void run_fused(Matrix& work, const SinkhornOptions& options,
   const std::size_t cols = work.cols();
   const double rt = result.target_row_sum;
   const double ct = result.target_col_sum;
+  const auto& K = simd::kernels();
 
   factor.assign(cols, 0.0);  // per-column factors, column pass
 
@@ -137,10 +140,8 @@ void run_fused(Matrix& work, const SinkhornOptions& options,
     } else {
       // Same row-major accumulation order as Matrix::col_sums(), minus its
       // return-by-value allocation.
-      for (std::size_t i = 0; i < rows; ++i) {
-        const auto row = work.row(i);
-        for (std::size_t j = 0; j < cols; ++j) col_sums[j] += row[j];
-      }
+      for (std::size_t i = 0; i < rows; ++i)
+        K.add_into(work.row(i).data(), col_sums.data(), cols);
     }
   }
 
@@ -154,13 +155,8 @@ void run_fused(Matrix& work, const SinkhornOptions& options,
     for (std::size_t i = 0; i < rows; ++i) {
       const double f = rt / row_sums[i];
       result.row_scale[i] *= f;
-      auto row = work.row(i);
-      double s = 0.0;
-      for (std::size_t j = 0; j < cols; ++j) {
-        row[j] *= f;
-        s += row[j];
-        col_sums[j] += row[j];
-      }
+      const double s =
+          K.scale_accum(work.row(i).data(), cols, f, col_sums.data());
       err = std::max(err, std::abs(s - rt));
     }
     return err;
@@ -174,16 +170,9 @@ void run_fused(Matrix& work, const SinkhornOptions& options,
       result.col_scale[j] *= f;
     }
     std::fill(col_sums.begin(), col_sums.end(), 0.0);
-    for (std::size_t i = 0; i < rows; ++i) {
-      auto row = work.row(i);
-      double s = 0.0;
-      for (std::size_t j = 0; j < cols; ++j) {
-        row[j] *= factor[j];
-        s += row[j];
-        col_sums[j] += row[j];
-      }
-      row_sums[i] = s;
-    }
+    for (std::size_t i = 0; i < rows; ++i)
+      row_sums[i] = K.scale_vec_accum(work.row(i).data(), factor.data(), cols,
+                                      col_sums.data());
     double err = 0.0;
     for (std::size_t j = 0; j < cols; ++j)
       err = std::max(err, std::abs(col_sums[j] - ct));
@@ -273,27 +262,15 @@ void standardize_positive_into(const Matrix& ecs,
   thread_local std::vector<double> row_sums, col_sums, factor;
   row_sums.assign(rows, 0.0);
   col_sums.assign(cols, 0.0);
+  const auto& K = simd::kernels();
   for (std::size_t i = 0; i < rows; ++i) {
     const auto src = ecs.row(i);
-    auto dst = out.standard.row(i);
-    double s = 0.0;
-    if (seeded) {
-      const double ri = out.row_scale[i];
-      for (std::size_t j = 0; j < cols; ++j) {
-        const double v = src[j] * (ri * out.col_scale[j]);
-        dst[j] = v;
-        s += v;
-        col_sums[j] += v;
-      }
-    } else {
-      for (std::size_t j = 0; j < cols; ++j) {
-        const double v = src[j];
-        dst[j] = v;
-        s += v;
-        col_sums[j] += v;
-      }
-    }
-    row_sums[i] = s;
+    const auto dst = out.standard.row(i);
+    row_sums[i] =
+        seeded ? K.copy_scale_accum(src.data(), dst.data(), cols,
+                                    out.row_scale[i], out.col_scale.data(),
+                                    col_sums.data())
+               : K.copy_accum(src.data(), dst.data(), cols, col_sums.data());
   }
 
   run_fused(out.standard, options, out, row_sums, col_sums, factor, true);

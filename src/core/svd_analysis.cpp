@@ -6,6 +6,7 @@
 
 #include "linalg/svd.hpp"
 #include "linalg/vector_ops.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::core {
 
@@ -47,18 +48,23 @@ AffinityAnalysis affinity_analysis(const EcsMatrix& ecs, const Weights& w,
 }
 
 linalg::Matrix machine_column_cosines(const EcsMatrix& ecs, const Weights& w) {
-  const linalg::Matrix values = ecs.weighted_values(w);
-  const std::size_t m = values.cols();
+  // One transpose makes every machine a contiguous row, replacing the m
+  // strided column copies with direct kernel dot products.
+  const linalg::Matrix by_machine = ecs.weighted_values(w).transposed();
+  const std::size_t m = by_machine.rows();
+  const std::size_t t = by_machine.cols();
   linalg::Matrix cos(m, m, 1.0);
-  std::vector<std::vector<double>> cols(m);
+  const auto& K = simd::kernels();
   std::vector<double> norms(m);
   for (std::size_t j = 0; j < m; ++j) {
-    cols[j] = values.col(j);
-    norms[j] = linalg::norm2(cols[j]);
+    const double* r = by_machine.row(j).data();
+    norms[j] = std::sqrt(K.dot(r, r, t));
   }
   for (std::size_t j = 0; j < m; ++j) {
+    const double* rj = by_machine.row(j).data();
     for (std::size_t k = j + 1; k < m; ++k) {
-      const double c = linalg::dot(cols[j], cols[k]) / (norms[j] * norms[k]);
+      const double c =
+          K.dot(rj, by_machine.row(k).data(), t) / (norms[j] * norms[k]);
       cos(j, k) = cos(k, j) = c;
     }
   }

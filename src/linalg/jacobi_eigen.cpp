@@ -6,9 +6,21 @@
 #include <numeric>
 
 #include "base/error.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::linalg {
 namespace {
+
+// Largest |a(i, j)| above the diagonal: each row's off-diagonal tail is
+// contiguous, so the scan is one reduce_max_abs per row.
+double max_offdiag_abs(const Matrix& a) {
+  const std::size_t n = a.rows();
+  const auto& K = simd::kernels();
+  double off = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    off = std::max(off, K.reduce_max_abs(a.row(i).data() + i + 1, n - i - 1));
+  return off;
+}
 
 void check_symmetric(const Matrix& a) {
   detail::require_value(a.rows() == a.cols(), "jacobi_eigen: not square");
@@ -29,10 +41,7 @@ EigenResult jacobi_eigen(const Matrix& a, const JacobiEigenOptions& opt) {
   const double stop = opt.tol * std::max(frobenius_norm(a), 1e-300);
 
   for (std::size_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
-    double off = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        off = std::max(off, std::abs(d(i, j)));
+    const double off = max_offdiag_abs(d);
     if (off <= stop) {
       EigenResult r;
       r.values.resize(n);
@@ -62,18 +71,15 @@ EigenResult jacobi_eigen(const Matrix& a, const JacobiEigenOptions& opt) {
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
 
+        // Columns are strided in the row-major storage, so the (·, p)/(·, q)
+        // updates stay scalar; the row updates are contiguous rotate_pairs.
         for (std::size_t k = 0; k < n; ++k) {
           const double dkp = d(k, p);
           const double dkq = d(k, q);
           d(k, p) = c * dkp - s * dkq;
           d(k, q) = s * dkp + c * dkq;
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double dpk = d(p, k);
-          const double dqk = d(q, k);
-          d(p, k) = c * dpk - s * dqk;
-          d(q, k) = s * dpk + c * dqk;
-        }
+        simd::kernels().rotate_pair(d.row(p).data(), d.row(q).data(), n, c, s);
         for (std::size_t k = 0; k < n; ++k) {
           const double vkp = v(k, p);
           const double vkq = v(k, q);
@@ -102,10 +108,7 @@ void symmetric_eigenvalues_into(Matrix& a, std::vector<double>& values,
   const double stop = opt.tol * std::max(frobenius_norm(a), 1e-300);
 
   for (std::size_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
-    double off = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        off = std::max(off, std::abs(a(i, j)));
+    const double off = max_offdiag_abs(a);
     if (off <= stop) {
       values.resize(n);
       for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i);
@@ -131,12 +134,7 @@ void symmetric_eigenvalues_into(Matrix& a, std::vector<double>& values,
           a(k, p) = c * akp - s * akq;
           a(k, q) = s * akp + c * akq;
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double apk = a(p, k);
-          const double aqk = a(q, k);
-          a(p, k) = c * apk - s * aqk;
-          a(q, k) = s * apk + c * aqk;
-        }
+        simd::kernels().rotate_pair(a.row(p).data(), a.row(q).data(), n, c, s);
       }
     }
   }
@@ -160,25 +158,21 @@ void symmetric_eigenvalues_warm(const Matrix& a, Matrix& basis,
   }
   Matrix& t = ws.product;
   Matrix& b = ws.congruence;
-  // T = A * V with i-k-j loop order: every inner access is row-contiguous.
+  const auto& K = simd::kernels();
+  // T = A * V with i-k-j loop order: every inner access is row-contiguous,
+  // so each inner loop is one axpy over the dispatched kernels.
   for (std::size_t i = 0; i < n; ++i) {
     const auto arow = a.row(i);
-    auto trow = t.row(i);
-    for (std::size_t k = 0; k < n; ++k) {
-      const double aik = arow[k];
-      const auto vrow = basis.row(k);
-      for (std::size_t j = 0; j < n; ++j) trow[j] += aik * vrow[j];
-    }
+    const auto trow = t.row(i);
+    for (std::size_t k = 0; k < n; ++k)
+      K.axpy(trow.data(), basis.row(k).data(), n, arow[k]);
   }
   // B = V^T * T, k-outer for the same reason.
   for (std::size_t k = 0; k < n; ++k) {
     const auto vrow = basis.row(k);
     const auto trow = t.row(k);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double vki = vrow[i];
-      auto brow = b.row(i);
-      for (std::size_t j = 0; j < n; ++j) brow[j] += vki * trow[j];
-    }
+    for (std::size_t i = 0; i < n; ++i)
+      K.axpy(b.row(i).data(), trow.data(), n, vrow[i]);
   }
   // B is symmetric in exact arithmetic; average away the rounding skew so
   // the two-sided rotations see a truly symmetric matrix.
@@ -191,10 +185,7 @@ void symmetric_eigenvalues_warm(const Matrix& a, Matrix& basis,
 
   const double stop = opt.tol * std::max(frobenius_norm(b), 1e-300);
   for (std::size_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
-    double off = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        off = std::max(off, std::abs(b(i, j)));
+    const double off = max_offdiag_abs(b);
     if (off <= stop) {
       values.resize(n);
       for (std::size_t i = 0; i < n; ++i) values[i] = b(i, i);
@@ -224,12 +215,7 @@ void symmetric_eigenvalues_warm(const Matrix& a, Matrix& basis,
           b(k, p) = c * bkp - s * bkq;
           b(k, q) = s * bkp + c * bkq;
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double bpk = b(p, k);
-          const double bqk = b(q, k);
-          b(p, k) = c * bpk - s * bqk;
-          b(q, k) = s * bpk + c * bqk;
-        }
+        K.rotate_pair(b.row(p).data(), b.row(q).data(), n, c, s);
         for (std::size_t k = 0; k < n; ++k) {
           const double vkp = basis(k, p);
           const double vkq = basis(k, q);

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <string>
 
+#include "simd/simd.hpp"
+
 namespace hetero::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -75,7 +77,7 @@ std::vector<double> Matrix::col(std::size_t j) const {
 
 double Matrix::row_sum(std::size_t i) const {
   const auto r = row(i);
-  return std::accumulate(r.begin(), r.end(), 0.0);
+  return simd::kernels().sum(r.data(), r.size());
 }
 
 double Matrix::col_sum(std::size_t j) const {
@@ -100,24 +102,24 @@ std::vector<double> Matrix::col_sums() const {
   // still happen in ascending row order, so sums are bit-identical to
   // repeated col_sum calls.
   std::vector<double> out(cols_, 0.0);
-  const double* p = data_.data();
+  const auto& k = simd::kernels();
   for (std::size_t i = 0; i < rows_; ++i)
-    for (std::size_t j = 0; j < cols_; ++j) out[j] += *p++;
+    k.add_into(data_.data() + i * cols_, out.data(), cols_);
   return out;
 }
 
 double Matrix::total() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0);
+  return simd::kernels().sum(data_.data(), data_.size());
 }
 
 double Matrix::min() const {
   detail::require_value(!empty(), "Matrix::min: empty matrix");
-  return *std::min_element(data_.begin(), data_.end());
+  return simd::kernels().reduce_min(data_.data(), data_.size());
 }
 
 double Matrix::max() const {
   detail::require_value(!empty(), "Matrix::max: empty matrix");
-  return *std::max_element(data_.begin(), data_.end());
+  return simd::kernels().reduce_max(data_.data(), data_.size());
 }
 
 Matrix Matrix::transposed() const {
@@ -149,7 +151,8 @@ Matrix Matrix::permuted(std::span<const std::size_t> row_perm,
 }
 
 void Matrix::scale_row(std::size_t i, double s) {
-  for (double& x : row(i)) x *= s;
+  const auto r = row(i);
+  simd::kernels().scale(r.data(), r.size(), s);
 }
 
 void Matrix::scale_col(std::size_t j, double s) {
@@ -180,7 +183,7 @@ std::size_t Matrix::zero_count() const {
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   detail::require_dims(rows_ == rhs.rows_ && cols_ == rhs.cols_,
                        "operator+=: shape mismatch");
-  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  simd::kernels().add_into(rhs.data_.data(), data_.data(), data_.size());
   return *this;
 }
 
@@ -192,7 +195,7 @@ Matrix& Matrix::operator-=(const Matrix& rhs) {
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (double& x : data_) x *= s;
+  simd::kernels().scale(data_.data(), data_.size(), s);
   return *this;
 }
 
@@ -210,12 +213,15 @@ Matrix operator/(Matrix a, double s) { return a /= s; }
 Matrix matmul(const Matrix& a, const Matrix& b) {
   detail::require_dims(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   Matrix c(a.rows(), b.cols(), 0.0);
-  // ikj loop order: streams through b and c rows contiguously.
+  // ikj loop order: streams through b and c rows contiguously, each row
+  // update a single axpy over the dispatched kernels.
+  const auto& kn = simd::kernels();
   for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto ci = c.row(i);
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
       if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+      kn.axpy(ci.data(), b.row(k).data(), b.cols(), aik);
     }
   }
   return c;
@@ -224,23 +230,23 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   detail::require_dims(a.cols() == x.size(), "matvec: dimension mismatch");
   std::vector<double> y(a.rows(), 0.0);
+  const auto& k = simd::kernels();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    double s = 0.0;
     const auto r = a.row(i);
-    for (std::size_t j = 0; j < x.size(); ++j) s += r[j] * x[j];
-    y[i] = s;
+    y[i] = k.dot(r.data(), x.data(), x.size());
   }
   return y;
 }
 
 Matrix gram(const Matrix& a) {
   Matrix g(a.cols(), a.cols(), 0.0);
+  const auto& kn = simd::kernels();
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const auto r = a.row(k);
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double rki = r[i];
       if (rki == 0.0) continue;
-      for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += rki * r[j];
+      kn.axpy(&g(i, i), r.data() + i, a.cols() - i, rki);
     }
   }
   for (std::size_t i = 0; i < a.cols(); ++i)
@@ -263,9 +269,8 @@ bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
 }
 
 double frobenius_norm(const Matrix& a) {
-  double s = 0.0;
-  for (double x : a.data()) s += x * x;
-  return std::sqrt(s);
+  const double* p = a.data().data();
+  return std::sqrt(simd::kernels().dot(p, p, a.data().size()));
 }
 
 std::ostream& operator<<(std::ostream& os, const Matrix& m) {

@@ -6,6 +6,7 @@
 
 #include "base/error.hpp"
 #include "linalg/jacobi_eigen.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::linalg {
 namespace {
@@ -39,9 +40,7 @@ struct ColMajor {
 };
 
 double dot(const double* a, const double* b, std::size_t n) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  return s;
+  return simd::kernels().dot(a, b, n);
 }
 
 // One-sided Jacobi on the columns of `w` (m x n, m >= n is not required but
@@ -112,20 +111,9 @@ void one_sided_jacobi(Matrix& w, Matrix& v, const SvdOptions& opt) {
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
 
-        for (std::size_t i = 0; i < m; ++i) {
-          const double wip = wp[i];
-          const double wiq = wq[i];
-          wp[i] = c * wip - s * wiq;
-          wq[i] = s * wip + c * wiq;
-        }
-        double* vp = cv.col(p);
-        double* vq = cv.col(q);
-        for (std::size_t i = 0; i < n; ++i) {
-          const double vip = vp[i];
-          const double viq = vq[i];
-          vp[i] = c * vip - s * viq;
-          vq[i] = s * vip + c * viq;
-        }
+        const auto& K = simd::kernels();
+        K.rotate_pair(wp, wq, m, c, s);
+        K.rotate_pair(cv.col(p), cv.col(q), n, c, s);
         sqnorm[p] = std::max(alpha - t * gamma, 0.0);
         sqnorm[q] = beta + t * gamma;
       }

@@ -5,20 +5,19 @@
 #include <numeric>
 
 #include "base/error.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::linalg {
 
 double dot(std::span<const double> a, std::span<const double> b) {
   detail::require_dims(a.size() == b.size(), "dot: length mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return simd::kernels().dot(a.data(), b.data(), a.size());
 }
 
 double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
 
 double sum(std::span<const double> v) {
-  return std::accumulate(v.begin(), v.end(), 0.0);
+  return simd::kernels().sum(v.data(), v.size());
 }
 
 double mean(std::span<const double> v) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "base/error.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::sched {
 namespace {
@@ -14,44 +15,20 @@ constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 constexpr std::uint32_t kPlanned = static_cast<std::uint32_t>(-1);
 
 // First index attaining the maximum of v, with NaN entries skipped (NaN
-// compares false). Four independent accumulator lanes break the compare's
-// loop-carried dependency; each lane records the first index in its residue
-// class attaining its lane maximum, and the first global attainment is the
-// minimum recorded index among the lanes that reach the global maximum
-// (any earlier attainment would have been recorded by its own lane). This
-// reassociation is exact, so the reference's strict `>` first-max-wins scan
-// is reproduced bit for bit.
+// compares false). The dispatched kernel runs the 4-lane first-max-wins
+// scan this engine introduced (lane k owns index % 4 == k, tail extends
+// lane 0, first global attainment = minimum recorded index among lanes
+// attaining the maximum) — an exact reassociation of the reference's
+// strict `>` scan, now vectorized.
 std::size_t argmax_first(const std::vector<double>& v) {
-  const double* p = v.data();
-  const std::size_t n = v.size();
-  double m0 = -kInf, m1 = -kInf, m2 = -kInf, m3 = -kInf;
-  std::size_t i0 = 0, i1 = 0, i2 = 0, i3 = 0;
+  const std::size_t at = simd::kernels().argmax_first(v.data(), v.size());
+  if (at != static_cast<std::size_t>(-1)) return at;
+  // Every remaining priority is -inf (tasks with no capable machine —
+  // excluded by the EtcMatrix invariant): the strict `>` never fires, so
+  // degrade deterministically to the first non-NaN (unplanned) slot.
   std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    if (p[i] > m0) { m0 = p[i]; i0 = i; }
-    if (p[i + 1] > m1) { m1 = p[i + 1]; i1 = i + 1; }
-    if (p[i + 2] > m2) { m2 = p[i + 2]; i2 = i + 2; }
-    if (p[i + 3] > m3) { m3 = p[i + 3]; i3 = i + 3; }
-  }
-  for (; i < n; ++i)
-    if (p[i] > m0) { m0 = p[i]; i0 = i; }
-  double best = m0;
-  if (m1 > best) best = m1;
-  if (m2 > best) best = m2;
-  if (m3 > best) best = m3;
-  std::size_t at = static_cast<std::size_t>(-1);
-  if (m0 == best && i0 < at) at = i0;
-  if (m1 == best && i1 < at) at = i1;
-  if (m2 == best && i2 < at) at = i2;
-  if (m3 == best && i3 < at) at = i3;
-  if (best == -kInf) {
-    // Every remaining priority is -inf (tasks with no capable machine —
-    // excluded by the EtcMatrix invariant): the strict `>` never fires, so
-    // degrade deterministically to the first non-NaN (unplanned) slot.
-    at = 0;
-    while (std::isnan(p[at])) ++at;
-  }
-  return at;
+  while (std::isnan(v[i])) ++i;
+  return i;
 }
 
 }  // namespace
@@ -67,23 +44,12 @@ void BatchEngine::rescan(std::size_t type, const std::vector<double>& ready,
                          std::size_t& best_j) const {
   // Single fused pass: best machine (first strict minimum, as in the
   // reference scans) and the second-smallest completion time together.
-  double best = kInf, second = kInf;
-  std::size_t bj = 0;
-  for (std::size_t j = 0; j < etc_.machine_count(); ++j) {
-    const double x = etc_(type, j);
-    if (std::isinf(x)) continue;
-    const double ct = ready[j] + x;
-    if (ct < best) {
-      second = best;
-      best = ct;
-      bj = j;
-    } else {
-      second = std::min(second, ct);
-    }
-  }
-  best_ct = best;
-  second_ct = second;
-  best_j = bj;
+  // Incapable (+inf) entries yield +inf completion times, which lose every
+  // strict compare — exactly the reference's skip — so the kernel scan can
+  // let them participate and still match bit for bit.
+  simd::kernels().best_second_scan(etc_.values().row(type).data(),
+                                   ready.data(), etc_.machine_count(),
+                                   &best_ct, &second_ct, &best_j);
 }
 
 double BatchEngine::priority_of(double best_ct, double second_ct) const {

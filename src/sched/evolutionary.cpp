@@ -52,7 +52,10 @@ Assignment map_simulated_annealing(const core::EtcMatrix& etc,
 
   const double scale = std::max(makespan(etc, tasks, initial), 1e-12);
   const std::function<double(const Assignment&)> energy =
-      [&](const Assignment& a) { return makespan(etc, tasks, a) / scale; };
+      [&](const Assignment& a) {
+        thread_local std::vector<double> scratch_loads;
+        return makespan_into(etc, tasks, a, scratch_loads) / scale;
+      };
   const std::function<Assignment(const Assignment&, double, etcgen::Rng&)>
       neighbor = [&](const Assignment& a, double /*temp*/, etcgen::Rng& r) {
         Assignment out = a;
@@ -83,7 +86,11 @@ Assignment map_genetic(const core::EtcMatrix& etc, const TaskList& tasks,
     population.push_back(map_random(etc, tasks, rng));
 
   const auto fitness = [&](const Assignment& a) {
-    return makespan(etc, tasks, a);
+    // Fitness runs thousands of times per generation, possibly from pool
+    // threads; per-thread scratch keeps it allocation-free and the results
+    // identical to makespan() (same accumulation, same reduce_max kernel).
+    thread_local std::vector<double> scratch_loads;
+    return makespan_into(etc, tasks, a, scratch_loads);
   };
   // Runs body(i) for i in [begin, end) — across the pool when one is given,
   // serially otherwise. Bodies only write state owned by slot i, so the

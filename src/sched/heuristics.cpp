@@ -6,6 +6,7 @@
 
 #include "base/error.hpp"
 #include "sched/batch_engine.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::sched {
 namespace {
@@ -19,20 +20,15 @@ void check_tasks(const core::EtcMatrix& etc, const TaskList& tasks) {
 }
 
 // Machine minimizing completion time load[j] + etc(t, j); infinite entries
-// are never chosen (every task has a finite entry by invariant).
+// yield infinite completion times, which never win the strict scan (every
+// task has a finite entry by invariant).
 std::size_t best_machine(const core::EtcMatrix& etc,
                          const std::vector<double>& load, std::size_t t) {
+  double best_ct = kInf, second_ct = kInf;
   std::size_t best = 0;
-  double best_ct = kInf;
-  for (std::size_t j = 0; j < etc.machine_count(); ++j) {
-    const double e = etc(t, j);
-    if (std::isinf(e)) continue;
-    const double ct = load[j] + e;
-    if (ct < best_ct) {
-      best_ct = ct;
-      best = j;
-    }
-  }
+  simd::kernels().best_second_scan(etc.values().row(t).data(), load.data(),
+                                   etc.machine_count(), &best_ct, &second_ct,
+                                   &best);
   return best;
 }
 
@@ -74,25 +70,21 @@ Assignment batch_mode(const core::EtcMatrix& etc, const TaskList& tasks,
 std::size_t olb_earliest_capable(const linalg::Matrix& etc,
                                  const std::vector<double>& load,
                                  std::size_t t) {
-  std::size_t best = etc.cols();
-  for (std::size_t j = 0; j < etc.cols(); ++j) {
-    if (std::isinf(etc(t, j))) continue;
-    if (best == etc.cols() || load[j] < load[best]) best = j;
-  }
-  detail::require_value(best < etc.cols(),
+  // First strict minimum of load over capable machines; incapable entries
+  // (infinite ETC) are masked out inside the kernel scan.
+  double min_load = kInf;
+  std::size_t best = 0;
+  simd::kernels().argmin_masked_first(load.data(), etc.row(t).data(),
+                                      etc.cols(), &min_load, &best);
+  detail::require_value(std::isfinite(min_load),
                         "map_olb: task runs on no machine");
   return best;
 }
 
 std::size_t met_fastest_machine(const linalg::Matrix& etc, std::size_t t) {
-  std::size_t best = 0;
   double best_e = kInf;
-  for (std::size_t j = 0; j < etc.cols(); ++j) {
-    if (etc(t, j) < best_e) {
-      best_e = etc(t, j);
-      best = j;
-    }
-  }
+  std::size_t best = 0;
+  simd::kernels().argmin_first(etc.row(t).data(), etc.cols(), &best_e, &best);
   detail::require_value(std::isfinite(best_e),
                         "map_met: task runs on no machine");
   return best;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "base/error.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::sched {
 
@@ -34,17 +35,34 @@ std::vector<double> machine_loads(const core::EtcMatrix& etc,
 double makespan(const core::EtcMatrix& etc, const TaskList& tasks,
                 const Assignment& assignment) {
   const auto loads = machine_loads(etc, tasks, assignment);
-  return *std::max_element(loads.begin(), loads.end());
+  return simd::kernels().reduce_max(loads.data(), loads.size());
+}
+
+double makespan_into(const core::EtcMatrix& etc, const TaskList& tasks,
+                     const Assignment& assignment,
+                     std::vector<double>& scratch_loads) {
+  detail::require_dims(assignment.size() == tasks.size(),
+                       "makespan_into: assignment/task size mismatch");
+  scratch_loads.assign(etc.machine_count(), 0.0);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    detail::require_dims(tasks[k] < etc.task_count(),
+                         "makespan_into: task index out of range");
+    detail::require_dims(assignment[k] < etc.machine_count(),
+                         "makespan_into: machine index out of range");
+    scratch_loads[assignment[k]] += etc(tasks[k], assignment[k]);
+  }
+  return simd::kernels().reduce_max(scratch_loads.data(),
+                                    scratch_loads.size());
 }
 
 double makespan_lower_bound(const core::EtcMatrix& etc, const TaskList& tasks) {
   // Bound 1: every task needs at least its fastest execution time.
   double max_fastest = 0.0;
   double total_fastest_work = 0.0;
+  const auto& K = simd::kernels();
   for (std::size_t t : tasks) {
-    double fastest = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < etc.machine_count(); ++j)
-      fastest = std::min(fastest, etc(t, j));
+    const double fastest =
+        K.reduce_min(etc.values().row(t).data(), etc.machine_count());
     max_fastest = std::max(max_fastest, fastest);
     total_fastest_work += fastest;
   }

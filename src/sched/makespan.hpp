@@ -36,6 +36,13 @@ std::vector<double> machine_loads(const core::EtcMatrix& etc,
 double makespan(const core::EtcMatrix& etc, const TaskList& tasks,
                 const Assignment& assignment);
 
+/// As makespan(), but accumulates the per-machine loads into caller-owned
+/// scratch storage instead of allocating — for evaluation loops (e.g. GA
+/// fitness) that compute thousands of makespans.
+double makespan_into(const core::EtcMatrix& etc, const TaskList& tasks,
+                     const Assignment& assignment,
+                     std::vector<double>& scratch_loads);
+
 /// Lower bound on makespan: max over tasks of the fastest execution time
 /// and total-work / machine-count style bounds. Useful for normalizing
 /// heuristic comparisons across environments.

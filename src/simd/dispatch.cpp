@@ -1,0 +1,107 @@
+// Runtime backend selection. The decision is made once, on first call to
+// active_backend()/kernels(): honor a HETERO_SIMD=scalar|avx2|neon override
+// when that backend is compiled in and supported by the running CPU (warning
+// on stderr + scalar fallback otherwise), else pick the best available.
+#include "simd/simd.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hetero::simd {
+
+namespace detail {
+const Kernels* scalar_kernels();
+const Kernels* avx2_kernels();
+const Kernels* neon_kernels();
+}  // namespace detail
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::scalar:
+      return "scalar";
+    case Backend::avx2:
+      return "avx2";
+    case Backend::neon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool backend_available(Backend b) {
+  switch (b) {
+    case Backend::scalar:
+      return true;
+    case Backend::avx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return detail::avx2_kernels() != nullptr &&
+             __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Backend::neon:
+      // NEON is baseline on AArch64; the table exists iff we built for it.
+      return detail::neon_kernels() != nullptr;
+  }
+  return false;
+}
+
+const Kernels* kernels_for(Backend b) {
+  if (!backend_available(b)) return nullptr;
+  switch (b) {
+    case Backend::scalar:
+      return detail::scalar_kernels();
+    case Backend::avx2:
+      return detail::avx2_kernels();
+    case Backend::neon:
+      return detail::neon_kernels();
+  }
+  return nullptr;
+}
+
+namespace {
+
+Backend select_backend() {
+  if (const char* env = std::getenv("HETERO_SIMD")) {
+    Backend forced = Backend::scalar;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      forced = Backend::scalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      forced = Backend::avx2;
+    } else if (std::strcmp(env, "neon") == 0) {
+      forced = Backend::neon;
+    } else {
+      known = false;
+      std::fprintf(stderr,
+                   "heterolib: unknown HETERO_SIMD value '%s' "
+                   "(expected scalar|avx2|neon); using runtime detection\n",
+                   env);
+    }
+    if (known) {
+      if (backend_available(forced)) return forced;
+      std::fprintf(stderr,
+                   "heterolib: HETERO_SIMD=%s requested but unavailable on "
+                   "this CPU/build; falling back to scalar\n",
+                   env);
+      return Backend::scalar;
+    }
+  }
+  if (backend_available(Backend::avx2)) return Backend::avx2;
+  if (backend_available(Backend::neon)) return Backend::neon;
+  return Backend::scalar;
+}
+
+}  // namespace
+
+Backend active_backend() {
+  static const Backend b = select_backend();
+  return b;
+}
+
+const Kernels& kernels() {
+  static const Kernels* const k = kernels_for(active_backend());
+  return *k;
+}
+
+}  // namespace hetero::simd

@@ -1,0 +1,30 @@
+// AVX2 instantiation of the shared kernel bodies. This translation unit is
+// the only one compiled with -mavx2 (and only on x86 builds); everything else
+// in the library stays at the baseline ISA, so merely linking the table is
+// safe on CPUs without AVX2 — the dispatcher consults the runtime probe
+// before ever calling through it.
+#include "simd/simd.hpp"
+
+#if defined(__AVX2__)
+
+#include "simd/kernels_impl.hpp"
+#include "simd/vec_avx2.hpp"
+
+namespace hetero::simd::detail {
+
+const Kernels* avx2_kernels() {
+  static const Kernels k = KernelsImpl<VecAvx2>::table();
+  return &k;
+}
+
+}  // namespace hetero::simd::detail
+
+#else
+
+namespace hetero::simd::detail {
+
+const Kernels* avx2_kernels() { return nullptr; }
+
+}  // namespace hetero::simd::detail
+
+#endif

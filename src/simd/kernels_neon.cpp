@@ -1,0 +1,28 @@
+// NEON instantiation of the shared kernel bodies. AArch64 makes NEON part of
+// the baseline ISA, so no extra flags are needed; on other architectures this
+// collapses to a nullptr stub.
+#include "simd/simd.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include "simd/kernels_impl.hpp"
+#include "simd/vec_neon.hpp"
+
+namespace hetero::simd::detail {
+
+const Kernels* neon_kernels() {
+  static const Kernels k = KernelsImpl<VecNeon>::table();
+  return &k;
+}
+
+}  // namespace hetero::simd::detail
+
+#else
+
+namespace hetero::simd::detail {
+
+const Kernels* neon_kernels() { return nullptr; }
+
+}  // namespace hetero::simd::detail
+
+#endif

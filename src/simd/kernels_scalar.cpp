@@ -1,0 +1,15 @@
+// Scalar instantiation of the shared kernel bodies — the reference twin every
+// dispatched backend must match bit for bit. Built with -ffp-contract=off so
+// the compiler cannot fuse the mul/add sequences the other backends keep
+// separate.
+#include "simd/kernels_impl.hpp"
+#include "simd/vec_scalar.hpp"
+
+namespace hetero::simd::detail {
+
+const Kernels* scalar_kernels() {
+  static const Kernels k = KernelsImpl<VecScalar>::table();
+  return &k;
+}
+
+}  // namespace hetero::simd::detail

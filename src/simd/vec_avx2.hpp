@@ -1,0 +1,34 @@
+// AVX2 backend of the 4-lane virtual vector: one __m256d per vector. Quiet
+// (non-signalling) ordered compares produce the same full-width masks as the
+// scalar twin, and blendv keys on the mask sign bit, which agrees with the
+// bitwise select for all-ones / all-zeros masks.
+#pragma once
+
+#include <immintrin.h>
+
+namespace hetero::simd {
+
+struct VecAvx2 {
+  using v = __m256d;
+
+  static v zero() { return _mm256_setzero_pd(); }
+  static v bcast(double x) { return _mm256_set1_pd(x); }
+  static v load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, v a) { _mm256_storeu_pd(p, a); }
+  static void lanes(v a, double out[4]) { _mm256_storeu_pd(out, a); }
+
+  static v add(v a, v b) { return _mm256_add_pd(a, b); }
+  static v sub(v a, v b) { return _mm256_sub_pd(a, b); }
+  static v mul(v a, v b) { return _mm256_mul_pd(a, b); }
+  static v div(v a, v b) { return _mm256_div_pd(a, b); }
+  static v abs(v a) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+
+  static v lt(v a, v b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static v gt(v a, v b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+
+  static v blend(v a, v b, v m) { return _mm256_blendv_pd(a, b, m); }
+};
+
+}  // namespace hetero::simd

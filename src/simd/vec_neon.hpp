@@ -1,0 +1,56 @@
+// NEON backend of the 4-lane virtual vector: a pair of float64x2_t holding
+// lanes {0,1} and {2,3}. Compares produce full-width masks via the u64
+// compare results, blend is vbsl (a true bitwise select), so semantics match
+// the scalar twin exactly.
+#pragma once
+
+#include <arm_neon.h>
+
+namespace hetero::simd {
+
+struct VecNeon {
+  struct v {
+    float64x2_t lo;  // lanes 0, 1
+    float64x2_t hi;  // lanes 2, 3
+  };
+
+  static v zero() { return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)}; }
+  static v bcast(double x) { return {vdupq_n_f64(x), vdupq_n_f64(x)}; }
+  static v load(const double* p) { return {vld1q_f64(p), vld1q_f64(p + 2)}; }
+  static void store(double* p, v a) {
+    vst1q_f64(p, a.lo);
+    vst1q_f64(p + 2, a.hi);
+  }
+  static void lanes(v a, double out[4]) { store(out, a); }
+
+  static v add(v a, v b) {
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  static v sub(v a, v b) {
+    return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+  }
+  static v mul(v a, v b) {
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+  static v div(v a, v b) {
+    return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+  }
+  static v abs(v a) { return {vabsq_f64(a.lo), vabsq_f64(a.hi)}; }
+
+  static v lt(v a, v b) {
+    return {vreinterpretq_f64_u64(vcltq_f64(a.lo, b.lo)),
+            vreinterpretq_f64_u64(vcltq_f64(a.hi, b.hi))};
+  }
+  static v gt(v a, v b) {
+    return {vreinterpretq_f64_u64(vcgtq_f64(a.lo, b.lo)),
+            vreinterpretq_f64_u64(vcgtq_f64(a.hi, b.hi))};
+  }
+
+  // mask ? b : a (vbsl selects from its second operand where mask bits set).
+  static v blend(v a, v b, v m) {
+    return {vbslq_f64(vreinterpretq_u64_f64(m.lo), b.lo, a.lo),
+            vbslq_f64(vreinterpretq_u64_f64(m.hi), b.hi, a.hi)};
+  }
+};
+
+}  // namespace hetero::simd

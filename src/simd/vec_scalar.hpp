@@ -1,0 +1,76 @@
+// Scalar backend of the 4-lane virtual vector: four doubles in an array,
+// every op spelled out lane by lane. This is the reference twin every
+// dispatched backend must match bit for bit, so the ops here define the
+// semantics: quiet compares produce full-width (all-ones / all-zeros) masks
+// and blend is a bitwise select, exactly what the vector instructions do.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace hetero::simd {
+
+struct VecScalar {
+  struct v {
+    double l[4];
+  };
+
+  static v zero() { return {{0.0, 0.0, 0.0, 0.0}}; }
+  static v bcast(double x) { return {{x, x, x, x}}; }
+  static v load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  static void store(double* p, v a) {
+    p[0] = a.l[0];
+    p[1] = a.l[1];
+    p[2] = a.l[2];
+    p[3] = a.l[3];
+  }
+  static void lanes(v a, double out[4]) { store(out, a); }
+
+  static v add(v a, v b) {
+    return {{a.l[0] + b.l[0], a.l[1] + b.l[1], a.l[2] + b.l[2],
+             a.l[3] + b.l[3]}};
+  }
+  static v sub(v a, v b) {
+    return {{a.l[0] - b.l[0], a.l[1] - b.l[1], a.l[2] - b.l[2],
+             a.l[3] - b.l[3]}};
+  }
+  static v mul(v a, v b) {
+    return {{a.l[0] * b.l[0], a.l[1] * b.l[1], a.l[2] * b.l[2],
+             a.l[3] * b.l[3]}};
+  }
+  static v div(v a, v b) {
+    return {{a.l[0] / b.l[0], a.l[1] / b.l[1], a.l[2] / b.l[2],
+             a.l[3] / b.l[3]}};
+  }
+  static v abs(v a) {
+    return {{std::fabs(a.l[0]), std::fabs(a.l[1]), std::fabs(a.l[2]),
+             std::fabs(a.l[3])}};
+  }
+
+  static constexpr double kTrue =
+      std::bit_cast<double>(~std::uint64_t{0});
+
+  static v lt(v a, v b) {
+    return {{a.l[0] < b.l[0] ? kTrue : 0.0, a.l[1] < b.l[1] ? kTrue : 0.0,
+             a.l[2] < b.l[2] ? kTrue : 0.0, a.l[3] < b.l[3] ? kTrue : 0.0}};
+  }
+  static v gt(v a, v b) {
+    return {{a.l[0] > b.l[0] ? kTrue : 0.0, a.l[1] > b.l[1] ? kTrue : 0.0,
+             a.l[2] > b.l[2] ? kTrue : 0.0, a.l[3] > b.l[3] ? kTrue : 0.0}};
+  }
+
+  // mask ? b : a, as a bitwise select (masks are all-ones or all-zeros).
+  static v blend(v a, v b, v m) {
+    v r;
+    for (int i = 0; i < 4; ++i) {
+      const auto ai = std::bit_cast<std::uint64_t>(a.l[i]);
+      const auto bi = std::bit_cast<std::uint64_t>(b.l[i]);
+      const auto mi = std::bit_cast<std::uint64_t>(m.l[i]);
+      r.l[i] = std::bit_cast<double>((ai & ~mi) | (bi & mi));
+    }
+    return r;
+  }
+};
+
+}  // namespace hetero::simd
