@@ -1,0 +1,222 @@
+// Closed-loop load generator for the characterization service layer.
+//
+// Each google-benchmark thread is one synchronous client: it submits a
+// request through Server::submit and blocks on the response before issuing
+// the next — the closed loop the acceptance numbers in docs/performance.md
+// quote. ->Threads(1/4/16) sweeps client concurrency against a shared
+// server; requests/s is the reported items_per_second.
+//
+// Suites:
+//   BM_ServiceCharacterizeWarm  — one 128x16 matrix, cache hit after the
+//                                 first request (the steady-state fleet
+//                                 re-characterization path)
+//   BM_ServiceCharacterizeCold  — every request a distinct matrix (pure
+//                                 compute path, cache always misses)
+//   BM_ServiceScheduleWarm      — min_min schedule of the same matrix
+//   BM_ServiceHitRateSweep      — clients cycle through K matrices with a
+//                                 cache sized for a fraction of them; the
+//                                 measured hit rate is reported as a
+//                                 counter
+//   BM_ServiceHandleInline      — queue/pool bypassed (Server::handle), to
+//                                 separate protocol+pipeline cost from
+//                                 dispatch cost
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "etcgen/range_based.hpp"
+#include "etcgen/rng.hpp"
+#include "io/json.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using hetero::svc::Server;
+using hetero::svc::ServerOptions;
+
+std::string request_line(const hetero::core::EtcMatrix& etc,
+                         const char* kind, const char* extra) {
+  std::string line = "{\"kind\":\"";
+  line += kind;
+  line += '"';
+  line += extra;
+  line += ",\"etc\":";
+  line += hetero::io::to_json(etc);
+  line += '}';
+  return line;
+}
+
+hetero::core::EtcMatrix make_matrix(std::size_t tasks, std::size_t machines,
+                                    std::uint64_t seed) {
+  hetero::etcgen::Rng rng(seed);
+  hetero::etcgen::RangeBasedOptions options;
+  options.tasks = tasks;
+  options.machines = machines;
+  return hetero::etcgen::generate_range_based(options, rng);
+}
+
+/// Blocks the calling benchmark thread until the response arrives — the
+/// closed loop.
+std::string call(Server& server, const std::string& line) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::string response;
+  bool done = false;
+  server.submit(line, [&](std::string r) {
+    // Notify under the lock: the caller destroys cv as soon as done flips.
+    const std::scoped_lock lock(m);
+    response = std::move(r);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return done; });
+  return response;
+}
+
+// Shared across the benchmark's threads; constructed by thread 0.
+std::unique_ptr<Server> g_server;
+
+void setup_server(const benchmark::State& state, ServerOptions options) {
+  if (state.thread_index() == 0) g_server = std::make_unique<Server>(options);
+}
+
+void teardown_server(const benchmark::State& state) {
+  if (state.thread_index() == 0) g_server.reset();
+}
+
+void BM_ServiceCharacterizeWarm(benchmark::State& state) {
+  setup_server(state, {});
+  static std::string line;
+  if (state.thread_index() == 0)
+    line = request_line(make_matrix(128, 16, 7), "characterize", "");
+  std::size_t processed = 0;
+  for (auto _ : state) {
+    const std::string response = call(*g_server, line);
+    benchmark::DoNotOptimize(response.data());
+    ++processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  teardown_server(state);
+}
+BENCHMARK(BM_ServiceCharacterizeWarm)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->UseRealTime();
+
+void BM_ServiceCharacterizeCold(benchmark::State& state) {
+  // A 2-entry cache cycled over 64 distinct matrices: effectively every
+  // request takes the full compute path.
+  ServerOptions options;
+  options.cache_shards = 1;
+  options.cache_capacity_per_shard = 2;
+  setup_server(state, options);
+  // Pre-generate distinct matrices so generation cost stays out of the
+  // loop.
+  constexpr std::size_t kDistinct = 64;
+  static std::vector<std::string> lines;
+  if (state.thread_index() == 0) {
+    lines.clear();
+    for (std::size_t i = 0; i < kDistinct; ++i)
+      lines.push_back(request_line(
+          make_matrix(128, 16, 1000 + i),
+          "characterize", ""));
+  }
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 17;
+  std::size_t processed = 0;
+  for (auto _ : state) {
+    const std::string response = call(*g_server, lines[i % kDistinct]);
+    benchmark::DoNotOptimize(response.data());
+    i += 1;
+    ++processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  teardown_server(state);
+}
+BENCHMARK(BM_ServiceCharacterizeCold)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->UseRealTime();
+
+void BM_ServiceScheduleWarm(benchmark::State& state) {
+  setup_server(state, {});
+  static std::string line;
+  if (state.thread_index() == 0)
+    line = request_line(make_matrix(128, 16, 9), "schedule",
+                        ",\"heuristic\":\"min_min\"");
+  std::size_t processed = 0;
+  for (auto _ : state) {
+    const std::string response = call(*g_server, line);
+    benchmark::DoNotOptimize(response.data());
+    ++processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  teardown_server(state);
+}
+BENCHMARK(BM_ServiceScheduleWarm)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->UseRealTime();
+
+// Cache hit-rate sweep: K distinct matrices cycled by every client against
+// a cache of fixed total capacity. range(0) = K; the resulting hit rate
+// lands as the "hit_rate" counter (1 - K/capacity-ish once K exceeds
+// capacity).
+void BM_ServiceHitRateSweep(benchmark::State& state) {
+  ServerOptions options;
+  options.cache_shards = 4;
+  options.cache_capacity_per_shard = 8;  // 32 cached results total
+  setup_server(state, options);
+  const auto distinct = static_cast<std::size_t>(state.range(0));
+  static std::vector<std::string> lines;
+  if (state.thread_index() == 0) {
+    lines.clear();
+    for (std::size_t i = 0; i < distinct; ++i)
+      lines.push_back(
+          request_line(make_matrix(32, 8, 500 + i), "measures", ""));
+  }
+  std::size_t i = static_cast<std::size_t>(state.thread_index());
+  std::size_t processed = 0;
+  for (auto _ : state) {
+    const std::string response = call(*g_server, lines[i % distinct]);
+    benchmark::DoNotOptimize(response.data());
+    i += 1;
+    ++processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  if (state.thread_index() == 0) {
+    const auto stats = g_server->cache().stats();
+    const auto total = static_cast<double>(stats.hits + stats.misses);
+    state.counters["hit_rate"] = benchmark::Counter(
+        total == 0.0 ? 0.0 : static_cast<double>(stats.hits) / total);
+  }
+  teardown_server(state);
+}
+BENCHMARK(BM_ServiceHitRateSweep)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Threads(4)
+    ->UseRealTime();
+
+void BM_ServiceHandleInline(benchmark::State& state) {
+  Server server;
+  const std::string line =
+      request_line(make_matrix(128, 16, 7), "characterize", "");
+  for (auto _ : state) {
+    const std::string response = server.handle(line);
+    benchmark::DoNotOptimize(response.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceHandleInline);
+
+}  // namespace

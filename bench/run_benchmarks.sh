@@ -10,7 +10,10 @@
 #
 # Set FILTER to a google-benchmark regex to restrict what runs, e.g.
 #   FILTER='BM_MinMin|BM_Batch' bench/run_benchmarks.sh pr2
-# runs only the scheduler suites touched by a change.
+# runs only the scheduler suites touched by a change, and
+#   FILTER='BM_Service' bench/run_benchmarks.sh pr5
+# runs only the service-layer closed-loop suites (perf_service: warm/cold
+# characterize at 1/4/16 clients, schedule, cache hit-rate sweep).
 #
 # Set HETERO_NATIVE=1 to configure and build a separate build-native tree
 # with -DHETERO_NATIVE=ON (-march=native) and benchmark that instead — for

@@ -12,10 +12,17 @@
 //                                         emit a CSV hitting the targets
 //   hetero_cli demo                       run on the embedded SPEC CINT data
 //
+// Any command may add --stats: after the run, the metrics-registry
+// snapshot (the same svc::Metrics the server keeps) is printed to stderr,
+// so one-shot CLI runs and hetero_served report through one
+// instrumentation path.
+//
 // CSV format: optional header "task,m1,m2,...", one row per task type with
 // an optional leading name; "inf" marks machines that cannot run a task.
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/clustering.hpp"
 #include "core/confidence.hpp"
@@ -30,6 +37,7 @@
 #include "io/json.hpp"
 #include "io/table.hpp"
 #include "spec/spec_data.hpp"
+#include "svc/metrics.hpp"
 
 namespace {
 
@@ -104,15 +112,15 @@ void confidence(const hetero::core::EtcMatrix& etc) {
   t.print(std::cout);
 }
 
-int generate(int argc, char** argv) {
-  if (argc < 7) return usage();
+int generate(const std::vector<std::string>& args) {
+  if (args.size() < 7) return usage();
   hetero::etcgen::TargetMeasures target;
-  target.mph = std::stod(argv[2]);
-  target.tdh = std::stod(argv[3]);
-  target.tma = std::stod(argv[4]);
+  target.mph = std::stod(args[2]);
+  target.tdh = std::stod(args[3]);
+  target.tma = std::stod(args[4]);
   hetero::etcgen::TargetGenOptions opts;
-  opts.tasks = std::stoul(argv[5]);
-  opts.machines = std::stoul(argv[6]);
+  opts.tasks = std::stoul(args[5]);
+  opts.machines = std::stoul(args[6]);
   opts.scale = 0.01;  // ECS scale -> runtimes in the hundreds
   const auto result = hetero::etcgen::generate_with_measures(target, opts);
   hetero::io::write_etc_csv(std::cout, result.ecs.to_etc());
@@ -191,46 +199,84 @@ void whatif(const hetero::core::EtcMatrix& etc) {
   t.print(std::cout);
 }
 
+// The CLI's metrics slot for a command — one-shot runs instrument through
+// the same svc::Metrics type the server keeps, so a `--stats` dump and a
+// server `stats` response read identically.
+hetero::svc::RequestKind kind_of_command(const std::string& command) {
+  if (command == "measures") return hetero::svc::RequestKind::measures;
+  if (command == "whatif") return hetero::svc::RequestKind::whatif;
+  return hetero::svc::RequestKind::characterize;
+}
+
+int run_command(const std::vector<std::string>& args) {
+  const std::string& command = args[1];
+  if (command == "demo") {
+    analyze(hetero::spec::spec_cint2006rate());
+    return 0;
+  }
+  if (command == "generate") return generate(args);
+  if (args.size() < 3) return usage();
+  const auto etc = hetero::io::read_etc_csv_file(args[2]);
+  if (command == "analyze") {
+    analyze(etc);
+  } else if (command == "measures") {
+    print_measures_line(etc.to_ecs());
+  } else if (command == "json") {
+    const auto ecs = etc.to_ecs();
+    std::cout << hetero::io::to_json(hetero::core::characterize(ecs), ecs)
+              << '\n';
+  } else if (command == "whatif") {
+    whatif(etc);
+  } else if (command == "report") {
+    hetero::core::ReportOptions opts;
+    opts.title = "Environment report: " + args[2];
+    std::cout << hetero::core::markdown_report(etc, opts);
+  } else if (command == "atlas") {
+    atlas(etc);
+  } else if (command == "cluster") {
+    if (args.size() < 4) return usage();
+    cluster(etc, std::stoul(args[3]));
+  } else if (command == "confidence") {
+    confidence(etc);
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  try {
-    if (command == "demo") {
-      analyze(hetero::spec::spec_cint2006rate());
-      return 0;
-    }
-    if (command == "generate") return generate(argc, argv);
-    if (argc < 3) return usage();
-    const auto etc = hetero::io::read_etc_csv_file(argv[2]);
-    if (command == "analyze") {
-      analyze(etc);
-    } else if (command == "measures") {
-      print_measures_line(etc.to_ecs());
-    } else if (command == "json") {
-      const auto ecs = etc.to_ecs();
-      std::cout << hetero::io::to_json(hetero::core::characterize(ecs), ecs)
-                << '\n';
-    } else if (command == "whatif") {
-      whatif(etc);
-    } else if (command == "report") {
-      hetero::core::ReportOptions opts;
-      opts.title = std::string("Environment report: ") + argv[2];
-      std::cout << hetero::core::markdown_report(etc, opts);
-    } else if (command == "atlas") {
-      atlas(etc);
-    } else if (command == "cluster") {
-      if (argc < 4) return usage();
-      cluster(etc, std::stoul(argv[3]));
-    } else if (command == "confidence") {
-      confidence(etc);
-    } else {
-      return usage();
-    }
-  } catch (const hetero::Error& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
+  bool stats = false;
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stats")
+      stats = true;
+    else
+      args.emplace_back(argv[i]);
   }
-  return 0;
+  if (args.size() < 2) return usage();
+
+  hetero::svc::Metrics metrics;
+  auto& slot = metrics.kind(kind_of_command(args[1]));
+  slot.received.fetch_add(1, std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  int rc = 0;
+  try {
+    rc = run_command(args);
+    slot.completed.fetch_add(1, std::memory_order_relaxed);
+  } catch (const hetero::Error& e) {
+    slot.errors.fetch_add(1, std::memory_order_relaxed);
+    std::cerr << "error: " << e.what() << '\n';
+    rc = 1;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  slot.compute.record(
+      elapsed.count() < 0 ? 0 : static_cast<std::uint64_t>(elapsed.count()));
+  if (stats)
+    std::cerr << "\n-- metrics --\n"
+              << hetero::svc::render_text(metrics.snapshot());
+  return rc;
 }

@@ -11,6 +11,12 @@ MeasureSet one_measure_set(const EcsMatrix& ecs, const TmaOptions& options) {
   return s;
 }
 
+// A grain of 0 would make the chunked claiming loop spin without ever
+// claiming work; treat it as the smallest legal chunk instead.
+std::size_t effective_grain(const BatchOptions& options) {
+  return options.grain == 0 ? 1 : options.grain;
+}
+
 }  // namespace
 
 std::vector<MeasureSet> batch_measures(std::span<const linalg::Matrix> inputs,
@@ -22,7 +28,7 @@ std::vector<MeasureSet> batch_measures(std::span<const linalg::Matrix> inputs,
       [&](std::size_t i) {
         out[i] = one_measure_set(EcsMatrix(inputs[i]), options.tma);
       },
-      options.grain);
+      effective_grain(options));
   return out;
 }
 
@@ -33,7 +39,7 @@ std::vector<MeasureSet> batch_measures(std::span<const EcsMatrix> inputs,
   par::parallel_for(
       pool, 0, inputs.size(),
       [&](std::size_t i) { out[i] = one_measure_set(inputs[i], options.tma); },
-      options.grain);
+      effective_grain(options));
   return out;
 }
 
@@ -44,7 +50,7 @@ std::vector<EnvironmentReport> batch_characterize(
   par::parallel_for(
       pool, 0, inputs.size(),
       [&](std::size_t i) { out[i] = characterize(inputs[i], {}, options.tma); },
-      options.grain);
+      effective_grain(options));
   return out;
 }
 

@@ -20,7 +20,8 @@ struct BatchOptions {
   TmaOptions tma;
   /// Matrices handed to a worker at a time. The default of 1 is right for
   /// measure-sized work (each item is thousands of flops); raise it only
-  /// for very large batches of very small matrices.
+  /// for very large batches of very small matrices. A grain of 0 is
+  /// treated as 1 (it would otherwise violate parallel_for's contract).
   std::size_t grain = 1;
 };
 

@@ -2,7 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <utility>
+
+#include "base/error.hpp"
 
 namespace hetero::io {
 namespace {
@@ -20,6 +25,14 @@ void append_string_array(std::ostringstream& os,
   os << '[';
   for (std::size_t i = 0; i < values.size(); ++i)
     os << (i ? "," : "") << '"' << json_escape(values[i]) << '"';
+  os << ']';
+}
+
+void append_index_array(std::ostringstream& os,
+                        const std::vector<std::size_t>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os << (i ? "," : "") << values[i];
   os << ']';
 }
 
@@ -104,6 +117,439 @@ std::string to_json(const core::EtcMatrix& etc) {
   }
   os << "]}";
   return os.str();
+}
+
+std::string to_json(const sched::ScheduleSummary& summary) {
+  std::ostringstream os;
+  os << "{\"heuristic\":\"" << json_escape(summary.heuristic)
+     << "\",\"makespan\":" << json_number(summary.makespan)
+     << ",\"assignment\":";
+  append_index_array(os, summary.assignment);
+  os << ",\"machine_loads\":";
+  append_number_array(os, summary.machine_loads);
+  os << '}';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue.
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::boolean;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::number;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::string;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(Array a) {
+  JsonValue v;
+  v.kind_ = Kind::array;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::make_object(Object o) {
+  JsonValue v;
+  v.kind_ = Kind::object;
+  v.object_ = std::move(o);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  detail::require_value(is_bool(), "json: value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  detail::require_value(is_number(), "json: value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  detail::require_value(is_string(), "json: value is not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  detail::require_value(is_array(), "json: value is not an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  detail::require_value(is_object(), "json: value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  detail::require_value(v != nullptr,
+                        "json: missing object member \"" + std::string(key) +
+                            "\"");
+  return *v;
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser.
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ValueError("json parse error at byte " + std::to_string(pos_) +
+                     ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue::make_null();
+      default: return JsonValue::make_number(parse_number());
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue::Object members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue::Array elements;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue::make_array(std::move(elements));
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("lone high surrogate");
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+    return out;
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_start = pos_;
+    if (digits() == 0) fail("invalid number");
+    // JSON forbids leading zeros: "01" is two tokens, not a number.
+    if (text_[int_start] == '0' && pos_ - int_start > 1)
+      fail("leading zeros are not allowed");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    // The token is a valid JSON number; strtod needs NUL termination, so
+    // copy it out (numbers are short).
+    char buf[64];
+    const std::size_t len = pos_ - start;
+    if (len >= sizeof buf) fail("number token too long");
+    text_.copy(buf, len, start);
+    buf[len] = '\0';
+    return std::strtod(buf, nullptr);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_json(std::ostringstream& os, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::null: os << "null"; break;
+    case JsonValue::Kind::boolean: os << (v.as_bool() ? "true" : "false"); break;
+    case JsonValue::Kind::number: os << json_number(v.as_number()); break;
+    case JsonValue::Kind::string:
+      os << '"' << json_escape(v.as_string()) << '"';
+      break;
+    case JsonValue::Kind::array: {
+      os << '[';
+      const auto& a = v.as_array();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) os << ',';
+        append_json(os, a[i]);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::object: {
+      os << '{';
+      const auto& o = v.as_object();
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i) os << ',';
+        os << '"' << json_escape(o[i].first) << "\":";
+        append_json(os, o[i].second);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::vector<std::string> string_array(const JsonValue& v, const char* what) {
+  std::vector<std::string> out;
+  detail::require_value(v.is_array(), what);
+  out.reserve(v.as_array().size());
+  for (const auto& e : v.as_array()) out.push_back(e.as_string());
+  return out;
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string to_json(const JsonValue& value) {
+  std::ostringstream os;
+  append_json(os, value);
+  return os.str();
+}
+
+core::EtcMatrix etc_from_json(const JsonValue& value) {
+  const JsonValue* rows = &value;
+  std::vector<std::string> task_names, machine_names;
+  if (value.is_object()) {
+    rows = &value.at("etc");
+    if (const JsonValue* t = value.find("tasks"))
+      task_names = string_array(*t, "json etc: \"tasks\" must be an array");
+    if (const JsonValue* m = value.find("machines"))
+      machine_names =
+          string_array(*m, "json etc: \"machines\" must be an array");
+  }
+  detail::require_value(rows->is_array() && !rows->as_array().empty(),
+                        "json etc: expected a non-empty array of rows");
+  const auto& r = rows->as_array();
+  const std::size_t cols =
+      r.front().is_array() ? r.front().as_array().size() : 0;
+  detail::require_value(cols > 0, "json etc: rows must be non-empty arrays");
+  linalg::Matrix values(r.size(), cols);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const auto& row = r[i].as_array();
+    detail::require_dims(row.size() == cols, "json etc: ragged rows");
+    for (std::size_t j = 0; j < cols; ++j)
+      // The writer's NaN/infinity policy: a null entry is "cannot run".
+      values(i, j) = row[j].is_null()
+                         ? std::numeric_limits<double>::infinity()
+                         : row[j].as_number();
+  }
+  return core::EtcMatrix(std::move(values), std::move(task_names),
+                         std::move(machine_names));
+}
+
+core::MeasureSet measure_set_from_json(const JsonValue& value) {
+  // Null is the writer's encoding for a non-finite measure (NaN policy);
+  // surface it as NaN rather than failing the read.
+  const auto number = [](const JsonValue& v) {
+    return v.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                       : v.as_number();
+  };
+  core::MeasureSet m;
+  m.mph = number(value.at("mph"));
+  m.tdh = number(value.at("tdh"));
+  m.tma = number(value.at("tma"));
+  return m;
+}
+
+sched::ScheduleSummary schedule_summary_from_json(const JsonValue& value) {
+  sched::ScheduleSummary s;
+  s.heuristic = value.at("heuristic").as_string();
+  s.makespan = value.at("makespan").is_null()
+                   ? std::numeric_limits<double>::infinity()
+                   : value.at("makespan").as_number();
+  for (const auto& e : value.at("assignment").as_array())
+    s.assignment.push_back(static_cast<std::size_t>(e.as_number()));
+  // A load of null is an incapable assignment serialized under the
+  // NaN/infinity policy; map it back to +infinity like the ETC reader.
+  for (const auto& e : value.at("machine_loads").as_array())
+    s.machine_loads.push_back(e.is_null()
+                                  ? std::numeric_limits<double>::infinity()
+                                  : e.as_number());
+  return s;
 }
 
 }  // namespace hetero::io

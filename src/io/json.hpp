@@ -1,16 +1,33 @@
-// Minimal JSON emission for machine-readable experiment output.
+// JSON emission and parsing for machine-readable experiment output and the
+// characterization service protocol.
 //
-// Only a writer (no parser): benches and the CLI dump measure reports that
-// downstream notebooks/scripts can consume without screen-scraping the
-// console tables.
+// The writer side dumps measure reports, scheduler summaries, and ETC
+// matrices that downstream notebooks/scripts can consume without
+// screen-scraping the console tables. The parser side is a small
+// recursive-descent reader producing a JsonValue tree; it accepts exactly
+// the JSON the writers emit (service requests round-trip through it), plus
+// standard escapes and surrogate pairs.
+//
+// NaN/infinity policy: JSON has no representation for them, so the writer
+// emits null wherever a non-finite double appears; readers that expect a
+// number in such a slot must decide what null means (the ETC reader maps it
+// back to +infinity, i.e. "cannot run").
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/etc_matrix.hpp"
 #include "core/measures.hpp"
+#include "sched/makespan.hpp"
 
 namespace hetero::io {
+
+// ---------------------------------------------------------------------------
+// Writer primitives.
 
 /// Escapes a string for inclusion in JSON (quotes, backslashes, control
 /// characters).
@@ -30,5 +47,83 @@ std::string to_json(const core::EnvironmentReport& report,
 
 /// ETC matrix with labels; "cannot run" entries serialize as null.
 std::string to_json(const core::EtcMatrix& etc);
+
+/// Scheduler summary: heuristic name, assignment, makespan, machine loads.
+std::string to_json(const sched::ScheduleSummary& summary);
+
+// ---------------------------------------------------------------------------
+// Parsed JSON tree.
+
+/// One JSON value. Objects preserve member order (so a parse -> write
+/// round trip is byte-stable), and numbers are always doubles — the only
+/// numeric type the library traffics in.
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  /// Default-constructs null.
+  JsonValue() = default;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(Array a);
+  static JsonValue make_object(Object o);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::null; }
+  bool is_bool() const noexcept { return kind_ == Kind::boolean; }
+  bool is_number() const noexcept { return kind_ == Kind::number; }
+  bool is_string() const noexcept { return kind_ == Kind::string; }
+  bool is_array() const noexcept { return kind_ == Kind::array; }
+  bool is_object() const noexcept { return kind_ == Kind::object; }
+
+  /// Typed accessors; throw ValueError on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup: nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member lookup; throws ValueError when absent.
+  const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws ValueError with a byte offset on malformed
+/// input; nesting beyond 128 levels is rejected.
+JsonValue parse_json(std::string_view text);
+
+/// Writes a JsonValue back out (canonical: no whitespace, members in stored
+/// order, non-finite numbers as null).
+std::string to_json(const JsonValue& value);
+
+// ---------------------------------------------------------------------------
+// Readers for the report types the writers above emit.
+
+/// Rebuilds an ETC matrix from to_json(EtcMatrix) output (or from a bare
+/// array-of-rows without labels); null entries map back to +infinity.
+/// Throws ValueError on shape/type errors.
+core::EtcMatrix etc_from_json(const JsonValue& value);
+
+/// Rebuilds a MeasureSet from to_json(MeasureSet) output.
+core::MeasureSet measure_set_from_json(const JsonValue& value);
+
+/// Rebuilds a ScheduleSummary from to_json(ScheduleSummary) output.
+sched::ScheduleSummary schedule_summary_from_json(const JsonValue& value);
 
 }  // namespace hetero::io

@@ -210,4 +210,13 @@ const std::vector<Heuristic>& standard_heuristics() {
   return heuristics;
 }
 
+const Heuristic* find_heuristic(std::string_view token) {
+  static constexpr std::string_view kTokens[] = {
+      "olb", "met", "mct", "min_min", "max_min", "sufferage", "duplex"};
+  const auto& registry = standard_heuristics();
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    if (token == kTokens[i] || token == registry[i].name) return &registry[i];
+  return nullptr;
+}
+
 }  // namespace hetero::sched

@@ -21,6 +21,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "etcgen/rng.hpp"
@@ -73,5 +74,11 @@ struct Heuristic {
 
 /// OLB, MET, MCT, Min-Min, Max-Min, Sufferage, Duplex in that order.
 const std::vector<Heuristic>& standard_heuristics();
+
+/// Looks up a deterministic heuristic by protocol token ("olb", "met",
+/// "mct", "min_min", "max_min", "sufferage", "duplex" — the display names
+/// above are also accepted). Returns nullptr for an unknown token. The
+/// registry is immutable after first use, so concurrent lookups are safe.
+const Heuristic* find_heuristic(std::string_view token);
 
 }  // namespace hetero::sched

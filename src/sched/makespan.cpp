@@ -55,6 +55,19 @@ double makespan_into(const core::EtcMatrix& etc, const TaskList& tasks,
                                     scratch_loads.size());
 }
 
+ScheduleSummary summarize_schedule(const core::EtcMatrix& etc,
+                                   const TaskList& tasks,
+                                   std::string heuristic,
+                                   Assignment assignment) {
+  ScheduleSummary s;
+  s.heuristic = std::move(heuristic);
+  s.machine_loads = machine_loads(etc, tasks, assignment);
+  s.makespan =
+      simd::kernels().reduce_max(s.machine_loads.data(), s.machine_loads.size());
+  s.assignment = std::move(assignment);
+  return s;
+}
+
 double makespan_lower_bound(const core::EtcMatrix& etc, const TaskList& tasks) {
   // Bound 1: every task needs at least its fastest execution time.
   double max_fastest = 0.0;

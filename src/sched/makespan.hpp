@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/etc_matrix.hpp"
@@ -47,5 +48,21 @@ double makespan_into(const core::EtcMatrix& etc, const TaskList& tasks,
 /// and total-work / machine-count style bounds. Useful for normalizing
 /// heuristic comparisons across environments.
 double makespan_lower_bound(const core::EtcMatrix& etc, const TaskList& tasks);
+
+/// Self-contained record of one static mapping run — what the service layer
+/// returns for a `schedule` request and the JSON writer serializes.
+struct ScheduleSummary {
+  std::string heuristic;  // token, e.g. "min_min"
+  Assignment assignment;
+  double makespan = 0.0;
+  std::vector<double> machine_loads;
+};
+
+/// Evaluates `assignment` (loads + makespan) and packages it. Pure function
+/// of its arguments — safe to call concurrently from service workers.
+ScheduleSummary summarize_schedule(const core::EtcMatrix& etc,
+                                   const TaskList& tasks,
+                                   std::string heuristic,
+                                   Assignment assignment);
 
 }  // namespace hetero::sched

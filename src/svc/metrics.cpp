@@ -1,0 +1,156 @@
+#include "svc/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "io/json.hpp"
+#include "io/table.hpp"
+
+namespace hetero::svc {
+namespace {
+
+constexpr const char* kKindNames[kRequestKindCount] = {
+    "characterize", "measures", "schedule", "whatif", "stats", "invalid"};
+
+// Bucket b covers [2^(b-1), 2^b) microseconds; bucket 0 is < 1 us.
+std::size_t bucket_of(std::uint64_t micros) noexcept {
+  const auto width = static_cast<std::size_t>(std::bit_width(micros));
+  return std::min(width, LatencyHistogram::kBuckets - 1);
+}
+
+std::uint64_t bucket_upper_us(std::size_t b) noexcept {
+  return std::uint64_t{1} << b;
+}
+
+}  // namespace
+
+const char* kind_name(RequestKind kind) noexcept {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+RequestKind parse_kind(const std::string& token) noexcept {
+  for (std::size_t i = 0; i + 1 < kRequestKindCount; ++i)
+    if (token == kKindNames[i]) return static_cast<RequestKind>(i);
+  return RequestKind::invalid;
+}
+
+void LatencyHistogram::record(std::uint64_t micros) noexcept {
+  buckets_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+  // Monotone max via CAS loop; contention is rare (only new maxima race).
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_us_.compare_exchange_weak(seen, micros,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double LatencyHistogram::Snapshot::mean_us() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum_us) / static_cast<double>(count);
+}
+
+std::uint64_t LatencyHistogram::Snapshot::quantile_upper_us(double q) const {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) return bucket_upper_us(b);
+  }
+  return bucket_upper_us(kBuckets - 1);
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  Snapshot s;
+  s.kinds.reserve(kRequestKindCount);
+  for (std::size_t i = 0; i < kRequestKindCount; ++i) {
+    const KindCounters& c = per_kind_[i];
+    Snapshot::Kind k;
+    k.name = kKindNames[i];
+    k.received = c.received.load(std::memory_order_relaxed);
+    k.completed = c.completed.load(std::memory_order_relaxed);
+    k.errors = c.errors.load(std::memory_order_relaxed);
+    k.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+    k.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
+    k.queue_wait = c.queue_wait.snapshot();
+    k.compute = c.compute.snapshot();
+    s.kinds.push_back(std::move(k));
+  }
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+void append_histogram_json(std::ostringstream& os,
+                           const LatencyHistogram::Snapshot& h) {
+  os << "{\"count\":" << h.count << ",\"mean_us\":"
+     << io::json_number(h.mean_us()) << ",\"max_us\":" << h.max_us
+     << ",\"p50_us\":" << h.quantile_upper_us(0.50)
+     << ",\"p90_us\":" << h.quantile_upper_us(0.90)
+     << ",\"p99_us\":" << h.quantile_upper_us(0.99) << ",\"buckets\":[";
+  // Trailing empty buckets are elided to keep stats responses small.
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b)
+    if (h.buckets[b] != 0) last = b + 1;
+  for (std::size_t b = 0; b < last; ++b)
+    os << (b ? "," : "") << h.buckets[b];
+  os << "]}";
+}
+
+}  // namespace
+
+std::string to_json(const Metrics::Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"kinds\":{";
+  for (std::size_t i = 0; i < snapshot.kinds.size(); ++i) {
+    const auto& k = snapshot.kinds[i];
+    os << (i ? "," : "") << '"' << k.name << "\":{\"received\":" << k.received
+       << ",\"completed\":" << k.completed << ",\"errors\":" << k.errors
+       << ",\"cache_hits\":" << k.cache_hits
+       << ",\"cache_misses\":" << k.cache_misses << ",\"queue_wait\":";
+    append_histogram_json(os, k.queue_wait);
+    os << ",\"compute\":";
+    append_histogram_json(os, k.compute);
+    os << '}';
+  }
+  os << "},\"rejected_full\":" << snapshot.rejected_full
+     << ",\"rejected_deadline\":" << snapshot.rejected_deadline << '}';
+  return os.str();
+}
+
+std::string render_text(const Metrics::Snapshot& snapshot) {
+  std::ostringstream os;
+  io::Table t({"kind", "recv", "done", "err", "hit", "miss", "wait p50/p99 us",
+               "compute p50/p99 us"});
+  for (const auto& k : snapshot.kinds) {
+    if (k.received == 0 && k.errors == 0) continue;
+    t.add_row({k.name, std::to_string(k.received), std::to_string(k.completed),
+               std::to_string(k.errors), std::to_string(k.cache_hits),
+               std::to_string(k.cache_misses),
+               std::to_string(k.queue_wait.quantile_upper_us(0.50)) + "/" +
+                   std::to_string(k.queue_wait.quantile_upper_us(0.99)),
+               std::to_string(k.compute.quantile_upper_us(0.50)) + "/" +
+                   std::to_string(k.compute.quantile_upper_us(0.99))});
+  }
+  t.print(os);
+  os << "rejected: " << snapshot.rejected_full << " queue-full, "
+     << snapshot.rejected_deadline << " deadline-expired\n";
+  return os.str();
+}
+
+}  // namespace hetero::svc

@@ -1,0 +1,200 @@
+#include "svc/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "base/error.hpp"
+#include "core/measures.hpp"
+#include "core/whatif.hpp"
+#include "io/json.hpp"
+#include "sched/evolutionary.hpp"
+#include "sched/heuristics.hpp"
+#include "svc/result_cache.hpp"
+
+namespace hetero::svc {
+namespace {
+
+// Bumped whenever the result payload format changes, so stale cache
+// entries from an older schema can never alias a new request's key.
+constexpr std::string_view kCacheSchemaTag = "svc-v1";
+
+bool needs_matrix(RequestKind kind) noexcept {
+  return kind == RequestKind::characterize || kind == RequestKind::measures ||
+         kind == RequestKind::schedule || kind == RequestKind::whatif;
+}
+
+std::string schedule_result(const Request& request) {
+  const core::EtcMatrix& etc = *request.etc;
+  const sched::TaskList tasks =
+      request.tasks.empty() ? sched::one_of_each(etc) : request.tasks;
+  sched::Assignment assignment;
+  if (request.heuristic == "ga") {
+    sched::GaMapperOptions options;
+    options.seed = request.seed;
+    assignment = sched::map_genetic(etc, tasks, options);
+  } else {
+    const sched::Heuristic* h = sched::find_heuristic(request.heuristic);
+    detail::require_value(h != nullptr,
+                          "schedule: unknown heuristic \"" +
+                              request.heuristic + "\"");
+    assignment = h->map(etc, tasks);
+  }
+  return io::to_json(sched::summarize_schedule(etc, tasks, request.heuristic,
+                                               std::move(assignment)));
+}
+
+std::string whatif_result(const Request& request) {
+  const auto ecs = request.etc->to_ecs();
+  std::ostringstream os;
+  os << "{\"changes\":[";
+  bool first = true;
+  const auto append = [&](const std::vector<core::WhatIfDelta>& deltas) {
+    for (const auto& d : deltas) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"description\":\"" << io::json_escape(d.description)
+         << "\",\"before\":" << io::to_json(d.before)
+         << ",\"after\":" << io::to_json(d.after) << '}';
+    }
+  };
+  if (request.whatif_machines)
+    append(core::whatif_remove_each_machine(ecs));
+  if (request.whatif_tasks) append(core::whatif_remove_each_task(ecs));
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const io::JsonValue doc = io::parse_json(line);
+  detail::require_value(doc.is_object(), "request must be a JSON object");
+  Request request;
+  if (const io::JsonValue* id = doc.find("id"))
+    request.id_json = io::to_json(*id);
+
+  const io::JsonValue* kind = doc.find("kind");
+  detail::require_value(kind != nullptr && kind->is_string(),
+                        "request needs a string \"kind\"");
+  request.kind = parse_kind(kind->as_string());
+  detail::require_value(request.kind != RequestKind::invalid,
+                        "unknown request kind \"" + kind->as_string() + "\"");
+
+  if (const io::JsonValue* d = doc.find("deadline_ms")) {
+    const double ms = d->as_number();
+    detail::require_value(ms >= 0 && std::isfinite(ms),
+                          "deadline_ms must be a nonnegative number");
+    request.deadline =
+        std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+  }
+
+  if (needs_matrix(request.kind)) {
+    const io::JsonValue* etc = doc.find("etc");
+    detail::require_value(etc != nullptr,
+                          "request needs an \"etc\" matrix");
+    request.etc = io::etc_from_json(*etc);
+  }
+
+  if (request.kind == RequestKind::schedule) {
+    const io::JsonValue* heuristic = doc.find("heuristic");
+    detail::require_value(heuristic != nullptr && heuristic->is_string(),
+                          "schedule needs a string \"heuristic\"");
+    request.heuristic = heuristic->as_string();
+    detail::require_value(
+        request.heuristic == "ga" ||
+            sched::find_heuristic(request.heuristic) != nullptr,
+        "schedule: unknown heuristic \"" + request.heuristic + "\"");
+    if (const io::JsonValue* seed = doc.find("seed"))
+      request.seed = static_cast<std::uint64_t>(seed->as_number());
+    if (const io::JsonValue* tasks = doc.find("tasks")) {
+      for (const auto& t : tasks->as_array()) {
+        const double v = t.as_number();
+        detail::require_value(
+            v >= 0 && v < static_cast<double>(request.etc->task_count()),
+            "schedule: task index out of range");
+        request.tasks.push_back(static_cast<std::size_t>(v));
+      }
+      detail::require_value(!request.tasks.empty(),
+                            "schedule: \"tasks\" must not be empty");
+    }
+  }
+
+  if (request.kind == RequestKind::whatif) {
+    if (const io::JsonValue* remove = doc.find("remove")) {
+      const std::string& mode = remove->as_string();
+      detail::require_value(
+          mode == "machines" || mode == "tasks" || mode == "both",
+          "whatif: \"remove\" must be machines|tasks|both");
+      request.whatif_machines = mode != "tasks";
+      request.whatif_tasks = mode != "machines";
+    }
+  }
+  return request;
+}
+
+bool cacheable(RequestKind kind) noexcept {
+  return needs_matrix(kind);
+}
+
+std::uint64_t cache_key(const Request& request) {
+  ContentHasher h;
+  h.add_string(kCacheSchemaTag);
+  h.add_u64(static_cast<std::uint64_t>(request.kind));
+  if (request.etc) {
+    const core::EtcMatrix& etc = *request.etc;
+    h.add_u64(etc.task_count()).add_u64(etc.machine_count());
+    for (const double v : etc.values().data()) h.add_double(v);
+    for (const auto& name : etc.task_names()) h.add_string(name);
+    for (const auto& name : etc.machine_names()) h.add_string(name);
+  }
+  if (request.kind == RequestKind::schedule) {
+    h.add_string(request.heuristic);
+    h.add_u64(request.seed);
+    h.add_u64(request.tasks.size());
+    for (const std::size_t t : request.tasks) h.add_u64(t);
+  }
+  if (request.kind == RequestKind::whatif) {
+    h.add_u64(static_cast<std::uint64_t>(request.whatif_machines));
+    h.add_u64(static_cast<std::uint64_t>(request.whatif_tasks));
+  }
+  return h.digest();
+}
+
+std::string compute_result(const Request& request) {
+  switch (request.kind) {
+    case RequestKind::characterize: {
+      const auto ecs = request.etc->to_ecs();
+      return io::to_json(core::characterize(ecs), ecs);
+    }
+    case RequestKind::measures:
+      return io::to_json(core::measure_set(request.etc->to_ecs()));
+    case RequestKind::schedule: return schedule_result(request);
+    case RequestKind::whatif: return whatif_result(request);
+    case RequestKind::stats:
+    case RequestKind::invalid: break;
+  }
+  throw ValueError("compute_result: kind has no computable result");
+}
+
+std::string ok_response(const std::string& id_json,
+                        const std::string& result) {
+  std::string out;
+  out.reserve(id_json.size() + result.size() + 32);
+  out += "{\"id\":";
+  out += id_json;
+  out += ",\"ok\":true,\"result\":";
+  out += result;
+  out += '}';
+  return out;
+}
+
+std::string error_response(const std::string& id_json, int code,
+                           const std::string& message) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"ok\":false,\"error\":{\"code\":" << code
+     << ",\"message\":\"" << io::json_escape(message) << "\"}}";
+  return os.str();
+}
+
+}  // namespace hetero::svc

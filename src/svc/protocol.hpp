@@ -1,0 +1,93 @@
+// Request/response protocol of the characterization service.
+//
+// The wire format is newline-delimited JSON (one request object per line,
+// one response object per line), carried over stdin/stdout or a TCP
+// socket. A request names a `kind` and supplies an ETC matrix in exactly
+// the shape the JSON writer emits (labels optional, null = cannot run):
+//
+//   {"id": 7, "kind": "characterize", "etc": [[1, 2], [3, null]],
+//    "deadline_ms": 100}
+//   {"id": 8, "kind": "schedule", "heuristic": "min_min",
+//    "tasks": [0, 1, 1, 0], "etc": {"etc": [[1, 2], [3, 4]]}}
+//   {"kind": "whatif", "remove": "machines", "etc": [[1, 2], [3, 4]]}
+//   {"kind": "stats"}
+//
+// Responses echo the id:
+//
+//   {"id": 7, "ok": true, "result": {...}}
+//   {"id": 7, "ok": false, "error": {"code": 429, "message": "..."}}
+//
+// Error codes follow the HTTP idiom: 400 malformed request, 408 deadline
+// expired before compute, 429 queue full (admission rejected), 500
+// internal failure. compute_result is a pure function of the request, so
+// identical requests always produce byte-identical result payloads — the
+// property the result cache relies on.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/etc_matrix.hpp"
+#include "sched/makespan.hpp"
+#include "svc/metrics.hpp"
+
+namespace hetero::svc {
+
+/// Protocol error codes (HTTP-flavored).
+inline constexpr int kErrBadRequest = 400;
+inline constexpr int kErrDeadlineExpired = 408;
+inline constexpr int kErrQueueFull = 429;
+inline constexpr int kErrInternal = 500;
+
+/// A parsed, validated request.
+struct Request {
+  RequestKind kind = RequestKind::invalid;
+  /// The request's "id" member re-serialized verbatim ("null" when absent);
+  /// echoed into the response envelope.
+  std::string id_json = "null";
+  /// The environment; absent only for `stats`.
+  std::optional<core::EtcMatrix> etc;
+  /// `schedule`: explicit workload (task-type indices); empty = one
+  /// instance of each task type.
+  sched::TaskList tasks;
+  /// `schedule`: heuristic token — find_heuristic()'s tokens plus "ga".
+  std::string heuristic;
+  /// `schedule` with "ga": GA seed (deterministic for a fixed seed).
+  std::uint64_t seed = 1;
+  /// `whatif`: which removals to evaluate.
+  bool whatif_machines = true;
+  bool whatif_tasks = true;
+  /// Relative deadline; unset = no deadline. 0 means "already expired"
+  /// (useful for drain tests).
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
+/// Parses and validates one request line. Throws hetero::Error (surfaced
+/// as a 400 response) on malformed JSON, unknown kind, a missing/invalid
+/// matrix, an unknown heuristic, or out-of-range task indices.
+Request parse_request(const std::string& line);
+
+/// True when a kind's result may be served from the result cache (`stats`
+/// reports live state and is never cached).
+bool cacheable(RequestKind kind) noexcept;
+
+/// Content hash of everything the result depends on: kind, matrix bits and
+/// labels, heuristic/seed/tasks, what-if selection. Two requests with equal
+/// keys produce byte-identical results.
+std::uint64_t cache_key(const Request& request);
+
+/// Computes the result payload (the `result` member, no envelope) for any
+/// kind except `stats`. Pure; safe to call concurrently. Throws
+/// hetero::Error on compute failure.
+std::string compute_result(const Request& request);
+
+/// {"id":<id>,"ok":true,"result":<result>}
+std::string ok_response(const std::string& id_json, const std::string& result);
+
+/// {"id":<id>,"ok":false,"error":{"code":<code>,"message":<message>}}
+std::string error_response(const std::string& id_json, int code,
+                           const std::string& message);
+
+}  // namespace hetero::svc

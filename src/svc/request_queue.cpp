@@ -1,0 +1,49 @@
+#include "svc/request_queue.hpp"
+
+namespace hetero::svc {
+
+RequestQueue::RequestQueue(std::size_t depth)
+    : depth_(depth == 0 ? 1 : depth) {}
+
+bool RequestQueue::try_push(QueuedItem&& item) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (closed_ || items_.size() >= depth_) return false;
+    item.sequence = next_sequence_++;
+    items_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<QueuedItem> RequestQueue::pop() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  QueuedItem item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+std::optional<QueuedItem> RequestQueue::try_pop() {
+  const std::scoped_lock lock(mutex_);
+  if (items_.empty()) return std::nullopt;
+  QueuedItem item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+void RequestQueue::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  const std::scoped_lock lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace hetero::svc

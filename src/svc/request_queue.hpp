@@ -1,0 +1,86 @@
+// Bounded MPMC request queue with admission control for the service layer.
+//
+// Producers (protocol front ends) call try_push, which rejects instead of
+// blocking when the queue is at its configured depth — the server turns a
+// rejection into an explicit 429-style error response, so overload is
+// always visible to the client, never a silent drop or an unbounded
+// buffer. Consumers (thread-pool workers) pop FIFO; close() stops
+// admission and wakes blocked consumers.
+//
+// Deadlines ride with each item: the worker checks expiry when it pops
+// (before dispatch) and the compute pipeline re-checks between stages.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "svc/protocol.hpp"
+
+namespace hetero::svc {
+
+/// Delivers the response line for one request; invoked exactly once per
+/// submitted request (admission rejections invoke it on the submitting
+/// thread).
+using ResponseFn = std::function<void(std::string)>;
+
+/// One admitted request, carried from the protocol front end to a worker.
+struct QueuedItem {
+  std::uint64_t sequence = 0;  // admission order, assigned by the queue
+  Request request;
+  ResponseFn respond;
+  std::chrono::steady_clock::time_point enqueued{};
+  /// time_point::max() means "no deadline".
+  std::chrono::steady_clock::time_point deadline{
+      std::chrono::steady_clock::time_point::max()};
+
+  bool expired(std::chrono::steady_clock::time_point now) const noexcept {
+    return now > deadline;
+  }
+};
+
+class RequestQueue {
+ public:
+  /// Depth 0 is clamped to 1 (a zero-depth queue would reject everything).
+  explicit RequestQueue(std::size_t depth);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admission control: enqueues and returns true, or returns false
+  /// immediately when the queue holds `depth` items or is closed. Never
+  /// blocks. On success the item is moved in and its sequence number is
+  /// its admission order; on rejection the item is left untouched so the
+  /// caller can still deliver the rejection response.
+  bool try_push(QueuedItem&& item);
+
+  /// Blocks until an item is available or the queue is closed and empty
+  /// (then nullopt). FIFO across producers.
+  std::optional<QueuedItem> pop();
+
+  /// Non-blocking pop; nullopt when empty. Items remain poppable after
+  /// close() so admitted work always drains.
+  std::optional<QueuedItem> try_pop();
+
+  /// Rejects all future pushes and wakes blocked consumers.
+  void close();
+
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t size() const;
+
+ private:
+  const std::size_t depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<QueuedItem> items_;
+  std::uint64_t next_sequence_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hetero::svc

@@ -1,0 +1,90 @@
+#include "svc/result_cache.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace hetero::svc {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}
+
+ContentHasher& ContentHasher::add_bytes(const void* data,
+                                        std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= p[i];
+    hash_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+ContentHasher& ContentHasher::add_u64(std::uint64_t v) noexcept {
+  return add_bytes(&v, sizeof v);
+}
+
+ContentHasher& ContentHasher::add_double(double v) noexcept {
+  return add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+ContentHasher& ContentHasher::add_string(std::string_view s) noexcept {
+  add_u64(s.size());
+  return add_bytes(s.data(), s.size());
+}
+
+ResultCache::ResultCache(std::size_t shards, std::size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  const std::size_t count = std::bit_ceil(shards == 0 ? std::size_t{1}
+                                                      : shards);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  shard_mask_ = count - 1;
+}
+
+std::optional<std::string> ResultCache::get(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  {
+    const std::scoped_lock lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ResultCache::put(std::uint64_t key, std::string value) {
+  Shard& s = shard_for(key);
+  const std::scoped_lock lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // Same key implies same content hash; keep the existing payload (it is
+    // bit-identical by the cache contract) and just refresh recency.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, std::move(value));
+  s.index.emplace(key, s.lru.begin());
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  if (s.lru.size() > capacity_per_shard_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const noexcept {
+  Stats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.entries = entries_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace hetero::svc

@@ -1,0 +1,93 @@
+// Sharded LRU result cache for the characterization service.
+//
+// Keys are 64-bit content hashes of (request kind, ECS/ETC matrix bits,
+// options); values are the fully serialized result payloads, so a hit
+// skips parsing-to-response work entirely and is bit-identical to what the
+// cold path produced. The key space is split across N shards, each with
+// its own mutex and LRU list, so concurrent hits on different matrices
+// never contend on a lock — the only cross-shard state is the relaxed
+// atomic stats counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hetero::svc {
+
+/// Incremental FNV-1a 64-bit content hasher. Field boundaries are length-
+/// prefixed by the add_* helpers, so concatenation ambiguity cannot alias
+/// two different requests onto one key.
+class ContentHasher {
+ public:
+  ContentHasher& add_bytes(const void* data, std::size_t size) noexcept;
+  ContentHasher& add_u64(std::uint64_t v) noexcept;
+  ContentHasher& add_double(double v) noexcept;  // bit pattern, so -0 != +0
+  ContentHasher& add_string(std::string_view s) noexcept;
+  std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;  // FNV offset basis
+};
+
+class ResultCache {
+ public:
+  /// `shards` is rounded up to a power of two (min 1); each shard holds at
+  /// most `capacity_per_shard` entries (min 1) before evicting its LRU
+  /// entry.
+  ResultCache(std::size_t shards, std::size_t capacity_per_shard);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached payload and refreshes its recency, or nullopt.
+  std::optional<std::string> get(std::uint64_t key);
+
+  /// Inserts (or refreshes) a payload, evicting the shard's LRU entry when
+  /// over capacity.
+  void put(std::uint64_t key, std::string value);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;  // current
+  };
+  Stats stats() const noexcept;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    // LRU order: front = most recent. The map holds iterators into the
+    // list; list nodes are stable under splice.
+    std::list<std::pair<std::uint64_t, std::string>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, std::string>>::
+                           iterator>
+        index;
+  };
+
+  Shard& shard_for(std::uint64_t key) noexcept {
+    // The low bits of an FNV digest are well mixed; mask selects the shard.
+    return *shards_[key & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_;
+  std::size_t capacity_per_shard_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace hetero::svc

@@ -1,0 +1,293 @@
+#include "svc/server.hpp"
+
+#include <condition_variable>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HETERO_SVC_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace hetero::svc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Thrown inside the worker pipeline when a between-stage deadline check
+// fails; mapped to kErrDeadlineExpired (never surfaces to callers).
+class DeadlineExpired : public Error {
+ public:
+  DeadlineExpired() : Error("deadline expired") {}
+};
+
+std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      queue_(options.queue_depth),
+      pool_(options.threads) {}
+
+Server::~Server() {
+  queue_.close();
+  // The pool destructor drains outstanding jobs; every admitted request
+  // has exactly one drain job, so every queued item is answered before
+  // the workers join.
+}
+
+void Server::submit(std::string line, ResponseFn respond) {
+  const Clock::time_point t0 = Clock::now();
+  QueuedItem item;
+  try {
+    item.request = parse_request(line);
+  } catch (const Error& e) {
+    auto& k = metrics_.kind(RequestKind::invalid);
+    k.received.fetch_add(1, std::memory_order_relaxed);
+    k.errors.fetch_add(1, std::memory_order_relaxed);
+    respond(error_response("null", kErrBadRequest, e.what()));
+    return;
+  }
+  metrics_.kind(item.request.kind)
+      .received.fetch_add(1, std::memory_order_relaxed);
+  item.respond = std::move(respond);
+  item.enqueued = t0;
+  if (item.request.deadline)
+    item.deadline = t0 + *item.request.deadline;
+  else if (options_.default_deadline.count() > 0)
+    item.deadline = t0 + options_.default_deadline;
+
+  if (!queue_.try_push(std::move(item))) {
+    metrics_.count_rejected_full();
+    item.respond(error_response(
+        item.request.id_json, kErrQueueFull,
+        "queue full (depth " + std::to_string(queue_.depth()) +
+            "); retry later"));
+    return;
+  }
+  pool_.submit([this] { drain_one(); });
+}
+
+void Server::drain_one() {
+  auto popped = queue_.try_pop();
+  if (!popped) return;  // close() raced; nothing left to answer
+  const QueuedItem item = std::move(*popped);
+  const Clock::time_point now = Clock::now();
+  metrics_.kind(item.request.kind)
+      .queue_wait.record(elapsed_us(item.enqueued, now));
+  if (item.expired(now)) {
+    metrics_.count_rejected_deadline();
+    item.respond(error_response(item.request.id_json, kErrDeadlineExpired,
+                                "deadline expired before dispatch"));
+    return;
+  }
+  process(item);
+}
+
+std::string Server::result_for(const Request& request,
+                               Clock::time_point deadline) {
+  if (request.kind == RequestKind::stats) return to_json(metrics_.snapshot());
+  auto& k = metrics_.kind(request.kind);
+  if (!cacheable(request.kind)) return compute_result(request);
+  const std::uint64_t key = cache_key(request);
+  if (auto hit = cache_.get(key)) {
+    k.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return *std::move(hit);
+  }
+  k.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  // Between-stage deadline check: the expensive compute has not started
+  // yet, so an expired request can still be rejected cheaply.
+  if (Clock::now() > deadline) throw DeadlineExpired();
+  std::string result = compute_result(request);
+  cache_.put(key, result);
+  return result;
+}
+
+void Server::process(const QueuedItem& item) {
+  auto& k = metrics_.kind(item.request.kind);
+  const Clock::time_point start = Clock::now();
+  try {
+    std::string result = result_for(item.request, item.deadline);
+    k.compute.record(elapsed_us(start, Clock::now()));
+    k.completed.fetch_add(1, std::memory_order_relaxed);
+    item.respond(ok_response(item.request.id_json, result));
+  } catch (const DeadlineExpired&) {
+    metrics_.count_rejected_deadline();
+    item.respond(error_response(item.request.id_json, kErrDeadlineExpired,
+                                "deadline expired before compute"));
+  } catch (const Error& e) {
+    k.errors.fetch_add(1, std::memory_order_relaxed);
+    item.respond(
+        error_response(item.request.id_json, kErrInternal, e.what()));
+  }
+}
+
+std::string Server::handle(const std::string& line) {
+  std::string out;
+  const Clock::time_point t0 = Clock::now();
+  QueuedItem item;
+  try {
+    item.request = parse_request(line);
+  } catch (const Error& e) {
+    auto& k = metrics_.kind(RequestKind::invalid);
+    k.received.fetch_add(1, std::memory_order_relaxed);
+    k.errors.fetch_add(1, std::memory_order_relaxed);
+    return error_response("null", kErrBadRequest, e.what());
+  }
+  metrics_.kind(item.request.kind)
+      .received.fetch_add(1, std::memory_order_relaxed);
+  item.enqueued = t0;
+  if (item.request.deadline)
+    item.deadline = t0 + *item.request.deadline;
+  else if (options_.default_deadline.count() > 0)
+    item.deadline = t0 + options_.default_deadline;
+  item.respond = [&out](std::string response) { out = std::move(response); };
+  process(item);
+  return out;
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;
+  std::mutex flight_mutex;
+  std::condition_variable drained;
+  std::size_t in_flight = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    {
+      const std::scoped_lock lock(flight_mutex);
+      ++in_flight;
+    }
+    submit(std::move(line), [&](std::string response) {
+      {
+        const std::scoped_lock lock(out_mutex);
+        out << response << '\n';
+        out.flush();
+      }
+      {
+        // Notify under the lock: the waiter destroys the condition
+        // variable right after the predicate holds, so an unlocked
+        // notify could touch a dead object.
+        const std::scoped_lock lock(flight_mutex);
+        --in_flight;
+        drained.notify_one();
+      }
+    });
+    line.clear();
+  }
+  std::unique_lock lock(flight_mutex);
+  drained.wait(lock, [&] { return in_flight == 0; });
+}
+
+#if HETERO_SVC_HAVE_SOCKETS
+
+namespace {
+
+// Shared per-connection state: responses from worker threads and the
+// reader loop both hold a reference; the socket closes when the last one
+// drops (so a late response never writes into a recycled fd).
+struct Connection {
+  explicit Connection(int descriptor) : fd(descriptor) {}
+  ~Connection() { ::close(fd); }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void send_line(std::string response) {
+    response += '\n';
+    const std::scoped_lock lock(mutex);
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const auto sent = ::send(fd, response.data() + off,
+                               response.size() - off, MSG_NOSIGNAL);
+      if (sent <= 0) return;  // peer went away; response is undeliverable
+      off += static_cast<std::size_t>(sent);
+    }
+  }
+
+  const int fd;
+  std::mutex mutex;
+};
+
+}  // namespace
+
+int Server::serve_tcp(std::uint16_t port, std::ostream& log) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    log << "svc: socket() failed\n";
+    return 1;
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    log << "svc: bind() to port " << port << " failed\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    log << "svc: listen() failed\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  log << "svc: listening on port " << port << '\n';
+
+  std::vector<std::jthread> readers;
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;
+    readers.emplace_back([this, fd] {
+      const auto conn = std::make_shared<Connection>(fd);
+      std::string buffer;
+      char chunk[4096];
+      while (true) {
+        const auto n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t newline;
+        while ((newline = buffer.find('\n')) != std::string::npos) {
+          std::string request_line = buffer.substr(0, newline);
+          buffer.erase(0, newline + 1);
+          if (request_line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+          submit(std::move(request_line), [conn](std::string response) {
+            conn->send_line(std::move(response));
+          });
+        }
+      }
+    });
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+#else
+
+int Server::serve_tcp(std::uint16_t, std::ostream& log) {
+  log << "svc: TCP mode is not supported on this platform\n";
+  return 1;
+}
+
+#endif
+
+}  // namespace hetero::svc

@@ -1,0 +1,101 @@
+// The long-running characterization server: admission control, sharded
+// result cache, metrics, and the worker pipeline tying them together.
+//
+// One Server owns one par::ThreadPool. submit() parses and admits a
+// request on the calling thread (parse errors and queue-full rejections
+// respond immediately), then hands it to the pool: exactly one worker job
+// is enqueued per admitted request, so the pool is never blocked by an
+// idle drain loop. Workers pop FIFO, re-check the deadline, consult the
+// result cache, and compute on miss. Every submitted request receives
+// exactly one response — overload produces an explicit 429-style error,
+// never a silent drop.
+//
+// Front ends: serve_stream() speaks newline-delimited JSON over any
+// istream/ostream pair (the stdin/stdout mode of hetero_served);
+// serve_tcp() accepts TCP connections on a port and runs the same
+// per-line protocol over each socket.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "parallel/thread_pool.hpp"
+#include "svc/metrics.hpp"
+#include "svc/protocol.hpp"
+#include "svc/request_queue.hpp"
+#include "svc/result_cache.hpp"
+
+namespace hetero::svc {
+
+struct ServerOptions {
+  /// Worker threads; 0 = hardware_concurrency.
+  std::size_t threads = 0;
+  /// Admission-control depth: requests beyond this many queued are
+  /// rejected with kErrQueueFull.
+  std::size_t queue_depth = 256;
+  /// Result-cache geometry (shards rounded up to a power of two).
+  std::size_t cache_shards = 16;
+  std::size_t cache_capacity_per_shard = 64;
+  /// Applied when a request carries no deadline_ms; zero = no deadline.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Closes admission and drains every already-admitted request (each gets
+  /// its response) before the workers join.
+  ~Server();
+
+  /// Asynchronous entry point: parses, admits, and dispatches one request
+  /// line. `respond` is invoked exactly once — on the calling thread for
+  /// parse errors and admission rejections, on a worker otherwise. It may
+  /// be invoked concurrently with other requests' callbacks and must be
+  /// thread-safe across requests.
+  void submit(std::string line, ResponseFn respond);
+
+  /// Synchronous entry point: full pipeline (cache included) on the
+  /// calling thread, bypassing admission control. The cold and cached
+  /// paths produce byte-identical responses.
+  std::string handle(const std::string& line);
+
+  /// Newline-delimited JSON loop: reads requests from `in` until EOF,
+  /// writes one response line per request to `out` (completion order, not
+  /// arrival order — clients correlate by id), and returns once every
+  /// in-flight request has been answered.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// Listens on `port` (all interfaces) and serves each accepted
+  /// connection with the per-line protocol. Blocks until the listening
+  /// socket fails; returns 0 on clean shutdown, nonzero on setup failure
+  /// (message goes to `log`).
+  int serve_tcp(std::uint16_t port, std::ostream& log);
+
+  Metrics& metrics() noexcept { return metrics_; }
+  ResultCache& cache() noexcept { return cache_; }
+  RequestQueue& queue() noexcept { return queue_; }
+  par::ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  /// Runs cache lookup + compute for one popped item and responds.
+  void process(const QueuedItem& item);
+  /// Result payload for `request` (cache consulted for cacheable kinds);
+  /// throws past `deadline` between stages.
+  std::string result_for(const Request& request,
+                         std::chrono::steady_clock::time_point deadline);
+  void drain_one();
+
+  ServerOptions options_;
+  Metrics metrics_;
+  ResultCache cache_;
+  RequestQueue queue_;
+  par::ThreadPool pool_;  // last member: joins while the rest still exist
+};
+
+}  // namespace hetero::svc

@@ -82,6 +82,28 @@ TEST(BatchMeasures, GrainLargerThanBatch) {
   }
 }
 
+TEST(BatchMeasures, GrainZeroIsClampedToOne) {
+  // Regression: grain == 0 used to reach parallel_for, which rejects it.
+  ThreadPool pool(2);
+  std::vector<Matrix> suite;
+  for (unsigned k = 0; k < 4; ++k) suite.push_back(random_positive(5, 4, k));
+  BatchOptions opts;
+  opts.grain = 0;
+  const auto batch = batch_measures(std::span<const Matrix>(suite), pool, opts);
+  ASSERT_EQ(batch.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto serial = measure_set(EcsMatrix(suite[i]));
+    EXPECT_DOUBLE_EQ(batch[i].mph, serial.mph);
+    EXPECT_DOUBLE_EQ(batch[i].tdh, serial.tdh);
+    EXPECT_DOUBLE_EQ(batch[i].tma, serial.tma);
+  }
+  std::vector<EcsMatrix> wrapped(suite.begin(), suite.end());
+  const auto from_ecs = batch_measures(wrapped, pool, opts);
+  ASSERT_EQ(from_ecs.size(), suite.size());
+  const auto reports = batch_characterize(wrapped, pool, opts);
+  ASSERT_EQ(reports.size(), suite.size());
+}
+
 TEST(BatchMeasures, InvalidInputRethrowsItsError) {
   ThreadPool pool(2);
   std::vector<Matrix> suite;

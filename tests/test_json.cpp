@@ -4,8 +4,10 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "core/measures.hpp"
+#include "sched/heuristics.hpp"
 #include "spec/spec_data.hpp"
 
 namespace {
@@ -74,6 +76,131 @@ TEST(Json, ReportBooleansRenderAsJson) {
   const std::string json = io::to_json(report, ecs);
   EXPECT_NE(json.find("\"used_standard_form\":true"), std::string::npos);
   EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(io::parse_json("null").is_null());
+  EXPECT_EQ(io::parse_json("true").as_bool(), true);
+  EXPECT_EQ(io::parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(io::parse_json("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(io::parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(io::parse_json("\"a\\\"b\\\\c\\n\\t\"").as_string(),
+            "a\"b\\c\n\t");
+  // \u0041 = 'A'; surrogate pair U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(io::parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(io::parse_json("\"\\uD83D\\uDE00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, ObjectsAndArrays) {
+  const auto v = io::parse_json("{\"a\":[1,2,3],\"b\":{\"c\":null}}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(v.at("b").at("c").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+        "{\"a\":1}extra", "[1 2]", "\"\\q\"", "nan", "infinity", "01"}) {
+    EXPECT_THROW(io::parse_json(bad), hetero::ValueError) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(io::parse_json(deep), hetero::ValueError);
+}
+
+TEST(JsonParse, ValueWriterRoundTripsExactly) {
+  const std::string doc =
+      "{\"s\":\"a\\\"b\",\"n\":0.10000000000000001,\"z\":null,"
+      "\"t\":true,\"l\":[1,2],\"o\":{}}";
+  EXPECT_EQ(io::to_json(io::parse_json(doc)), doc);
+}
+
+// ---------------------------------------------------------------------------
+// Writer -> parser round trips for every report type the writer emits.
+
+TEST(JsonRoundTrip, MeasureSet) {
+  const hetero::core::MeasureSet m{0.5, 0.25, 0.125};
+  const auto back = io::measure_set_from_json(io::parse_json(io::to_json(m)));
+  EXPECT_DOUBLE_EQ(back.mph, m.mph);
+  EXPECT_DOUBLE_EQ(back.tdh, m.tdh);
+  EXPECT_DOUBLE_EQ(back.tma, m.tma);
+}
+
+TEST(JsonRoundTrip, MeasureSetNanPolicy) {
+  // The writer emits null for non-finite numbers; the reader surfaces that
+  // as NaN rather than failing.
+  const hetero::core::MeasureSet m{std::nan(""), 0.25,
+                                   std::numeric_limits<double>::infinity()};
+  const std::string json = io::to_json(m);
+  EXPECT_EQ(json, "{\"mph\":null,\"tdh\":0.25,\"tma\":null}");
+  const auto back = io::measure_set_from_json(io::parse_json(json));
+  EXPECT_TRUE(std::isnan(back.mph));
+  EXPECT_DOUBLE_EQ(back.tdh, 0.25);
+  EXPECT_TRUE(std::isnan(back.tma));
+}
+
+TEST(JsonRoundTrip, EtcMatrixWithInfinityPolicy) {
+  // ETC infinity ("machine cannot run task") becomes null on the wire and
+  // comes back as infinity.
+  EtcMatrix etc(Matrix{{1, std::numeric_limits<double>::infinity()},
+                       {2, 0.1}},
+                {"a", "b"}, {"x", "y"});
+  const auto back = io::etc_from_json(io::parse_json(io::to_json(etc)));
+  EXPECT_EQ(back.task_count(), 2u);
+  EXPECT_EQ(back.machine_count(), 2u);
+  EXPECT_EQ(back.task_names(), etc.task_names());
+  EXPECT_EQ(back.machine_names(), etc.machine_names());
+  EXPECT_DOUBLE_EQ(back(0, 0), 1.0);
+  EXPECT_TRUE(std::isinf(back(0, 1)));
+  // Bit-exact doubles survive the 17-digit number format.
+  EXPECT_EQ(back(1, 1), 0.1);
+}
+
+TEST(JsonRoundTrip, EtcMatrixBareRows) {
+  const auto etc = io::etc_from_json(io::parse_json("[[1,2],[3,4],[5,6]]"));
+  EXPECT_EQ(etc.task_count(), 3u);
+  EXPECT_EQ(etc.machine_count(), 2u);
+  EXPECT_DOUBLE_EQ(etc(2, 1), 6.0);
+}
+
+TEST(JsonRoundTrip, EnvironmentReportMeasuresSurvive) {
+  const EcsMatrix ecs(Matrix{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}});
+  const auto report = hetero::core::characterize(ecs);
+  const auto parsed = io::parse_json(io::to_json(report, ecs));
+  const auto back = io::measure_set_from_json(parsed.at("measures"));
+  EXPECT_DOUBLE_EQ(back.mph, report.measures.mph);
+  EXPECT_DOUBLE_EQ(back.tdh, report.measures.tdh);
+  EXPECT_DOUBLE_EQ(back.tma, report.measures.tma);
+  EXPECT_EQ(parsed.at("machine_performances").as_array().size(), 3u);
+  EXPECT_EQ(parsed.at("task_difficulties").as_array().size(), 3u);
+}
+
+TEST(JsonRoundTrip, ScheduleSummary) {
+  EtcMatrix etc(Matrix{{1, 4}, {3, 2}, {5, 6}});
+  const auto tasks = hetero::sched::one_of_each(etc);
+  auto summary = hetero::sched::summarize_schedule(
+      etc, tasks, "min_min", hetero::sched::map_min_min(etc, tasks));
+  const auto back =
+      io::schedule_summary_from_json(io::parse_json(io::to_json(summary)));
+  EXPECT_EQ(back.heuristic, summary.heuristic);
+  EXPECT_EQ(back.assignment, summary.assignment);
+  EXPECT_DOUBLE_EQ(back.makespan, summary.makespan);
+  ASSERT_EQ(back.machine_loads.size(), summary.machine_loads.size());
+  for (std::size_t m = 0; m < back.machine_loads.size(); ++m)
+    EXPECT_EQ(back.machine_loads[m], summary.machine_loads[m]);
 }
 
 }  // namespace

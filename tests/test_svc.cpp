@@ -1,0 +1,636 @@
+// Service-layer tests: sharded result cache, admission-control queue,
+// protocol, metrics, and the server pipeline — including the contention
+// suites the `svc_equiv` ctest label runs under HETERO_SANITIZE=thread,
+// and the bit-identity contract between cached and cold responses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "etcgen/range_based.hpp"
+#include "etcgen/rng.hpp"
+#include "io/json.hpp"
+#include "sched/heuristics.hpp"
+#include "svc/metrics.hpp"
+#include "svc/protocol.hpp"
+#include "svc/request_queue.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+namespace svc = hetero::svc;
+namespace io = hetero::io;
+using hetero::core::EtcMatrix;
+using hetero::linalg::Matrix;
+
+EtcMatrix test_matrix(std::size_t tasks, std::size_t machines,
+                      std::uint64_t seed) {
+  hetero::etcgen::Rng rng(seed);
+  hetero::etcgen::RangeBasedOptions options;
+  options.tasks = tasks;
+  options.machines = machines;
+  return hetero::etcgen::generate_range_based(options, rng);
+}
+
+std::string request_line(const EtcMatrix& etc, const std::string& kind,
+                         const std::string& extra = {}) {
+  return "{\"kind\":\"" + kind + "\"" + extra +
+         ",\"etc\":" + io::to_json(etc) + "}";
+}
+
+/// Synchronous submit: blocks until the response callback fires.
+std::string call(svc::Server& server, const std::string& line) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::string response;
+  bool done = false;
+  server.submit(line, [&](std::string r) {
+    // Notify under the lock: the caller destroys cv as soon as done flips.
+    const std::scoped_lock lock(m);
+    response = std::move(r);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return done; });
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// ContentHasher / cache keys.
+
+TEST(SvcCacheKey, DistinguishesContent) {
+  const auto etc_a = test_matrix(8, 4, 1);
+  const auto etc_b = test_matrix(8, 4, 2);
+  svc::Request a, b;
+  a.kind = b.kind = svc::RequestKind::characterize;
+  a.etc = etc_a;
+  b.etc = etc_b;
+  EXPECT_NE(svc::cache_key(a), svc::cache_key(b));
+  b.etc = etc_a;
+  EXPECT_EQ(svc::cache_key(a), svc::cache_key(b));
+  // Kind participates: a measures request on the same matrix is distinct.
+  b.kind = svc::RequestKind::measures;
+  EXPECT_NE(svc::cache_key(a), svc::cache_key(b));
+}
+
+TEST(SvcCacheKey, ScheduleOptionsParticipate) {
+  const auto etc = test_matrix(6, 3, 3);
+  svc::Request a;
+  a.kind = svc::RequestKind::schedule;
+  a.etc = etc;
+  a.heuristic = "min_min";
+  svc::Request b = a;
+  b.heuristic = "max_min";
+  EXPECT_NE(svc::cache_key(a), svc::cache_key(b));
+  b = a;
+  b.tasks = {0, 1, 2};
+  EXPECT_NE(svc::cache_key(a), svc::cache_key(b));
+  b = a;
+  b.seed = 99;
+  EXPECT_NE(svc::cache_key(a), svc::cache_key(b));
+}
+
+TEST(SvcCacheKey, LabelsParticipate) {
+  Matrix values{{1, 2}, {3, 4}};
+  svc::Request a, b;
+  a.kind = b.kind = svc::RequestKind::characterize;
+  a.etc = EtcMatrix(values, {"a", "b"}, {"x", "y"});
+  b.etc = EtcMatrix(values, {"a", "b"}, {"x", "z"});
+  EXPECT_NE(svc::cache_key(a), svc::cache_key(b));
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache.
+
+TEST(SvcResultCache, HitMissAndStats) {
+  svc::ResultCache cache(4, 8);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, "one");
+  ASSERT_TRUE(cache.get(1).has_value());
+  EXPECT_EQ(*cache.get(1), "one");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SvcResultCache, EvictsLeastRecentlyUsed) {
+  svc::ResultCache cache(1, 2);  // one shard, two entries
+  cache.put(1, "one");
+  cache.put(2, "two");
+  ASSERT_TRUE(cache.get(1).has_value());  // refresh 1; 2 is now LRU
+  cache.put(3, "three");                  // evicts 2
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SvcResultCache, PutOfExistingKeyRefreshesRecency) {
+  svc::ResultCache cache(1, 2);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  cache.put(1, "one");   // refresh, not duplicate
+  cache.put(3, "three"); // evicts 2 (LRU), not 1
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SvcResultCache, ShardCountRoundsToPowerOfTwo) {
+  svc::ResultCache cache(5, 1);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  svc::ResultCache one(0, 0);
+  EXPECT_EQ(one.shard_count(), 1u);
+  one.put(42, "x");  // capacity clamped to 1
+  EXPECT_TRUE(one.get(42).has_value());
+}
+
+// Multi-threaded hit/miss storm: readers and writers race over a small
+// keyspace; under TSan this is the data-race check for the sharded lock
+// scheme, and the final state must be coherent (values match their keys).
+TEST(SvcResultCache, ConcurrentStormIsCoherent) {
+  svc::ResultCache cache(8, 4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t x = static_cast<std::uint64_t>(t) + 1;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t key = (x >> 33) % 64;
+        if (x & 1) {
+          cache.put(key, std::to_string(key));
+        } else if (const auto hit = cache.get(key)) {
+          if (*hit != std::to_string(key)) mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries + stats.evictions,
+            stats.misses == 0 ? stats.entries : stats.entries + stats.evictions);
+  EXPECT_LE(stats.entries, 8u * 4u);
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue.
+
+svc::QueuedItem make_item(std::string id = "null") {
+  svc::QueuedItem item;
+  item.request.kind = svc::RequestKind::stats;
+  item.request.id_json = std::move(id);
+  item.respond = [](std::string) {};
+  item.enqueued = std::chrono::steady_clock::now();
+  return item;
+}
+
+TEST(SvcRequestQueue, RejectsWhenFull) {
+  svc::RequestQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_item()));
+  EXPECT_TRUE(queue.try_push(make_item()));
+  svc::QueuedItem overflow = make_item("\"overflow\"");
+  EXPECT_FALSE(queue.try_push(std::move(overflow)));
+  // Rejection leaves the item intact so the caller can respond.
+  EXPECT_EQ(overflow.request.id_json, "\"overflow\"");
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.try_push(make_item()));  // space again
+}
+
+TEST(SvcRequestQueue, FifoAndSequence) {
+  svc::RequestQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_item("\"a\"")));
+  ASSERT_TRUE(queue.try_push(make_item("\"b\"")));
+  const auto first = queue.pop();
+  const auto second = queue.pop();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->request.id_json, "\"a\"");
+  EXPECT_EQ(second->request.id_json, "\"b\"");
+  EXPECT_LT(first->sequence, second->sequence);
+}
+
+TEST(SvcRequestQueue, CloseRejectsPushesButDrains) {
+  svc::RequestQueue queue(4);
+  ASSERT_TRUE(queue.try_push(make_item()));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(make_item()));
+  EXPECT_TRUE(queue.try_pop().has_value());  // admitted work still drains
+  EXPECT_FALSE(queue.pop().has_value());     // then closed-and-empty
+}
+
+TEST(SvcRequestQueue, DepthZeroClampsToOne) {
+  svc::RequestQueue queue(0);
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_TRUE(queue.try_push(make_item()));
+  EXPECT_FALSE(queue.try_push(make_item()));
+}
+
+// Producer/consumer storm across threads: every admitted item is popped
+// exactly once, rejected items are counted, nothing is lost.
+TEST(SvcRequestQueue, ConcurrentPushPopConserved) {
+  svc::RequestQueue queue(16);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> admitted{0}, rejected{0}, popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.try_push(make_item()))
+          admitted.fetch_add(1);
+        else
+          rejected.fetch_add(1);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        if (queue.try_pop())
+          popped.fetch_add(1);
+        else
+          std::this_thread::yield();
+      }
+      while (queue.try_pop()) popped.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  stop.store(true);
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(admitted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), admitted.load());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+
+TEST(SvcProtocol, ParsesFullRequest) {
+  const auto request = svc::parse_request(
+      "{\"id\":7,\"kind\":\"schedule\",\"heuristic\":\"min_min\","
+      "\"tasks\":[0,1,1],\"deadline_ms\":250,"
+      "\"etc\":{\"tasks\":[\"a\",\"b\"],\"machines\":[\"x\",\"y\"],"
+      "\"etc\":[[1,2],[3,null]]}}");
+  EXPECT_EQ(request.kind, svc::RequestKind::schedule);
+  EXPECT_EQ(request.id_json, "7");
+  EXPECT_EQ(request.heuristic, "min_min");
+  EXPECT_EQ(request.tasks, (hetero::sched::TaskList{0, 1, 1}));
+  ASSERT_TRUE(request.deadline.has_value());
+  EXPECT_EQ(request.deadline->count(), 250);
+  ASSERT_TRUE(request.etc.has_value());
+  EXPECT_EQ(request.etc->task_count(), 2u);
+  EXPECT_TRUE(std::isinf((*request.etc)(1, 1)));  // null -> cannot run
+}
+
+TEST(SvcProtocol, RejectsMalformedRequests) {
+  EXPECT_THROW(svc::parse_request("not json"), hetero::Error);
+  EXPECT_THROW(svc::parse_request("[1,2,3]"), hetero::Error);
+  EXPECT_THROW(svc::parse_request("{\"kind\":\"nope\"}"), hetero::Error);
+  EXPECT_THROW(svc::parse_request("{\"kind\":\"measures\"}"),
+               hetero::Error);  // matrix missing
+  EXPECT_THROW(
+      svc::parse_request(
+          "{\"kind\":\"schedule\",\"etc\":[[1,2],[3,4]]}"),
+      hetero::Error);  // heuristic missing
+  EXPECT_THROW(
+      svc::parse_request("{\"kind\":\"schedule\",\"heuristic\":\"bogus\","
+                         "\"etc\":[[1,2],[3,4]]}"),
+      hetero::Error);
+  EXPECT_THROW(
+      svc::parse_request("{\"kind\":\"schedule\",\"heuristic\":\"min_min\","
+                         "\"tasks\":[5],\"etc\":[[1,2],[3,4]]}"),
+      hetero::Error);  // task index out of range
+  EXPECT_THROW(
+      svc::parse_request("{\"kind\":\"measures\",\"deadline_ms\":-1,"
+                         "\"etc\":[[1,2],[3,4]]}"),
+      hetero::Error);
+}
+
+TEST(SvcProtocol, ComputeSchedulesMatchDirectHeuristics) {
+  const auto etc = test_matrix(12, 4, 11);
+  for (const char* token : {"min_min", "max_min", "sufferage"}) {
+    svc::Request request;
+    request.kind = svc::RequestKind::schedule;
+    request.etc = etc;
+    request.heuristic = token;
+    const auto parsed = io::parse_json(svc::compute_result(request));
+    const auto summary = io::schedule_summary_from_json(parsed);
+    const auto expected = hetero::sched::find_heuristic(token)->map(
+        etc, hetero::sched::one_of_each(etc));
+    EXPECT_EQ(summary.assignment, expected) << token;
+  }
+}
+
+TEST(SvcProtocol, GaScheduleIsDeterministicPerSeed) {
+  const auto etc = test_matrix(10, 3, 13);
+  svc::Request request;
+  request.kind = svc::RequestKind::schedule;
+  request.etc = etc;
+  request.heuristic = "ga";
+  request.seed = 5;
+  const std::string a = svc::compute_result(request);
+  const std::string b = svc::compute_result(request);
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(SvcMetrics, HistogramBucketsAndQuantiles) {
+  svc::LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(100);
+  h.record(1000);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum_us, 1101u);
+  EXPECT_EQ(s.max_us, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean_us(), 1101.0 / 4.0);
+  // p50 falls in the bucket containing the second sample (1 us -> [1,2)).
+  EXPECT_LE(s.quantile_upper_us(0.5), 128u);
+  EXPECT_GE(s.quantile_upper_us(1.0), 1000u);
+}
+
+TEST(SvcMetrics, KindNamesRoundTrip) {
+  for (const auto kind :
+       {svc::RequestKind::characterize, svc::RequestKind::measures,
+        svc::RequestKind::schedule, svc::RequestKind::whatif,
+        svc::RequestKind::stats}) {
+    EXPECT_EQ(svc::parse_kind(svc::kind_name(kind)), kind);
+  }
+  EXPECT_EQ(svc::parse_kind("bogus"), svc::RequestKind::invalid);
+  // "invalid" is not a wire kind.
+  EXPECT_EQ(svc::parse_kind("invalid"), svc::RequestKind::invalid);
+}
+
+TEST(SvcMetrics, SnapshotJsonIsParseable) {
+  svc::Metrics metrics;
+  metrics.kind(svc::RequestKind::measures)
+      .received.fetch_add(3, std::memory_order_relaxed);
+  metrics.kind(svc::RequestKind::measures).compute.record(42);
+  metrics.count_rejected_full();
+  const auto parsed = io::parse_json(svc::to_json(metrics.snapshot()));
+  EXPECT_EQ(parsed.at("rejected_full").as_number(), 1.0);
+  const auto& measures = parsed.at("kinds").at("measures");
+  EXPECT_EQ(measures.at("received").as_number(), 3.0);
+  EXPECT_EQ(measures.at("compute").at("count").as_number(), 1.0);
+}
+
+// Concurrent recording storm — the lock-free counters must add up exactly.
+TEST(SvcMetrics, ConcurrentRecordingIsLossless) {
+  svc::Metrics metrics;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto& k = metrics.kind(svc::RequestKind::characterize);
+      for (int i = 0; i < kPerThread; ++i) {
+        k.received.fetch_add(1, std::memory_order_relaxed);
+        k.compute.record(static_cast<std::uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto s = metrics.snapshot();
+  EXPECT_EQ(s.kinds[0].received,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.kinds[0].compute.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Server pipeline.
+
+TEST(SvcServer, CachedResponseBitIdenticalToCold) {
+  svc::Server server;
+  const auto etc = test_matrix(16, 4, 21);
+  for (const std::string kind : {"characterize", "measures", "whatif"}) {
+    const std::string line =
+        request_line(etc, kind, ",\"id\":1");
+    const std::string cold = server.handle(line);
+    const std::string cached = server.handle(line);
+    EXPECT_EQ(cold, cached) << kind;
+    EXPECT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+  }
+  const auto schedule =
+      request_line(etc, "schedule", ",\"id\":1,\"heuristic\":\"sufferage\"");
+  EXPECT_EQ(server.handle(schedule), server.handle(schedule));
+  // Every kind above hit the cache exactly once.
+  const auto stats = server.cache().stats();
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 4u);
+}
+
+TEST(SvcServer, SubmitStormEveryRequestAnsweredAndIdentical) {
+  svc::ServerOptions options;
+  options.threads = 4;
+  options.queue_depth = 4096;  // no admission rejections in this test
+  svc::Server server(options);
+  std::vector<EtcMatrix> matrices;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    matrices.push_back(test_matrix(12, 4, 100 + s));
+  std::vector<std::string> lines;
+  for (const auto& etc : matrices)
+    lines.push_back(request_line(etc, "characterize", ",\"id\":0"));
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::mutex m;
+  std::vector<std::vector<std::string>> responses(lines.size());
+  std::condition_variable done_cv;
+  int outstanding = kClients * kPerClient;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t which =
+            (static_cast<std::size_t>(c) + static_cast<std::size_t>(i)) %
+            lines.size();
+        server.submit(lines[which], [&, which](std::string response) {
+          const std::scoped_lock lock(m);
+          responses[which].push_back(std::move(response));
+          --outstanding;
+          done_cv.notify_one();
+        });
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  std::unique_lock lock(m);
+  done_cv.wait(lock, [&] { return outstanding == 0; });
+
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < responses.size(); ++w) {
+    total += responses[w].size();
+    ASSERT_FALSE(responses[w].empty());
+    for (const auto& r : responses[w]) {
+      EXPECT_EQ(r, responses[w].front())
+          << "response for matrix " << w << " not bit-identical";
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kClients) * kPerClient);
+  const auto stats = server.cache().stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_GE(stats.hits, stats.misses);  // 4 distinct matrices, 200 requests
+}
+
+TEST(SvcServer, FullQueueRejectsExplicitly) {
+  // Deterministic overload: the single worker is parked inside the first
+  // request's respond callback, so every subsequent submit lands in the
+  // 2-deep queue — two admitted, the rest rejected with 429, no timing
+  // dependence.
+  svc::ServerOptions options;
+  options.threads = 1;
+  options.queue_depth = 2;
+  svc::Server server(options);
+  const std::string line =
+      request_line(test_matrix(8, 4, 31), "characterize", ",\"id\":3");
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool worker_parked = false;
+  bool release_worker = false;
+  server.submit(line, [&](std::string) {
+    std::unique_lock lock(m);
+    worker_parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release_worker; });
+  });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return worker_parked; });
+  }
+
+  constexpr int kFlood = 8;
+  int outstanding = kFlood;
+  int ok = 0, rejected = 0, other = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    server.submit(line, [&](std::string response) {
+      const std::scoped_lock lock(m);
+      if (response.find("\"ok\":true") != std::string::npos)
+        ++ok;
+      else if (response.find("\"code\":429") != std::string::npos)
+        ++rejected;
+      else
+        ++other;
+      --outstanding;
+      cv.notify_all();
+    });
+  }
+  {
+    // Rejections are synchronous, so the flood loop above already counted
+    // them; the two admitted requests complete once the worker resumes.
+    const std::scoped_lock lock(m);
+    EXPECT_EQ(rejected, kFlood - 2);
+    release_worker = true;
+    cv.notify_all();
+  }
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return outstanding == 0; });
+  // Never dropped silently: every request got exactly one response, and
+  // overload surfaced as explicit 429s.
+  EXPECT_EQ(ok + rejected + other, kFlood);
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rejected, kFlood - 2);
+  EXPECT_EQ(server.metrics().snapshot().rejected_full,
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST(SvcServer, ExpiredDeadlineRejectedBeforeDispatch) {
+  svc::Server server;
+  const std::string line = request_line(
+      test_matrix(8, 4, 41), "characterize", ",\"id\":9,\"deadline_ms\":0");
+  const std::string response = call(server, line);
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"code\":408"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"id\":9"), std::string::npos) << response;
+  EXPECT_EQ(server.metrics().snapshot().rejected_deadline, 1u);
+}
+
+TEST(SvcServer, BadRequestsGetErrorResponses) {
+  svc::Server server;
+  EXPECT_NE(call(server, "this is not json").find("\"code\":400"),
+            std::string::npos);
+  EXPECT_NE(call(server, "{\"kind\":\"bogus\"}").find("\"code\":400"),
+            std::string::npos);
+  const auto snapshot = server.metrics().snapshot();
+  EXPECT_EQ(snapshot.kinds.back().errors, 2u);  // the `invalid` slot
+}
+
+TEST(SvcServer, StatsRequestReportsTraffic) {
+  svc::Server server;
+  const auto etc = test_matrix(6, 3, 51);
+  call(server, request_line(etc, "measures", ",\"id\":1"));
+  call(server, request_line(etc, "measures", ",\"id\":2"));
+  const std::string response = call(server, "{\"kind\":\"stats\",\"id\":3}");
+  ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  const auto parsed = io::parse_json(response);
+  const auto& measures = parsed.at("result").at("kinds").at("measures");
+  EXPECT_EQ(measures.at("received").as_number(), 2.0);
+  EXPECT_EQ(measures.at("completed").as_number(), 2.0);
+  EXPECT_EQ(measures.at("cache_hits").as_number(), 1.0);
+  EXPECT_EQ(measures.at("cache_misses").as_number(), 1.0);
+}
+
+TEST(SvcServer, ServeStreamAnswersEveryLine) {
+  std::istringstream in(
+      request_line(test_matrix(5, 3, 61), "measures", ",\"id\":1") + "\n" +
+      "garbage\n" +
+      request_line(test_matrix(5, 3, 62), "measures", ",\"id\":2") + "\n" +
+      "{\"kind\":\"stats\",\"id\":3}\n");
+  std::ostringstream out;
+  svc::Server server;
+  server.serve_stream(in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0, ok = 0;
+  std::set<std::string> seen;
+  while (std::getline(lines, line)) {
+    ++count;
+    const auto parsed = io::parse_json(line);  // every line well-formed
+    if (parsed.at("ok").as_bool()) ++ok;
+    seen.insert(io::to_json(parsed.at("id")));
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(ok, 3u);  // the garbage line got a 400
+  EXPECT_TRUE(seen.count("1") && seen.count("2") && seen.count("3"));
+}
+
+// Destruction with admitted-but-unprocessed work: every response still
+// arrives before the destructor returns.
+TEST(SvcServer, DestructorDrainsAdmittedWork) {
+  std::atomic<int> answered{0};
+  {
+    svc::ServerOptions options;
+    options.threads = 2;
+    svc::Server server(options);
+    const std::string line =
+        request_line(test_matrix(24, 6, 71), "characterize", "");
+    for (int i = 0; i < 16; ++i)
+      server.submit(line, [&](std::string) { answered.fetch_add(1); });
+  }
+  EXPECT_EQ(answered.load(), 16);
+}
+
+}  // namespace
