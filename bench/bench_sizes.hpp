@@ -1,0 +1,60 @@
+// Shared --sizes=RxC[,RxC...] flag for the size-sweep perf binaries
+// (perf_svd, perf_sinkhorn, perf_rsvd). The flag is consumed before
+// benchmark::Initialize sees argv, and each parsed size registers one extra
+// per-size benchmark row, so a sweep like
+//
+//   build/bench/perf_rsvd --sizes=1024x128,4096x256,16384x1024
+//       --benchmark_out=sweep.json --benchmark_out_format=json
+//
+// emits one JSON row per (benchmark, size) pair. run_benchmarks.sh
+// forwards its SIZES environment variable here.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetero::bench {
+
+using SizeList = std::vector<std::pair<long, long>>;
+
+// Parses and strips every --sizes=... argument from argv. Exits with a
+// usage message on a malformed list (benchmarks have no error channel a
+// caller could inspect instead).
+inline SizeList parse_sizes(int* argc, char** argv) {
+  SizeList out;
+  const std::string prefix = "--sizes=";
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) != 0) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    std::size_t pos = prefix.size();
+    while (pos <= arg.size()) {
+      std::size_t comma = arg.find(',', pos);
+      if (comma == std::string::npos) comma = arg.size();
+      const std::string item = arg.substr(pos, comma - pos);
+      const std::size_t x = item.find('x');
+      long rows = 0, cols = 0;
+      if (x != std::string::npos && x > 0 && x + 1 < item.size()) {
+        rows = std::strtol(item.c_str(), nullptr, 10);
+        cols = std::strtol(item.c_str() + x + 1, nullptr, 10);
+      }
+      if (rows <= 0 || cols <= 0) {
+        std::fprintf(stderr, "--sizes expects RxC[,RxC...], got '%s'\n",
+                     item.c_str());
+        std::exit(1);
+      }
+      out.emplace_back(rows, cols);
+      pos = comma + 1;
+    }
+  }
+  *argc = kept;
+  return out;
+}
+
+}  // namespace hetero::bench

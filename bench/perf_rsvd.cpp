@@ -1,0 +1,123 @@
+// Size-frontier sweep of the large-matrix characterization path: tiled
+// Sinkhorn standardization, the blocked Gram spectrum, the randomized
+// top-k SVD, and the end-to-end blocked characterize. Default sizes stay
+// CI-friendly; the full frontier run is
+//
+//   build/bench/perf_rsvd --sizes=1024x128,2048x192,4096x256,8192x512,16384x1024
+//
+// (the last row is the paper-scale 16384x1024 target environment).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_sizes.hpp"
+#include "core/measures.hpp"
+#include "core/standard_form.hpp"
+#include "linalg/rsvd.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using hetero::linalg::Matrix;
+
+Matrix random_positive(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, 0.7);
+  Matrix m(rows, cols, 0.0);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+void BM_TiledSinkhorn(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Matrix input = random_positive(t, m, 42);
+  auto& pool = hetero::par::shared_pool();
+  for (auto _ : state) {
+    auto r = hetero::core::standardize_tiled(input, {}, pool);
+    benchmark::DoNotOptimize(r.residual);
+  }
+}
+
+void BM_BlockedSpectrum(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  auto& pool = hetero::par::shared_pool();
+  const Matrix std_form =
+      hetero::core::standardize_tiled(random_positive(t, m, 42), {}, pool)
+          .standard;
+  for (auto _ : state) {
+    auto sv = hetero::linalg::blocked_singular_values(std_form, {48, &pool});
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+
+void BM_Rsvd(benchmark::State& state) {
+  // Top-17 modes (the affinity-analysis default of 16 + the uniform mode).
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Matrix input = random_positive(t, m, 42);
+  hetero::linalg::RsvdOptions opts;
+  opts.rank = 17;
+  opts.pool = &hetero::par::shared_pool();
+  for (auto _ : state) {
+    auto r = hetero::linalg::rsvd(input, opts);
+    benchmark::DoNotOptimize(r.singular_values.data());
+  }
+}
+
+void BM_BlockedCharacterize(benchmark::State& state) {
+  // End to end: MP/TD vectors, MPH/TDH, and TMA through the blocked path
+  // (forced below the default threshold so every sweep size takes it).
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const hetero::core::EcsMatrix ecs(random_positive(t, m, 42));
+  hetero::core::TmaOptions opts;
+  opts.large.min_elements = 1;
+  for (auto _ : state) {
+    auto report = hetero::core::characterize(ecs, {}, opts);
+    benchmark::DoNotOptimize(report.measures.tma);
+  }
+}
+
+void BM_DenseCharacterize(benchmark::State& state) {
+  // The dense-twin baseline row (blocked path disabled); register_size
+  // drops it above 8M elements, where a single Jacobi solve costs minutes.
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const hetero::core::EcsMatrix ecs(random_positive(t, m, 42));
+  hetero::core::TmaOptions opts;
+  opts.large.min_elements = 0;
+  for (auto _ : state) {
+    auto report = hetero::core::characterize(ecs, {}, opts);
+    benchmark::DoNotOptimize(report.measures.tma);
+  }
+}
+
+void register_size(long t, long m) {
+  benchmark::RegisterBenchmark("BM_TiledSinkhorn", BM_TiledSinkhorn)
+      ->Args({t, m});
+  benchmark::RegisterBenchmark("BM_BlockedSpectrum", BM_BlockedSpectrum)
+      ->Args({t, m});
+  benchmark::RegisterBenchmark("BM_Rsvd", BM_Rsvd)->Args({t, m});
+  benchmark::RegisterBenchmark("BM_BlockedCharacterize",
+                               BM_BlockedCharacterize)
+      ->Args({t, m});
+  if (static_cast<std::size_t>(t) * static_cast<std::size_t>(m) <=
+      (std::size_t{1} << 23))
+    benchmark::RegisterBenchmark("BM_DenseCharacterize", BM_DenseCharacterize)
+        ->Args({t, m});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto sizes = hetero::bench::parse_sizes(&argc, argv);
+  if (sizes.empty()) sizes = {{1024, 128}, {2048, 192}, {4096, 256}};
+  for (const auto& [t, m] : sizes) register_size(t, m);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

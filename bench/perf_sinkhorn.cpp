@@ -1,11 +1,15 @@
 // Microbenchmarks of the Sinkhorn standardization (eq. 9) across matrix
-// sizes and zero-pattern classes, plus the pattern classifier itself.
+// sizes and zero-pattern classes, plus the pattern classifier itself and
+// the tiled pool-parallel sweep of the large-matrix path. Pass
+// --sizes=RxC,RxC to append fused-vs-tiled rows at custom sizes.
 #include <benchmark/benchmark.h>
 
 #include <random>
 
+#include "bench_sizes.hpp"
 #include "core/standard_form.hpp"
 #include "graph/structure.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -128,4 +132,38 @@ void BM_SupportCore(benchmark::State& state) {
 }
 BENCHMARK(BM_SupportCore)->Arg(8)->Arg(32)->Arg(128);
 
+void BM_SinkhornTiled(benchmark::State& state) {
+  // The tiled pool-parallel sweep of the large-matrix path, on the shared
+  // pool — the honest comparison row against BM_SinkhornPositive.
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Matrix input = random_positive(t, m, 42);
+  auto& pool = hetero::par::shared_pool();
+  for (auto _ : state) {
+    auto r = hetero::core::standardize_tiled(input, {}, pool);
+    benchmark::DoNotOptimize(r.residual);
+  }
+  state.counters["iterations"] = static_cast<double>(
+      hetero::core::standardize_tiled(input, {}, pool).iterations);
+}
+BENCHMARK(BM_SinkhornTiled)
+    ->Args({128, 64})
+    ->Args({512, 16})
+    ->Args({1024, 128});
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const auto sizes = hetero::bench::parse_sizes(&argc, argv);
+  for (const auto& [t, m] : sizes) {
+    benchmark::RegisterBenchmark("BM_SinkhornPositive", BM_SinkhornPositive)
+        ->Args({t, m});
+    benchmark::RegisterBenchmark("BM_SinkhornTiled", BM_SinkhornTiled)
+        ->Args({t, m});
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

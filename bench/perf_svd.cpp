@@ -1,10 +1,14 @@
-// Microbenchmarks of the one-sided Jacobi SVD (the TMA kernel) and the
-// symmetric Jacobi eigensolver used to cross-check it.
+// Microbenchmarks of the one-sided Jacobi SVD (the TMA kernel), the
+// symmetric Jacobi eigensolver used to cross-check it, and the blocked
+// Gram spectrum route the large-matrix path dispatches to. Pass
+// --sizes=RxC,RxC to append dense-vs-blocked rows at custom sizes.
 #include <benchmark/benchmark.h>
 
 #include <random>
 
+#include "bench_sizes.hpp"
 #include "linalg/jacobi_eigen.hpp"
+#include "linalg/rsvd.hpp"
 #include "linalg/svd.hpp"
 
 namespace {
@@ -77,4 +81,37 @@ void BM_JacobiEigen(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiEigen)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+void BM_BlockedSpectrum(benchmark::State& state) {
+  // The large-matrix spectrum route: tiled Gram build, Householder
+  // tridiagonalization, implicit-shift QL — the blocked twin of
+  // BM_SingularValues above.
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const auto c = static_cast<std::size_t>(state.range(1));
+  const Matrix m = random_matrix(r, c, 42);
+  for (auto _ : state) {
+    auto sv = hetero::linalg::blocked_singular_values(m);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_BlockedSpectrum)
+    ->Args({64, 64})
+    ->Args({128, 32})
+    ->Args({512, 16})
+    ->Args({512, 128});
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const auto sizes = hetero::bench::parse_sizes(&argc, argv);
+  for (const auto& [r, c] : sizes) {
+    benchmark::RegisterBenchmark("BM_SingularValues", BM_SingularValues)
+        ->Args({r, c});
+    benchmark::RegisterBenchmark("BM_BlockedSpectrum", BM_BlockedSpectrum)
+        ->Args({r, c});
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,12 @@
 # runs only the service-layer closed-loop suites (perf_service: warm/cold
 # characterize at 1/4/16 clients, schedule, cache hit-rate sweep).
 #
+# Set SIZES to an RxC list to add per-size rows to the size-sweep suites
+# (perf_svd, perf_sinkhorn, perf_rsvd), e.g.
+#   SIZES=4096x256,16384x1024 FILTER=BM_BlockedCharacterize \
+#       bench/run_benchmarks.sh pr6
+# runs the large-matrix frontier sweep only.
+#
 # Set HETERO_NATIVE=1 to configure and build a separate build-native tree
 # with -DHETERO_NATIVE=ON (-march=native) and benchmark that instead — for
 # measuring what the host ISA buys on top of the dispatched kernels.
@@ -36,6 +42,7 @@ TAG=${1:-$(git -C "$REPO_ROOT" rev-parse --short HEAD)}
 OUT_DIR=${OUT_DIR:-$REPO_ROOT/bench_results}
 MIN_TIME=${MIN_TIME:-0.3}
 FILTER=${FILTER:-}
+SIZES=${SIZES:-}
 mkdir -p "$OUT_DIR"
 
 found=0
@@ -45,7 +52,14 @@ for bench in "$BUILD_DIR"/bench/perf_*; do
   name=$(basename "$bench")
   out="$OUT_DIR/BENCH_${TAG}_${name#perf_}.json"
   echo "== $name -> $out"
-  "$bench" --benchmark_out="$out" --benchmark_out_format=json \
+  # Only the size-sweep binaries understand --sizes; the others would
+  # reject it as an unknown flag.
+  sizes_arg=
+  case "$name" in
+    perf_svd|perf_sinkhorn|perf_rsvd) [ -n "$SIZES" ] && sizes_arg="--sizes=$SIZES" ;;
+  esac
+  "$bench" ${sizes_arg:+"$sizes_arg"} \
+           --benchmark_out="$out" --benchmark_out_format=json \
            --benchmark_min_time="$MIN_TIME" \
            ${FILTER:+--benchmark_filter="$FILTER"}
 done

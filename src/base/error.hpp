@@ -35,6 +35,15 @@ class ConvergenceError : public Error {
   using Error::Error;
 };
 
+/// A scaling iteration left the representable double range: a row/column
+/// sum overflowed to infinity or collapsed to zero on an ill-conditioned
+/// input, so continuing would silently propagate NaNs. Derives from
+/// ValueError: the input, not the algorithm, is at fault.
+class ScaleOverflowError : public ValueError {
+ public:
+  using ValueError::ValueError;
+};
+
 namespace detail {
 
 /// Throws DimensionError with a formatted message when `ok` is false.

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "core/performance.hpp"
+#include "linalg/rsvd.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vector_ops.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace hetero::core {
 namespace {
@@ -33,6 +35,47 @@ double tma_from_ratio_singular_values(std::span<const double> sigma) {
   double s = 0.0;
   for (std::size_t i = 1; i < sigma.size(); ++i) s += sigma[i];
   return s / (sigma.front() * static_cast<double>(sigma.size() - 1));
+}
+
+bool wants_blocked_path(const EcsMatrix& ecs, const TmaOptions& options) {
+  return options.large.min_elements > 0 &&
+         ecs.task_count() * ecs.machine_count() >= options.large.min_elements;
+}
+
+// The large-matrix twin of the dense branch in tma_detailed(): tiled
+// pool-parallel Sinkhorn, then the full spectrum from the blocked Gram
+// route. Same measure definition, different (blocked) numeric path.
+TmaResult tma_detailed_blocked(const EcsMatrix& ecs, const Weights& w,
+                               const TmaOptions& options) {
+  TmaResult result;
+  result.used_blocked_path = true;
+  par::ThreadPool& pool =
+      options.large.pool ? *options.large.pool : par::shared_pool();
+  const linalg::BlockedSpectrumOptions spectrum{options.large.gram_block,
+                                                &pool};
+
+  result.standard_form =
+      standardize_tiled(ecs.weighted_values(w), options.sinkhorn, pool,
+                        options.large.sinkhorn_tile_rows);
+  if (result.standard_form.converged) {
+    result.singular_values =
+        linalg::blocked_singular_values(result.standard_form.standard,
+                                        spectrum);
+    result.value = tma_from_standard_singular_values(result.singular_values);
+    result.used_standard_form = true;
+    return result;
+  }
+
+  detail::require_value(options.allow_column_normalized_fallback,
+                        "tma: no standard form exists for this matrix "
+                        "(Section VI) and the eq. 5 fallback is disabled");
+  linalg::Matrix cn = ecs.weighted_values(w);
+  for (std::size_t j = 0; j < cn.cols(); ++j)
+    cn.scale_col(j, 1.0 / cn.col_sum(j));
+  result.singular_values = linalg::blocked_singular_values(cn, spectrum);
+  result.value = tma_from_ratio_singular_values(result.singular_values);
+  result.used_standard_form = false;
+  return result;
 }
 
 }  // namespace
@@ -96,6 +139,9 @@ TmaResult tma_detailed(const EcsMatrix& ecs, const Weights& w,
     result.singular_values = {1.0};
     return result;
   }
+
+  if (wants_blocked_path(ecs, options))
+    return tma_detailed_blocked(ecs, w, options);
 
   result.standard_form = standardize(ecs, w, options.sinkhorn);
   if (result.standard_form.converged) {

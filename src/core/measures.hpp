@@ -20,6 +20,10 @@
 #include "core/standard_form.hpp"
 #include "core/weights.hpp"
 
+namespace hetero::par {
+class ThreadPool;
+}
+
 namespace hetero::core {
 
 // ---------------------------------------------------------------------------
@@ -51,11 +55,35 @@ double mph(const EcsMatrix& ecs, const Weights& w = {});
 /// Task type difficulty homogeneity (eq. 7, weighted via eq. 6).
 double tdh(const EcsMatrix& ecs, const Weights& w = {});
 
+/// Dispatch knobs for the blocked large-matrix path: above the element
+/// threshold, TMA standardizes with the tiled pool-parallel Sinkhorn
+/// sweeps and takes the spectrum from the blocked Gram route
+/// (linalg::blocked_singular_values) instead of the dense one-sided-Jacobi
+/// twin. Both paths compute the same full non-maximum spectrum average;
+/// the rsvd_equiv tests bound the drift between them (TMA relative error
+/// well under 1e-3, typically ~1e-9) and pin bitwise reproducibility
+/// across thread counts.
+struct LargePathOptions {
+  /// Switch to the blocked path when task_count * machine_count reaches
+  /// this many entries; 0 disables it entirely (dense twin everywhere).
+  /// The default, 2^20 (a 4096 x 256 environment), is where the dense
+  /// Jacobi sweeps start dominating end-to-end characterization time.
+  std::size_t min_elements = std::size_t{1} << 20;
+  /// Row-tile height of the pool-parallel Sinkhorn passes.
+  std::size_t sinkhorn_tile_rows = 64;
+  /// Row/column block edge of the tiled Gram build in the spectrum path.
+  std::size_t gram_block = 48;
+  /// Worker pool; nullptr uses par::shared_pool().
+  par::ThreadPool* pool = nullptr;
+};
+
 struct TmaOptions {
   SinkhornOptions sinkhorn;
   /// When the standard form does not exist / does not converge, fall back to
   /// the column-normalized TMA of [2] (eq. 5) instead of throwing.
   bool allow_column_normalized_fallback = true;
+  /// Large-matrix dispatch (see LargePathOptions).
+  LargePathOptions large;
 };
 
 /// Full TMA computation record.
@@ -64,6 +92,9 @@ struct TmaResult {
   /// True when eq. 8 on the standard form was used; false when the eq. 5
   /// column-normalized fallback was taken.
   bool used_standard_form = true;
+  /// True when the blocked large-matrix path (tiled Sinkhorn + blocked
+  /// Gram spectrum) produced this result instead of the dense Jacobi twin.
+  bool used_blocked_path = false;
   /// Singular values of the matrix the measure was computed from, sorted
   /// descending (sigma_1 ~= 1 in the standard-form case, Theorem 2).
   std::vector<double> singular_values;

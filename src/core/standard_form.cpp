@@ -2,14 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "graph/structure.hpp"
+#include "parallel/thread_pool.hpp"
 #include "simd/simd.hpp"
 
 namespace hetero::core {
 namespace {
 
 using linalg::Matrix;
+
+// Scale factors on huge ill-conditioned inputs can escape double range: a
+// tiny-but-positive sum maps to an overflowing factor (whose next product
+// is inf, then 0 * inf = NaN), and entries near DBL_MAX push the sums
+// themselves to infinity. A huge-but-finite factor is recoverable — it is
+// clamped, the pass rescales the dimension to a sane magnitude, and the
+// next pass resumes from there (Sinkhorn's fixed point is invariant to the
+// intermediate per-pass scaling) — so the clamp caps factors at
+// sqrt(DBL_MAX), keeping any product of two consecutive factors finite. A
+// non-finite or non-positive sum means the matrix itself has already left
+// the representable range: that surfaces as ScaleOverflowError instead of
+// silent NaN propagation. For well-scaled inputs neither branch fires and
+// the computed factors are unchanged, preserving the bit-identity
+// contracts between the fused and reference paths.
+constexpr double kMaxScaleFactor = 1.34078079299425956e154;  // sqrt(DBL_MAX)
+
+double checked_scale_factor(double target, double sum) {
+  if (!(sum > 0.0) || sum > std::numeric_limits<double>::max())
+    throw ScaleOverflowError(
+        "standardize: a row/column sum overflowed or vanished; the input "
+        "is too ill-conditioned to scale in double precision");
+  const double f = target / sum;
+  return f > kMaxScaleFactor ? kMaxScaleFactor : f;
+}
 
 void validate_input(const Matrix& m) {
   detail::require_value(!m.empty(), "standardize: empty matrix");
@@ -153,7 +179,7 @@ void run_fused(Matrix& work, const SinkhornOptions& options,
     std::fill(col_sums.begin(), col_sums.end(), 0.0);
     double err = 0.0;
     for (std::size_t i = 0; i < rows; ++i) {
-      const double f = rt / row_sums[i];
+      const double f = checked_scale_factor(rt, row_sums[i]);
       result.row_scale[i] *= f;
       const double s =
           K.scale_accum(work.row(i).data(), cols, f, col_sums.data());
@@ -165,7 +191,7 @@ void run_fused(Matrix& work, const SinkhornOptions& options,
   // returns the max column-sum deviation of the scaled matrix.
   const auto column_pass = [&] {
     for (std::size_t j = 0; j < cols; ++j) {
-      const double f = ct / col_sums[j];
+      const double f = checked_scale_factor(ct, col_sums[j]);
       factor[j] = f;
       result.col_scale[j] *= f;
     }
@@ -288,16 +314,16 @@ StandardFormResult standardize_reference(const Matrix& ecs,
 
   const auto column_pass = [&] {
     for (std::size_t j = 0; j < work.cols(); ++j) {
-      const double s = work.col_sum(j);
-      const double f = result.target_col_sum / s;
+      const double f =
+          checked_scale_factor(result.target_col_sum, work.col_sum(j));
       work.scale_col(j, f);
       result.col_scale[j] *= f;
     }
   };
   const auto row_pass = [&] {
     for (std::size_t i = 0; i < work.rows(); ++i) {
-      const double s = work.row_sum(i);
-      const double f = result.target_row_sum / s;
+      const double f =
+          checked_scale_factor(result.target_row_sum, work.row_sum(i));
       work.scale_row(i, f);
       result.row_scale[i] *= f;
     }
@@ -314,6 +340,144 @@ StandardFormResult standardize_reference(const Matrix& ecs,
     result.iterations = it + 1;
     result.residual = standard_form_residual(work, result.target_row_sum,
                                              result.target_col_sum);
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.standard = std::move(work);
+  if (!result.converged && options.throw_on_failure)
+    throw ConvergenceError(
+        "standardize: Sinkhorn iteration did not reach tolerance (pattern "
+        "may be decomposable; see Section VI)");
+  return result;
+}
+
+StandardFormResult standardize_tiled(const Matrix& ecs,
+                                     const SinkhornOptions& options,
+                                     par::ThreadPool& pool,
+                                     std::size_t tile_rows) {
+  detail::require_value(tile_rows > 0,
+                        "standardize_tiled: tile_rows must be positive");
+  StandardFormResult result;
+  Matrix work;
+  prepare(ecs, options, result, work);
+  const std::size_t rows = work.rows();
+  const std::size_t cols = work.cols();
+  const double rt = result.target_row_sum;
+  const double ct = result.target_col_sum;
+  const std::size_t tiles = (rows + tile_rows - 1) / tile_rows;
+
+  std::vector<double> row_sums(rows, 0.0);
+  std::vector<double> col_sums(cols, 0.0);
+  std::vector<double> row_factor(rows, 0.0);
+  std::vector<double> col_factor(cols, 0.0);
+  // Tile-local column accumulators and per-tile row-residual maxima. The
+  // accumulators fold into col_sums in ascending tile order, so the
+  // summation order depends only on tile_rows — never on how tiles land on
+  // threads — which makes the whole iteration bit-identical across thread
+  // counts.
+  std::vector<std::vector<double>> tile_cols(tiles,
+                                             std::vector<double>(cols, 0.0));
+  std::vector<double> tile_err(tiles, 0.0);
+
+  const auto tile_range = [&](std::size_t t) {
+    const std::size_t i0 = t * tile_rows;
+    return std::pair{i0, std::min(rows, i0 + tile_rows)};
+  };
+  const auto fold_cols = [&] {
+    std::fill(col_sums.begin(), col_sums.end(), 0.0);
+    const auto& K = simd::kernels();
+    for (std::size_t t = 0; t < tiles; ++t)
+      K.add_into(tile_cols[t].data(), col_sums.data(), cols);
+  };
+
+  // Prime the sums of the first pass's dimension.
+  if (options.row_first) {
+    par::parallel_for(pool, 0, tiles, [&](std::size_t t) {
+      const auto [i0, i1] = tile_range(t);
+      for (std::size_t i = i0; i < i1; ++i) row_sums[i] = work.row_sum(i);
+    });
+  } else {
+    par::parallel_for(pool, 0, tiles, [&](std::size_t t) {
+      const auto [i0, i1] = tile_range(t);
+      const auto& K = simd::kernels();
+      auto& acc = tile_cols[t];
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::size_t i = i0; i < i1; ++i)
+        K.add_into(work.row(i).data(), acc.data(), cols);
+    });
+    fold_cols();
+  }
+
+  // Same pass structure as run_fused, with the row-major application sweep
+  // split over tiles: scale factors first (serial, guarded), then the
+  // fused scale+accumulate kernels per tile, then the ordered fold.
+  const auto row_pass = [&] {
+    for (std::size_t i = 0; i < rows; ++i) {
+      row_factor[i] = checked_scale_factor(rt, row_sums[i]);
+      result.row_scale[i] *= row_factor[i];
+    }
+    par::parallel_for(pool, 0, tiles, [&](std::size_t t) {
+      const auto [i0, i1] = tile_range(t);
+      const auto& K = simd::kernels();
+      auto& acc = tile_cols[t];
+      std::fill(acc.begin(), acc.end(), 0.0);
+      double err = 0.0;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double s =
+            K.scale_accum(work.row(i).data(), cols, row_factor[i], acc.data());
+        err = std::max(err, std::abs(s - rt));
+      }
+      tile_err[t] = err;
+    });
+    fold_cols();
+    double err = 0.0;
+    for (std::size_t t = 0; t < tiles; ++t) err = std::max(err, tile_err[t]);
+    return err;
+  };
+  const auto column_pass = [&] {
+    for (std::size_t j = 0; j < cols; ++j) {
+      col_factor[j] = checked_scale_factor(ct, col_sums[j]);
+      result.col_scale[j] *= col_factor[j];
+    }
+    par::parallel_for(pool, 0, tiles, [&](std::size_t t) {
+      const auto [i0, i1] = tile_range(t);
+      const auto& K = simd::kernels();
+      auto& acc = tile_cols[t];
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::size_t i = i0; i < i1; ++i)
+        row_sums[i] = K.scale_vec_accum(work.row(i).data(), col_factor.data(),
+                                        cols, acc.data());
+    });
+    fold_cols();
+    double err = 0.0;
+    for (std::size_t j = 0; j < cols; ++j)
+      err = std::max(err, std::abs(col_sums[j] - ct));
+    return err;
+  };
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    double first_err = 0.0;
+    double second_err = 0.0;
+    if (options.row_first) {
+      first_err = row_pass();
+      second_err = column_pass();
+      // column_pass refilled row_sums with the final matrix's row sums.
+      first_err = 0.0;
+      for (std::size_t i = 0; i < rows; ++i)
+        first_err = std::max(first_err, std::abs(row_sums[i] - rt));
+    } else {
+      first_err = column_pass();
+      second_err = row_pass();
+      // row_pass refolded col_sums with the final matrix's column sums.
+      first_err = 0.0;
+      for (std::size_t j = 0; j < cols; ++j)
+        first_err = std::max(first_err, std::abs(col_sums[j] - ct));
+    }
+    result.iterations = it + 1;
+    result.residual = std::max(first_err, second_err);
     if (result.residual < options.tolerance) {
       result.converged = true;
       break;

@@ -20,6 +20,10 @@
 #include "core/weights.hpp"
 #include "linalg/matrix.hpp"
 
+namespace hetero::par {
+class ThreadPool;
+}
+
 namespace hetero::core {
 
 struct SinkhornOptions {
@@ -112,6 +116,23 @@ StandardFormResult standardize(const linalg::Matrix& ecs,
 void standardize_positive_into(const linalg::Matrix& ecs,
                                const SinkhornOptions& options,
                                StandardFormResult& out);
+
+/// Cache-blocked, pool-parallel variant of standardize() for large
+/// matrices (the size-frontier characterization path). Each pass computes
+/// its scale factors serially (O(rows + cols)) and applies them tile by
+/// tile on the pool through the fused Sinkhorn kernels; every tile
+/// accumulates the opposite dimension's sums into a tile-local buffer, and
+/// the buffers fold in ascending tile order afterwards. The summation
+/// order is therefore a function of `tile_rows` alone, so results are
+/// bit-identical across thread counts (including a 1-thread pool). They
+/// are NOT bit-identical to the serial standardize() twin — its single
+/// row-major accumulator associates column additions differently — but
+/// both converge to the same unique standard form, and the rsvd_equiv
+/// tests pin the agreement down to the Sinkhorn tolerance.
+StandardFormResult standardize_tiled(const linalg::Matrix& ecs,
+                                     const SinkhornOptions& options,
+                                     par::ThreadPool& pool,
+                                     std::size_t tile_rows = 64);
 
 /// Unfused baseline implementation (per-column strided sums, separate
 /// residual pass). Kept for equivalence tests and before/after perf

@@ -4,17 +4,82 @@
 #include <cmath>
 #include <sstream>
 
+#include "linalg/rsvd.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vector_ops.hpp"
+#include "parallel/thread_pool.hpp"
 #include "simd/simd.hpp"
 
 namespace hetero::core {
+namespace {
+
+// Default mode count for the blocked path when the caller asked for "all":
+// every extra mode costs another sketch column through the whole power
+// iteration, and the interpretive value of modes past the strongest few is
+// nil — analysts wanting more pass max_modes explicitly.
+constexpr std::size_t kLargeDefaultModes = 16;
+
+// Blocked twin of the dense analysis below: tiled Sinkhorn, the TMA
+// average from the full blocked-Gram spectrum, mode bases and sigmas from
+// the randomized top-k SVD (deterministic seeded sketch, so re-running on
+// any thread count reproduces the report bitwise).
+AffinityAnalysis affinity_analysis_blocked(const EcsMatrix& ecs,
+                                           const Weights& w,
+                                           std::size_t max_modes,
+                                           const SinkhornOptions& options,
+                                           const LargePathOptions& large) {
+  par::ThreadPool& pool = large.pool ? *large.pool : par::shared_pool();
+  const StandardFormResult sf = standardize_tiled(
+      ecs.weighted_values(w), options, pool, large.sinkhorn_tile_rows);
+
+  AffinityAnalysis out;
+  out.task_names = ecs.task_names();
+  out.machine_names = ecs.machine_names();
+
+  const std::vector<double> sigma = linalg::blocked_singular_values(
+      sf.standard, {large.gram_block, &pool});
+  const std::size_t r = sigma.size();
+  const std::size_t mode_count = r > 1 ? r - 1 : 0;
+  const std::size_t keep =
+      std::min(max_modes == 0 ? kLargeDefaultModes : max_modes, mode_count);
+
+  double sigma_sum = 0.0;
+  for (std::size_t k = 1; k < r; ++k) sigma_sum += sigma[k];
+  out.tma =
+      mode_count == 0 ? 0.0 : sigma_sum / static_cast<double>(mode_count);
+  if (keep == 0) return out;
+
+  linalg::RsvdOptions ro;
+  ro.rank = keep + 1;  // mode k is singular triplet k + 1
+  ro.pool = &pool;
+  const linalg::RsvdResult rs = linalg::rsvd(sf.standard, ro);
+  const std::size_t have = rs.singular_values.size();
+  for (std::size_t k = 1; k < have && k <= keep; ++k) {
+    AffinityMode mode;
+    mode.sigma = rs.singular_values[k];
+    mode.task_component.resize(ecs.task_count());
+    for (std::size_t i = 0; i < ecs.task_count(); ++i)
+      mode.task_component[i] = rs.u(i, k);
+    mode.machine_component.resize(ecs.machine_count());
+    for (std::size_t j = 0; j < ecs.machine_count(); ++j)
+      mode.machine_component[j] = rs.v(j, k);
+    out.modes.push_back(std::move(mode));
+  }
+  return out;
+}
+
+}  // namespace
 
 AffinityAnalysis affinity_analysis(const EcsMatrix& ecs, const Weights& w,
                                    std::size_t max_modes,
-                                   const SinkhornOptions& options) {
+                                   const SinkhornOptions& options,
+                                   const LargePathOptions& large) {
   SinkhornOptions opts = options;
   opts.throw_on_failure = true;
+  if (large.min_elements > 0 &&
+      ecs.task_count() * ecs.machine_count() >= large.min_elements)
+    return affinity_analysis_blocked(ecs, w, max_modes, opts, large);
+
   const StandardFormResult sf = standardize(ecs, w, opts);
   const linalg::SvdResult svd = linalg::svd(sf.standard);
 

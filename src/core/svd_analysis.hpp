@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/etc_matrix.hpp"
+#include "core/measures.hpp"
 #include "core/standard_form.hpp"
 #include "core/weights.hpp"
 #include "linalg/matrix.hpp"
@@ -46,9 +47,18 @@ struct AffinityAnalysis {
 /// Computes the affinity modes of an environment. `max_modes` truncates the
 /// list (0 = all). Throws ConvergenceError when no standard form exists
 /// (analyze classify_pattern first for such inputs).
+///
+/// Above `large.min_elements` entries the blocked path takes over: tiled
+/// pool-parallel Sinkhorn, the TMA average from the full blocked-Gram
+/// spectrum, and the mode bases from the randomized top-k SVD
+/// (linalg::rsvd) with a deterministic seeded sketch. Because extracting
+/// every basis vector would cost as much as the dense twin, `max_modes == 0`
+/// keeps the strongest 16 modes there instead of all of them (the TMA value
+/// still averages the whole spectrum).
 AffinityAnalysis affinity_analysis(const EcsMatrix& ecs, const Weights& w = {},
                                    std::size_t max_modes = 0,
-                                   const SinkhornOptions& options = {});
+                                   const SinkhornOptions& options = {},
+                                   const LargePathOptions& large = {});
 
 /// Cosine similarity between every pair of machine columns of the ECS
 /// matrix: entry (j, k) = cos(angle between columns j and k). 1 on the

@@ -94,6 +94,8 @@ std::string to_json(const core::EnvironmentReport& report,
   const auto& sf = report.tma_detail.standard_form;
   os << ",\"tma_detail\":{\"used_standard_form\":"
      << (report.tma_detail.used_standard_form ? "true" : "false")
+     << ",\"used_blocked_path\":"
+     << (report.tma_detail.used_blocked_path ? "true" : "false")
      << ",\"singular_values\":";
   append_number_array(os, report.tma_detail.singular_values);
   os << ",\"sinkhorn_iterations\":" << sf.iterations

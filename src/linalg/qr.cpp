@@ -7,6 +7,7 @@
 #include "base/error.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vector_ops.hpp"
+#include "simd/simd.hpp"
 
 namespace hetero::linalg {
 
@@ -57,6 +58,73 @@ QrResult qr(const Matrix& a) {
   result.q = Matrix(m, n, 0.0);
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < n; ++j) result.q(i, j) = q(i, j);
+  return result;
+}
+
+QrResult thin_qr(const Matrix& a) {
+  detail::require_value(a.rows() >= a.cols() && !a.empty(),
+                        "thin_qr: need rows >= cols > 0");
+  detail::require_value(!a.has_nonfinite(), "thin_qr: non-finite entries");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const auto& K = simd::kernels();
+
+  // Column-major working copy: every Householder step reads and updates
+  // whole columns, which the row-major layout would turn into strided
+  // walks with one cache line per element at sketch-path sizes.
+  std::vector<double> w(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < n; ++j) w[j * m + i] = row[j];
+  }
+
+  // Factor: column k keeps R(0..k, k) above the pivot and the Householder
+  // vector v_k in rows k..m; the pivot value alpha_k = R(k, k) and the
+  // reflector coefficient beta_k live in side arrays.
+  std::vector<double> beta(n, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double* ck = w.data() + k * m;
+    const double norm = std::sqrt(K.dot(ck + k, ck + k, m - k));
+    if (norm == 0.0) continue;  // zero column: no reflector, R(k, k) = 0
+    alpha[k] = ck[k] >= 0.0 ? -norm : norm;
+    ck[k] -= alpha[k];
+    const double vnorm2 = K.dot(ck + k, ck + k, m - k);
+    beta[k] = 2.0 / vnorm2;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double* cj = w.data() + j * m;
+      const double s = beta[k] * K.dot(ck + k, cj + k, m - k);
+      K.axpy(cj + k, ck + k, m - k, -s);
+    }
+  }
+
+  // Backward accumulation of Q = H_0 ... H_{n-1} applied to the first n
+  // identity columns. After H_{n-1}..H_{k+1} are applied, column j <= k
+  // still equals e_j (its support lies above every later reflector), so
+  // H_k only touches columns k..n-1.
+  std::vector<double> q(m * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) q[j * m + j] = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    if (beta[k] == 0.0) continue;
+    const double* vk = w.data() + k * m;
+    for (std::size_t j = k; j < n; ++j) {
+      double* cj = q.data() + j * m;
+      const double s = beta[k] * K.dot(vk + k, cj + k, m - k);
+      K.axpy(cj + k, vk + k, m - k, -s);
+    }
+  }
+
+  QrResult result;
+  result.q = Matrix(m, n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = result.q.row(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] = q[j * m + i];
+  }
+  result.r = Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.r(i, i) = alpha[i] != 0.0 ? alpha[i] : w[i * m + i];
+    for (std::size_t j = i + 1; j < n; ++j) result.r(i, j) = w[j * m + i];
+  }
   return result;
 }
 

@@ -23,6 +23,18 @@ struct QrResult {
 /// Householder QR. Throws ValueError when m < n or entries are non-finite.
 QrResult qr(const Matrix& a);
 
+/// Householder QR that never materializes the full m x m orthogonal
+/// factor: the reflectors are accumulated backward into an m x n Q
+/// directly, so memory stays O(m n) instead of O(m^2). This is the
+/// re-orthogonalization step of the randomized SVD's subspace iteration,
+/// where m reaches tens of thousands while n is a few dozen sketch
+/// columns (qr()'s identity(m) scratch alone would be gigabytes there).
+/// Internally works on a column-major copy so every reflector touches
+/// contiguous memory through the kernel layer. Results match qr() up to
+/// roundoff; exact column-rank deficiency degrades the same way (zero R
+/// diagonal, unreflected Q column). Throws like qr().
+QrResult thin_qr(const Matrix& a);
+
 /// Least-squares solution of min_x ||A x - b||_2 for m >= n with full
 /// column rank. Throws ValueError on rank deficiency (tiny R diagonal).
 std::vector<double> least_squares(const Matrix& a, std::span<const double> b);

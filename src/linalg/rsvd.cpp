@@ -1,0 +1,374 @@
+#include "linalg/rsvd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "base/error.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/simd.hpp"
+
+namespace hetero::linalg {
+namespace {
+
+par::ThreadPool& resolve_pool(par::ThreadPool* pool) {
+  return pool ? *pool : par::shared_pool();
+}
+
+// Cache-blocked transpose: the naive loop strides one full row length per
+// element on the write side, which at frontier sizes (rows in the tens of
+// thousands) misses cache on every store.
+Matrix transposed_blocked(const Matrix& a) {
+  constexpr std::size_t kB = 32;
+  Matrix t(a.cols(), a.rows(), 0.0);
+  for (std::size_t i0 = 0; i0 < a.rows(); i0 += kB) {
+    const std::size_t i1 = std::min(a.rows(), i0 + kB);
+    for (std::size_t j0 = 0; j0 < a.cols(); j0 += kB) {
+      const std::size_t j1 = std::min(a.cols(), j0 + kB);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t j = j0; j < j1; ++j) t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic counter-based Gaussian sketch entries.
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t bits) {
+  // 53 mantissa bits; the +0.5 keeps the value strictly inside (0, 1) so
+  // the Box-Muller log below never sees zero.
+  return (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+}
+
+// Standard normal keyed on (seed, index): a pure function of its
+// arguments, so any thread can produce any sketch entry with no shared
+// generator state — the root of the cross-thread-count determinism.
+double gaussian_at(std::uint64_t seed, std::uint64_t index) {
+  const double u1 = uniform01(splitmix(seed + 2 * index));
+  const double u2 = uniform01(splitmix(seed + 2 * index + 1));
+  constexpr double kTwoPi = 6.28318530717958647692;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic pool-parallel products.
+
+// out = a * s for a tall a (rows x n) and small s (n x l): each output row
+// is accumulated independently in fixed column order (axpy2 over column
+// pairs), so the result does not depend on how rows land on threads.
+Matrix matmul_rows_parallel(const Matrix& a, const Matrix& s,
+                            par::ThreadPool& pool) {
+  const std::size_t n = a.cols();
+  const std::size_t l = s.cols();
+  Matrix out(a.rows(), l, 0.0);
+  par::parallel_for(
+      pool, 0, a.rows(),
+      [&](std::size_t i) {
+        const auto& K = simd::kernels();
+        const double* ar = a.row(i).data();
+        double* yr = out.row(i).data();
+        std::size_t j = 0;
+        for (; j + 2 <= n; j += 2)
+          K.axpy2(yr, s.row(j).data(), s.row(j + 1).data(), l, ar[j],
+                  ar[j + 1]);
+        for (; j < n; ++j) K.axpy(yr, s.row(j).data(), l, ar[j]);
+      },
+      16);
+  return out;
+}
+
+// c = x^T y for row-major x (m x p) and y (m x r): row tiles accumulate
+// tile-local partials that are folded in ascending tile order afterwards,
+// so the summation order is a function of tile_rows alone — never of the
+// thread count. Tile size is fixed by the caller for the same reason.
+Matrix matmul_at_b_tiled(const Matrix& x, const Matrix& y,
+                         par::ThreadPool& pool, std::size_t tile_rows) {
+  const std::size_t m = x.rows();
+  const std::size_t p = x.cols();
+  const std::size_t r = y.cols();
+  const std::size_t tiles = (m + tile_rows - 1) / tile_rows;
+  std::vector<Matrix> partial(tiles);
+  par::parallel_for(pool, 0, tiles, [&](std::size_t t) {
+    const auto& K = simd::kernels();
+    Matrix acc(p, r, 0.0);
+    const std::size_t i0 = t * tile_rows;
+    const std::size_t i1 = std::min(m, i0 + tile_rows);
+    std::size_t i = i0;
+    for (; i + 2 <= i1; i += 2) {
+      const double* xr0 = x.row(i).data();
+      const double* xr1 = x.row(i + 1).data();
+      const double* yr0 = y.row(i).data();
+      const double* yr1 = y.row(i + 1).data();
+      for (std::size_t c = 0; c < p; ++c)
+        K.axpy2(acc.row(c).data(), yr0, yr1, r, xr0[c], xr1[c]);
+    }
+    for (; i < i1; ++i) {
+      const double* xr = x.row(i).data();
+      const double* yr = y.row(i).data();
+      for (std::size_t c = 0; c < p; ++c)
+        K.axpy(acc.row(c).data(), yr, r, xr[c]);
+    }
+    partial[t] = std::move(acc);
+  });
+  Matrix c(p, r, 0.0);
+  const auto& K = simd::kernels();
+  for (std::size_t t = 0; t < tiles; ++t)
+    K.add_into(partial[t].data().data(), c.data().data(), p * r);
+  return c;
+}
+
+// b = x x^T for row-contiguous x (n x m): upper-triangle block pairs in
+// parallel (each entry is one fixed-order kernel dot, so thread placement
+// cannot change a single bit), mirrored to the lower triangle afterwards.
+Matrix gram_rows_blocked(const Matrix& x, par::ThreadPool& pool,
+                         std::size_t block) {
+  const std::size_t n = x.rows();
+  const std::size_t m = x.cols();
+  Matrix b(n, n, 0.0);
+  const std::size_t nb = (n + block - 1) / block;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  blocks.reserve(nb * (nb + 1) / 2);
+  for (std::size_t bi = 0; bi < nb; ++bi)
+    for (std::size_t bj = bi; bj < nb; ++bj) blocks.emplace_back(bi, bj);
+  par::parallel_for(pool, 0, blocks.size(), [&](std::size_t idx) {
+    const auto& K = simd::kernels();
+    const std::size_t bi = blocks[idx].first;
+    const std::size_t bj = blocks[idx].second;
+    const std::size_t i1 = std::min(n, (bi + 1) * block);
+    const std::size_t j1 = std::min(n, (bj + 1) * block);
+    for (std::size_t i = bi * block; i < i1; ++i) {
+      const double* ri = x.row(i).data();
+      std::size_t j = std::max(i, bj * block);
+      for (; j + 2 <= j1; j += 2)
+        K.dot2(ri, x.row(j).data(), x.row(j + 1).data(), m, &b(i, j),
+               &b(i, j + 1));
+      for (; j < j1; ++j) b(i, j) = K.dot(ri, x.row(j).data(), m);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) b(j, i) = b(i, j);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric eigenvalues: Householder tridiagonalization + implicit QL.
+
+// Reduces symmetric b (destroyed) to tridiagonal (d, e) with e[k] the
+// subdiagonal between k and k+1. Eigenvalues only: the orthogonal factor
+// is never accumulated. The rank-2 trailing update and the symmetric
+// matvec are pool-parallel per row — each row's result is a fixed-order
+// kernel reduction, so the factorization is thread-count-invariant.
+void tridiagonalize(Matrix& b, par::ThreadPool& pool, std::vector<double>& d,
+                    std::vector<double>& e) {
+  const std::size_t n = b.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  std::vector<double> v(n, 0.0);
+  std::vector<double> w(n, 0.0);
+  const auto& K = simd::kernels();
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    const std::size_t off = k + 1;
+    const std::size_t len = n - off;
+    // Row k beyond the diagonal is the (contiguous) column to annihilate.
+    const double* xk = b.row(k).data() + off;
+    const double norm = std::sqrt(K.dot(xk, xk, len));
+    if (norm == 0.0) continue;
+    const double alpha = xk[0] >= 0.0 ? -norm : norm;
+    e[k] = alpha;
+    for (std::size_t t = 0; t < len; ++t) v[t] = xk[t];
+    v[0] -= alpha;
+    const double beta = 2.0 / K.dot(v.data(), v.data(), len);
+    // p = beta * B22 v, then w = p - (beta/2)(p.v) v; B22 -= v w^T + w v^T.
+    par::parallel_for(
+        pool, 0, len,
+        [&](std::size_t t) {
+          w[t] = beta * K.dot(b.row(off + t).data() + off, v.data(), len);
+        },
+        16);
+    const double half = 0.5 * beta * K.dot(w.data(), v.data(), len);
+    for (std::size_t t = 0; t < len; ++t) w[t] -= half * v[t];
+    par::parallel_for(
+        pool, 0, len,
+        [&](std::size_t t) {
+          K.axpy2(b.row(off + t).data() + off, w.data(), v.data(), len,
+                  -v[t], -w[t]);
+        },
+        8);
+  }
+  for (std::size_t i = 0; i < n; ++i) d[i] = b(i, i);
+  if (n >= 2) e[n - 2] = b(n - 2, n - 1);
+}
+
+// Implicit-shift QL on a symmetric tridiagonal (d, e): classic EISPACK
+// tql-style sweep, eigenvalues only, O(n^2) total. d returns the
+// eigenvalues in no particular order.
+void ql_implicit(std::vector<double>& d, std::vector<double>& e) {
+  const std::size_t n = d.size();
+  if (n <= 1) return;
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iter = 0;
+    std::size_t split;
+    do {
+      // Smallest index >= l where the subdiagonal is negligible.
+      for (split = l; split + 1 < n; ++split) {
+        const double scale = std::abs(d[split]) + std::abs(d[split + 1]);
+        if (std::abs(e[split]) <= eps * scale) break;
+      }
+      if (split == l) break;
+      if (iter++ == 64)
+        throw ConvergenceError(
+            "blocked_singular_values: implicit QL sweep exceeded its "
+            "iteration budget");
+      // Wilkinson shift from the leading 2x2, then one implicit QL sweep
+      // of plane rotations chased from `split` down to l.
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[split] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool deflated = false;
+      for (std::size_t i = split; i-- > l;) {
+        double f = s * e[i];
+        const double h = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {  // rotation underflow: deflate and restart
+          d[i + 1] -= p;
+          e[split] = 0.0;
+          deflated = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * h;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - h;
+      }
+      if (deflated) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[split] = 0.0;
+    } while (split != l);
+  }
+}
+
+}  // namespace
+
+RsvdResult rsvd(const Matrix& a, const RsvdOptions& options) {
+  detail::require_value(!a.empty(), "rsvd: empty matrix");
+  detail::require_value(!a.has_nonfinite(), "rsvd: non-finite entries");
+  detail::require_value(options.rank > 0, "rsvd: rank must be positive");
+  detail::require_value(options.tile_rows > 0,
+                        "rsvd: tile_rows must be positive");
+  if (a.rows() < a.cols()) {
+    // Work in the tall orientation (the sketch compresses the short
+    // dimension); swap the factors back for the caller.
+    RsvdResult t = rsvd(transposed_blocked(a), options);
+    std::swap(t.u, t.v);
+    return t;
+  }
+  par::ThreadPool& pool = resolve_pool(options.pool);
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k = std::min(options.rank, n);
+  const std::size_t l = std::min(n, k + options.oversample);
+
+  // Gaussian sketch: omega(j, p) is a pure function of (seed, j*l + p).
+  Matrix omega(n, l, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto row = omega.row(j);
+    for (std::size_t p = 0; p < l; ++p)
+      row[p] =
+          gaussian_at(options.seed, static_cast<std::uint64_t>(j * l + p));
+  }
+
+  // Range capture + power iteration, re-orthogonalized after every
+  // application so the small singular values of the projected matrix do
+  // not drown in the dominant direction.
+  Matrix q = thin_qr(matmul_rows_parallel(a, omega, pool)).q;  // m x l
+  for (std::size_t it = 0; it < options.power_iterations; ++it) {
+    const Matrix z =
+        thin_qr(matmul_at_b_tiled(a, q, pool, options.tile_rows)).q;  // n x l
+    q = thin_qr(matmul_rows_parallel(a, z, pool)).q;
+  }
+
+  // Project to l x n, solve exactly there, lift the left factor through Q.
+  const SvdResult small =
+      svd(matmul_at_b_tiled(q, a, pool, options.tile_rows));
+  const std::size_t keep = std::min(k, small.singular_values.size());
+
+  RsvdResult out;
+  out.singular_values.assign(
+      small.singular_values.begin(),
+      small.singular_values.begin() + static_cast<std::ptrdiff_t>(keep));
+  const Matrix ut = small.u.transposed();  // needed rows contiguous
+  out.u = Matrix(m, keep, 0.0);
+  par::parallel_for(
+      pool, 0, m,
+      [&](std::size_t i) {
+        const auto& K = simd::kernels();
+        const double* qi = q.row(i).data();
+        const auto row = out.u.row(i);
+        for (std::size_t c = 0; c < keep; ++c)
+          row[c] = K.dot(qi, ut.row(c).data(), l);
+      },
+      64);
+  out.v = Matrix(n, keep, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto src = small.v.row(j);
+    const auto dst = out.v.row(j);
+    for (std::size_t c = 0; c < keep; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+std::vector<double> blocked_singular_values(
+    const Matrix& a, const BlockedSpectrumOptions& options) {
+  detail::require_value(!a.empty(), "blocked_singular_values: empty matrix");
+  detail::require_value(!a.has_nonfinite(),
+                        "blocked_singular_values: non-finite entries");
+  detail::require_value(options.block > 0,
+                        "blocked_singular_values: block must be positive");
+  par::ThreadPool& pool = resolve_pool(options.pool);
+
+  // Gram on the short dimension, with its rows made contiguous first.
+  Matrix t_storage;
+  const Matrix* short_rows = &a;
+  if (a.rows() > a.cols()) {
+    t_storage = transposed_blocked(a);
+    short_rows = &t_storage;
+  }
+  Matrix b = gram_rows_blocked(*short_rows, pool, options.block);
+  t_storage = Matrix();  // release before the O(n^2) eigen stage
+
+  std::vector<double> d;
+  std::vector<double> e;
+  tridiagonalize(b, pool, d, e);
+  b = Matrix();
+  ql_implicit(d, e);
+
+  std::vector<double> sigma(d.size(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    sigma[i] = d[i] > 0.0 ? std::sqrt(d[i]) : 0.0;
+  std::sort(sigma.begin(), sigma.end(), std::greater<>());
+  return sigma;
+}
+
+}  // namespace hetero::linalg

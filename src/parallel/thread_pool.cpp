@@ -37,6 +37,11 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
   }
 }
 
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
 namespace {
 
 // Shared state of one parallel_for call. Stack-allocated in the caller;

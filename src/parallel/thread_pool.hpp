@@ -56,6 +56,14 @@ class ThreadPool {
   std::vector<std::jthread> workers_;  // last member: joins before the rest die
 };
 
+/// Process-wide shared pool (hardware_concurrency workers), constructed
+/// lazily on first use and joined at static destruction. The large-matrix
+/// characterization paths fall back to it when the caller does not pass an
+/// explicit pool; callers that want a bounded thread budget (or bitwise
+/// reproduction of a specific run) construct their own ThreadPool and pass
+/// it down instead — results are thread-count-invariant either way.
+ThreadPool& shared_pool();
+
 namespace detail {
 
 /// Type-erased core of parallel_for: chunked atomic work claiming with no

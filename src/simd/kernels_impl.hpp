@@ -68,6 +68,28 @@ struct KernelsImpl {
     return combine_sum(l);
   }
 
+  static void dot2(const double* a, const double* b0, const double* b1,
+                   std::size_t n, double* out0, double* out1) {
+    v acc0 = V::zero();
+    v acc1 = V::zero();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const v av = V::load(a + i);
+      acc0 = V::add(acc0, V::mul(av, V::load(b0 + i)));
+      acc1 = V::add(acc1, V::mul(av, V::load(b1 + i)));
+    }
+    double l0[4];
+    double l1[4];
+    V::lanes(acc0, l0);
+    V::lanes(acc1, l1);
+    for (std::size_t t = 0; i + t < n; ++t) {
+      l0[t] += a[i + t] * b0[i + t];
+      l1[t] += a[i + t] * b1[i + t];
+    }
+    *out0 = combine_sum(l0);
+    *out1 = combine_sum(l1);
+  }
+
   static double reduce_min(const double* x, std::size_t n) {
     v acc = V::bcast(kInf);
     std::size_t i = 0;
@@ -132,6 +154,19 @@ struct KernelsImpl {
       V::store(acc + i,
                V::add(V::load(acc + i), V::mul(av, V::load(x + i))));
     for (; i < n; ++i) acc[i] += a * x[i];
+  }
+
+  static void axpy2(double* acc, const double* x0, const double* x1,
+                    std::size_t n, double a0, double a1) {
+    const v a0v = V::bcast(a0);
+    const v a1v = V::bcast(a1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      // (acc + a0*x0) + a1*x1 — same association as two axpy() calls.
+      const v t0 = V::add(V::load(acc + i), V::mul(a0v, V::load(x0 + i)));
+      V::store(acc + i, V::add(t0, V::mul(a1v, V::load(x1 + i))));
+    }
+    for (; i < n; ++i) acc[i] = (acc[i] + a0 * x0[i]) + a1 * x1[i];
   }
 
   static void rotate_pair(double* x, double* y, std::size_t n, double c,
@@ -444,12 +479,14 @@ struct KernelsImpl {
     Kernels k;
     k.sum = &sum;
     k.dot = &dot;
+    k.dot2 = &dot2;
     k.reduce_min = &reduce_min;
     k.reduce_max = &reduce_max;
     k.reduce_max_abs = &reduce_max_abs;
     k.scale = &scale;
     k.add_into = &add_into;
     k.axpy = &axpy;
+    k.axpy2 = &axpy2;
     k.rotate_pair = &rotate_pair;
     k.reciprocal_or_zero = &reciprocal_or_zero;
     k.reciprocal_or_inf = &reciprocal_or_inf;

@@ -34,6 +34,13 @@ struct Kernels {
   // --- reductions (fixed 4-lane accumulation order) ---
   double (*sum)(const double* x, std::size_t n);
   double (*dot)(const double* a, const double* b, std::size_t n);
+  // Two dot products sharing one streamed operand: *out0 = a . b0 and
+  // *out1 = a . b1, each with the same 4-lane accumulation order as dot()
+  // (bit-identical to two separate dot() calls). The blocked Gram build
+  // streams each row of the short-dimension matrix once against two
+  // partner rows, halving its memory traffic.
+  void (*dot2)(const double* a, const double* b0, const double* b1,
+               std::size_t n, double* out0, double* out1);
   // min/max/max-abs are order-independent for non-NaN data but are still
   // computed with the shared lane structure so every backend agrees bitwise
   // (including on signed zeros, which resolve by compare-and-select).
@@ -45,6 +52,12 @@ struct Kernels {
   void (*scale)(double* x, std::size_t n, double f);        // x[i] *= f
   void (*add_into)(const double* x, double* acc, std::size_t n);  // acc += x
   void (*axpy)(double* acc, const double* x, std::size_t n, double a);
+  // acc[i] = (acc[i] + a0*x0[i]) + a1*x1[i]: two fused axpy updates that
+  // stream acc once, bit-identical to axpy(a0, x0) followed by axpy(a1,
+  // x1). Backbone of the rank-2 tridiagonalization update and the tiled
+  // sketch products in the large-matrix path.
+  void (*axpy2)(double* acc, const double* x0, const double* x1,
+                std::size_t n, double a0, double a1);
   // Plane rotation: x' = c*x - s*y, y' = s*x + c*y (mul/add, never fused).
   void (*rotate_pair)(double* x, double* y, std::size_t n, double c, double s);
   // ETC <-> ECS conversions: entrywise reciprocal with the incapable-entry

@@ -116,6 +116,29 @@ TEST(BatchMeasures, InvalidInputRethrowsItsError) {
                hetero::ValueError);
 }
 
+TEST(BatchMeasures, BlockedLargePathFlowsThroughOptions) {
+  // The large-matrix dispatch rides in BatchOptions::tma; forcing it at
+  // toy sizes must give every item the blocked path and agree with the
+  // serial blocked evaluation bitwise (the batch pool never reorders any
+  // per-item arithmetic).
+  ThreadPool pool(3);
+  hetero::core::BatchOptions opts;
+  opts.tma.large.min_elements = 1;
+  std::vector<EcsMatrix> suite;
+  for (unsigned k = 0; k < 6; ++k)
+    suite.emplace_back(random_positive(20 + k, 9, 300 + k));
+  const auto reports = batch_characterize(suite, pool, opts);
+  ASSERT_EQ(reports.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_TRUE(reports[i].tma_detail.used_blocked_path) << "matrix " << i;
+    const auto serial = characterize(suite[i], {}, opts.tma);
+    EXPECT_EQ(reports[i].measures.tma, serial.measures.tma) << "matrix " << i;
+    EXPECT_EQ(reports[i].tma_detail.singular_values,
+              serial.tma_detail.singular_values)
+        << "matrix " << i;
+  }
+}
+
 TEST(BatchCharacterize, MatchesSerialReports) {
   ThreadPool pool(2);
   std::vector<EcsMatrix> suite;

@@ -75,7 +75,17 @@ TEST(Json, ReportBooleansRenderAsJson) {
   const auto report = hetero::core::characterize(ecs);
   const std::string json = io::to_json(report, ecs);
   EXPECT_NE(json.find("\"used_standard_form\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"used_blocked_path\":false"), std::string::npos);
   EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+}
+
+TEST(Json, BlockedPathFlagRendersTrue) {
+  const EcsMatrix ecs(Matrix{{1, 2, 3}, {4, 5, 6}, {7, 8, 9.5}});
+  hetero::core::TmaOptions opts;
+  opts.large.min_elements = 1;  // force the blocked path at toy size
+  const auto report = hetero::core::characterize(ecs, {}, opts);
+  const std::string json = io::to_json(report, ecs);
+  EXPECT_NE(json.find("\"used_blocked_path\":true"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

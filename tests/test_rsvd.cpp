@@ -1,0 +1,409 @@
+// Tests for the large-matrix characterization path: randomized top-k SVD
+// (linalg::rsvd), the blocked Gram spectrum (blocked_singular_values), the
+// tiled pool-parallel Sinkhorn (core::standardize_tiled), and the size
+// dispatch in core::tma_detailed / core::affinity_analysis. The suites pin
+// three properties the blocked path promises:
+//
+//   1. equivalence — small/medium sizes agree with the dense twins to
+//      far tighter than the 1e-6 budget (dense-twin parity);
+//   2. error bound — at the dispatch-threshold size (4096 x 256) the
+//      blocked TMA stays within 1e-3 relative of the dense value;
+//   3. determinism — the seeded sketch and fixed-order tile folds make
+//      every result bitwise identical across worker-pool sizes.
+//
+// The whole binary runs under the rsvd_equiv ctest label (CI runs it in the
+// sanitizer jobs too); the heavyweight threshold-size checks shrink under
+// sanitizers, where each FLOP costs ~10-40x.
+#include "linalg/rsvd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <random>
+
+#include "core/measures.hpp"
+#include "core/standard_form.hpp"
+#include "core/svd_analysis.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "parallel/thread_pool.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define HETERO_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define HETERO_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace {
+
+using hetero::ValueError;
+using hetero::core::EcsMatrix;
+using hetero::core::LargePathOptions;
+using hetero::core::standardize;
+using hetero::core::standardize_tiled;
+using hetero::core::TmaOptions;
+using hetero::linalg::blocked_singular_values;
+using hetero::linalg::Matrix;
+using hetero::linalg::max_abs_diff;
+using hetero::linalg::rsvd;
+using hetero::linalg::RsvdOptions;
+using hetero::linalg::singular_values;
+using hetero::par::ThreadPool;
+
+Matrix random_positive(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, 0.7);
+  Matrix m(rows, cols, 0.0);
+  for (double& x : m.data()) x = dist(rng);
+  return m;
+}
+
+// A matrix with a planted exponentially decaying spectrum: rebuilt from the
+// SVD of a random matrix with sigma_k = decay^k. Randomized SVD with power
+// iterations recovers the head of such a spectrum to near machine
+// precision, which is what the affinity-mode path relies on.
+Matrix planted_decay(std::size_t rows, std::size_t cols, double decay,
+                     unsigned seed) {
+  const auto f = hetero::linalg::svd(random_positive(rows, cols, seed));
+  Matrix scaled = f.u;
+  for (std::size_t k = 0; k < f.singular_values.size(); ++k)
+    scaled.scale_col(k, std::pow(decay, static_cast<double>(k)));
+  return hetero::linalg::matmul(scaled, f.v.transposed());
+}
+
+double max_sigma_diff(const std::vector<double>& a,
+                      const std::vector<double>& b, std::size_t count) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < count; ++i)
+    err = std::max(err, std::abs(a[i] - b[i]));
+  return err;
+}
+
+// ------------------------------------------------------------------- rsvd
+
+TEST(Rsvd, ExactWhenSketchSpansTheSpace) {
+  // l = rank + oversample >= n: the sketch spans the whole row space, so
+  // the "randomized" factorization is exact up to roundoff.
+  const Matrix a = random_positive(64, 20, 1);
+  RsvdOptions opts;
+  opts.rank = 20;
+  opts.oversample = 8;
+  const auto rs = rsvd(a, opts);
+  const auto dense = singular_values(a);
+  ASSERT_EQ(rs.singular_values.size(), 20u);
+  EXPECT_LT(max_sigma_diff(rs.singular_values, dense, 20), 1e-10);
+
+  // Orthonormal factors and exact reconstruction.
+  EXPECT_LT(max_abs_diff(hetero::linalg::matmul(rs.u.transposed(), rs.u),
+                         Matrix::identity(20)),
+            1e-12);
+  EXPECT_LT(max_abs_diff(hetero::linalg::matmul(rs.v.transposed(), rs.v),
+                         Matrix::identity(20)),
+            1e-12);
+  Matrix us = rs.u;
+  for (std::size_t k = 0; k < 20; ++k)
+    us.scale_col(k, rs.singular_values[k]);
+  EXPECT_LT(max_abs_diff(hetero::linalg::matmul(us, rs.v.transposed()), a),
+            1e-10);
+}
+
+TEST(Rsvd, WideInputIsTransposedInternally) {
+  // Wide inputs run as the transposed tall problem with u/v swapped; both
+  // orientations must report the same spectrum and reconstruct.
+  const Matrix tall = random_positive(48, 16, 2);
+  const Matrix wide = tall.transposed();
+  RsvdOptions opts;
+  opts.rank = 16;
+  const auto rt = rsvd(tall, opts);
+  const auto rw = rsvd(wide, opts);
+  ASSERT_EQ(rt.singular_values.size(), rw.singular_values.size());
+  EXPECT_LT(max_sigma_diff(rt.singular_values, rw.singular_values, 16),
+            1e-10);
+  EXPECT_EQ(rw.u.rows(), 16u);
+  EXPECT_EQ(rw.v.rows(), 48u);
+  Matrix us = rw.u;
+  for (std::size_t k = 0; k < 16; ++k)
+    us.scale_col(k, rw.singular_values[k]);
+  EXPECT_LT(max_abs_diff(hetero::linalg::matmul(us, rw.v.transposed()), wide),
+            1e-10);
+}
+
+TEST(Rsvd, HeadAccurateOnDecayingSpectrum) {
+  // The truncated case (l < n): with a decaying spectrum and two power
+  // iterations the head singular values are recovered to ~1e-9 relative.
+  const Matrix a = planted_decay(120, 40, 0.6, 3);
+  const auto dense = singular_values(a);
+  RsvdOptions opts;
+  opts.rank = 8;
+  opts.oversample = 8;
+  const auto rs = rsvd(a, opts);
+  ASSERT_EQ(rs.singular_values.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_NEAR(rs.singular_values[k] / dense[k], 1.0, 1e-8) << "mode " << k;
+}
+
+TEST(Rsvd, BitwiseDeterministicAcrossThreadCounts) {
+  const Matrix a = random_positive(300, 80, 4);
+  ThreadPool p1(1), p2(2), p4(4);
+  RsvdOptions o1, o2, o4;
+  o1.rank = o2.rank = o4.rank = 8;
+  o1.pool = &p1;
+  o2.pool = &p2;
+  o4.pool = &p4;
+  const auto r1 = rsvd(a, o1);
+  const auto r2 = rsvd(a, o2);
+  const auto r4 = rsvd(a, o4);
+  EXPECT_EQ(r1.singular_values, r2.singular_values);
+  EXPECT_EQ(r1.singular_values, r4.singular_values);
+  EXPECT_EQ(r1.u, r2.u);  // bit-identical factors, not just close
+  EXPECT_EQ(r1.u, r4.u);
+  EXPECT_EQ(r1.v, r2.v);
+  EXPECT_EQ(r1.v, r4.v);
+}
+
+TEST(Rsvd, SeedSelectsTheSketch) {
+  // Different seeds draw different Gaussian sketches; in the truncated
+  // regime the results differ in the last bits while agreeing numerically.
+  const Matrix a = planted_decay(120, 40, 0.6, 5);
+  RsvdOptions oa, ob;
+  oa.rank = ob.rank = 6;
+  ob.seed = 0x9e3779b97f4a7c15ull;
+  const auto ra = rsvd(a, oa);
+  const auto rb = rsvd(a, ob);
+  EXPECT_NE(ra.u, rb.u);
+  for (std::size_t k = 0; k < 6; ++k)
+    EXPECT_NEAR(ra.singular_values[k] / rb.singular_values[k], 1.0, 1e-7);
+}
+
+TEST(Rsvd, ValidatesInput) {
+  EXPECT_THROW(rsvd(Matrix{}), ValueError);
+  EXPECT_THROW(rsvd(Matrix{{1.0, std::nan("")}, {1.0, 1.0}}), ValueError);
+  RsvdOptions zero_rank;
+  zero_rank.rank = 0;
+  EXPECT_THROW(rsvd(Matrix{{1.0, 2.0}, {3.0, 4.0}}, zero_rank), ValueError);
+}
+
+TEST(ThinQr, FactorsAreThinAndExact) {
+  const Matrix a = random_positive(50, 12, 6);
+  const auto f = hetero::linalg::thin_qr(a);
+  EXPECT_EQ(f.q.rows(), 50u);
+  EXPECT_EQ(f.q.cols(), 12u);
+  EXPECT_EQ(f.r.rows(), 12u);
+  EXPECT_LT(max_abs_diff(hetero::linalg::matmul(f.q.transposed(), f.q),
+                         Matrix::identity(12)),
+            1e-13);
+  EXPECT_LT(max_abs_diff(hetero::linalg::matmul(f.q, f.r), a), 1e-12);
+}
+
+// ------------------------------------------------- blocked Gram spectrum
+
+TEST(BlockedSpectrum, MatchesDenseOnStandardForms) {
+  for (auto [t, m] : {std::pair<std::size_t, std::size_t>{96, 40},
+                      std::pair<std::size_t, std::size_t>{40, 96},
+                      std::pair<std::size_t, std::size_t>{200, 64}}) {
+    const auto sf = standardize(random_positive(t, m, 7));
+    ASSERT_TRUE(sf.converged);
+    const auto blocked = blocked_singular_values(sf.standard);
+    const auto dense = singular_values(sf.standard);
+    ASSERT_EQ(blocked.size(), dense.size()) << t << "x" << m;
+    // The PR's budget is 1e-6; the Gram route actually lands ~1e-13 on
+    // standard forms (sigma_1 = 1 keeps the squaring loss harmless).
+    EXPECT_LT(max_sigma_diff(blocked, dense, dense.size()), 1e-6)
+        << t << "x" << m;
+    EXPECT_NEAR(blocked.front(), 1.0, 1e-7) << t << "x" << m;
+  }
+}
+
+TEST(BlockedSpectrum, BitwiseDeterministicAcrossThreadCounts) {
+  const auto sf = standardize(random_positive(256, 96, 8));
+  ThreadPool p1(1), p3(3), p6(6);
+  const auto s1 = blocked_singular_values(sf.standard, {48, &p1});
+  const auto s3 = blocked_singular_values(sf.standard, {48, &p3});
+  const auto s6 = blocked_singular_values(sf.standard, {48, &p6});
+  EXPECT_EQ(s1, s3);
+  EXPECT_EQ(s1, s6);
+}
+
+TEST(BlockedSpectrum, ValidatesInput) {
+  EXPECT_THROW(blocked_singular_values(Matrix{}), ValueError);
+  EXPECT_THROW(blocked_singular_values(Matrix{{1.0, std::nan("")}}),
+               ValueError);
+}
+
+// --------------------------------------------------------- tiled Sinkhorn
+
+TEST(TiledSinkhorn, MatchesFusedStandardForm) {
+  const Matrix ecs = random_positive(512, 96, 9);
+  const auto fused = standardize(ecs);
+  ThreadPool pool(4);
+  const auto tiled = standardize_tiled(ecs, {}, pool);
+  ASSERT_TRUE(fused.converged);
+  ASSERT_TRUE(tiled.converged);
+  // Tiled accumulation orders differ from the fused serial sweep, so the
+  // forms agree to the Sinkhorn fixed point, not bitwise.
+  EXPECT_LT(max_abs_diff(tiled.standard, fused.standard), 1e-8);
+  EXPECT_EQ(tiled.iterations, fused.iterations);
+}
+
+TEST(TiledSinkhorn, BitwiseDeterministicAcrossThreadCountsAndTiles) {
+  const Matrix ecs = random_positive(300, 70, 10);
+  ThreadPool p1(1), p2(2), p5(5);
+  const auto a = standardize_tiled(ecs, {}, p1);
+  const auto b = standardize_tiled(ecs, {}, p2);
+  const auto c = standardize_tiled(ecs, {}, p5);
+  EXPECT_EQ(a.standard, b.standard);
+  EXPECT_EQ(a.standard, c.standard);
+  EXPECT_EQ(a.row_scale, b.row_scale);
+  EXPECT_EQ(a.col_scale, c.col_scale);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.residual, c.residual);
+}
+
+TEST(TiledSinkhorn, HonorsTileHeight) {
+  // Tile height changes the fold grouping but not the fixed point; a
+  // degenerate 1-row tile and an everything-in-one tile both converge.
+  const Matrix ecs = random_positive(64, 24, 11);
+  ThreadPool pool(3);
+  const auto whole = standardize_tiled(ecs, {}, pool, 1024);
+  const auto rows = standardize_tiled(ecs, {}, pool, 1);
+  ASSERT_TRUE(whole.converged);
+  ASSERT_TRUE(rows.converged);
+  EXPECT_LT(max_abs_diff(whole.standard, rows.standard), 1e-8);
+}
+
+// ------------------------------------------------------- dispatch parity
+
+TEST(LargePathDispatch, SmallInputsKeepTheDensePathBitwise) {
+  // Below the threshold nothing may change: the default-dispatch result is
+  // bit-identical to a run with the blocked path disabled outright.
+  const EcsMatrix ecs(random_positive(48, 16, 12));
+  TmaOptions off;
+  off.large.min_elements = 0;
+  const auto dense = hetero::core::tma_detailed(ecs, {}, off);
+  const auto dispatched = hetero::core::tma_detailed(ecs, {});
+  EXPECT_FALSE(dispatched.used_blocked_path);
+  EXPECT_EQ(dense.value, dispatched.value);
+  EXPECT_EQ(dense.singular_values, dispatched.singular_values);
+  EXPECT_EQ(dense.standard_form.standard, dispatched.standard_form.standard);
+}
+
+TEST(LargePathDispatch, BlockedTmaMatchesDenseAtMediumSize) {
+  const EcsMatrix ecs(random_positive(1024, 96, 13));
+  TmaOptions dense_opts;
+  dense_opts.large.min_elements = 0;
+  TmaOptions blocked_opts;
+  blocked_opts.large.min_elements = 1;
+  const auto dense = hetero::core::tma_detailed(ecs, {}, dense_opts);
+  const auto blocked = hetero::core::tma_detailed(ecs, {}, blocked_opts);
+  EXPECT_TRUE(blocked.used_blocked_path);
+  EXPECT_TRUE(blocked.used_standard_form);
+  ASSERT_EQ(blocked.singular_values.size(), dense.singular_values.size());
+  EXPECT_NEAR(blocked.value / dense.value, 1.0, 1e-9);
+}
+
+TEST(LargePathDispatch, BlockedTmaWithinBudgetAtThresholdSize) {
+  // The acceptance bound from the issue: at the dispatch-threshold size the
+  // blocked TMA must stay within 1e-3 relative of the dense twin. Sanitizer
+  // builds shrink the size (same code paths, ~20x cheaper).
+#ifdef HETERO_UNDER_SANITIZER
+  const std::size_t t = 1024, m = 128;
+#else
+  const std::size_t t = 4096, m = 256;
+#endif
+  const EcsMatrix ecs(random_positive(t, m, 14));
+  TmaOptions dense_opts;
+  dense_opts.large.min_elements = 0;
+  const auto dense = hetero::core::tma_detailed(ecs, {}, dense_opts);
+  const auto blocked = hetero::core::tma_detailed(ecs, {});
+  EXPECT_EQ(blocked.used_blocked_path, t * m >= (std::size_t{1} << 20));
+  if (!blocked.used_blocked_path) {
+    TmaOptions force;
+    force.large.min_elements = 1;
+    const auto forced = hetero::core::tma_detailed(ecs, {}, force);
+    EXPECT_NEAR(forced.value / dense.value, 1.0, 1e-3);
+    return;
+  }
+  EXPECT_NEAR(blocked.value / dense.value, 1.0, 1e-3);
+  EXPECT_NEAR(blocked.singular_values.front(), 1.0, 1e-7);
+}
+
+TEST(LargePathDispatch, BlockedCharacterizeDeterministicAcrossThreadCounts) {
+  const EcsMatrix ecs(random_positive(512, 64, 15));
+  ThreadPool p1(1), p4(4);
+  TmaOptions a, b;
+  a.large.min_elements = b.large.min_elements = 1;
+  a.large.pool = &p1;
+  b.large.pool = &p4;
+  const auto ra = hetero::core::characterize(ecs, {}, a);
+  const auto rb = hetero::core::characterize(ecs, {}, b);
+  EXPECT_TRUE(ra.tma_detail.used_blocked_path);
+  EXPECT_EQ(ra.tma_detail.value, rb.tma_detail.value);
+  EXPECT_EQ(ra.tma_detail.singular_values, rb.tma_detail.singular_values);
+  EXPECT_EQ(ra.tma_detail.standard_form.standard,
+            rb.tma_detail.standard_form.standard);
+}
+
+TEST(LargePathDispatch, AffinityModesMatchDenseOnDecayingSpectrum) {
+  // Mode sigmas and subspaces from the rsvd path vs the dense analysis, on
+  // an environment with a genuine spectral gap (where modes are
+  // well-defined; on a gapless random matrix the trailing modes mix).
+  Matrix a = planted_decay(384, 48, 0.55, 16);
+  for (double& x : a.data()) x = std::abs(x) + 0.05;  // ECS must be positive
+  const EcsMatrix ecs(a);
+  const auto dense = hetero::core::affinity_analysis(ecs, {}, 3);
+  LargePathOptions lp;
+  lp.min_elements = 1;
+  const auto blocked = hetero::core::affinity_analysis(ecs, {}, 3, {}, lp);
+  EXPECT_NEAR(blocked.tma / dense.tma, 1.0, 1e-9);
+  ASSERT_EQ(blocked.modes.size(), dense.modes.size());
+  for (std::size_t k = 0; k < dense.modes.size(); ++k) {
+    EXPECT_NEAR(blocked.modes[k].sigma / dense.modes[k].sigma, 1.0, 1e-6)
+        << "mode " << k;
+    // Subspace agreement up to sign: |<u_dense, u_blocked>| ~= 1.
+    double dot = 0.0;
+    for (std::size_t i = 0; i < ecs.task_count(); ++i)
+      dot += dense.modes[k].task_component[i] *
+             blocked.modes[k].task_component[i];
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-5) << "mode " << k;
+  }
+}
+
+TEST(LargePathDispatch, AffinityAllModesRequestKeepsStrongest16) {
+  const EcsMatrix ecs(random_positive(128, 48, 17));
+  LargePathOptions lp;
+  lp.min_elements = 1;
+  const auto blocked = hetero::core::affinity_analysis(ecs, {}, 0, {}, lp);
+  EXPECT_EQ(blocked.modes.size(), 16u);
+  // The TMA still averages the whole spectrum, not just the kept modes.
+  const auto dense = hetero::core::affinity_analysis(ecs, {}, 0);
+  EXPECT_EQ(dense.modes.size(), 47u);
+  EXPECT_NEAR(blocked.tma / dense.tma, 1.0, 1e-9);
+}
+
+// -------------------------------------------------- size-frontier smoke
+
+TEST(SizeFrontier, BlockedCharacterizeAtThresholdScale) {
+  // CI smoke (HETERO_SIZE_FRONTIER=1): one 4096 x 256 characterize through
+  // the blocked path end to end, bounded wall clock. Skipped by default to
+  // keep the everyday suite fast.
+  if (std::getenv("HETERO_SIZE_FRONTIER") == nullptr)
+    GTEST_SKIP() << "set HETERO_SIZE_FRONTIER=1 to run";
+  const EcsMatrix ecs(random_positive(4096, 256, 18));
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = hetero::core::characterize(ecs);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(report.tma_detail.used_blocked_path);
+  EXPECT_TRUE(report.tma_detail.used_standard_form);
+  EXPECT_NEAR(report.tma_detail.singular_values.front(), 1.0, 1e-7);
+  EXPECT_GT(report.tma_detail.value, 0.0);
+  EXPECT_LT(seconds, 30.0) << "blocked characterize too slow";
+}
+
+}  // namespace

@@ -127,6 +127,35 @@ TEST(SimdEquivalence, Reductions) {
   }
 }
 
+TEST(SimdEquivalence, PairedKernelsMatchTwoSingleCalls) {
+  // dot2 / axpy2 promise bit-identity to two independent dot / axpy calls
+  // — the blocked Gram and tridiagonalization paths rely on that to keep
+  // tiled results equal to their unpaired reference order.
+  const auto& sk = scalar();
+  std::vector<const Kernels*> all = {&sk};
+  for (const Kernels* vk : dispatched_backends()) all.push_back(vk);
+  for (const Kernels* k : all) {
+    for (std::size_t n : lengths()) {
+      const auto a = battery(n, 101 + n);
+      const auto b0 = battery(n, 103 + n);
+      const auto b1 = battery(n, 107 + n);
+
+      double d0 = 0, d1 = 0;
+      k->dot2(a.data(), b0.data(), b1.data(), n, &d0, &d1);
+      EXPECT_EQ(bits(d0), bits(k->dot(a.data(), b0.data(), n))) << n;
+      EXPECT_EQ(bits(d1), bits(k->dot(a.data(), b1.data(), n))) << n;
+
+      auto acc2 = battery(n, 109 + n);
+      auto acc_ref = acc2;
+      k->axpy2(acc2.data(), b0.data(), b1.data(), n, 0.3, -1.7);
+      k->axpy(acc_ref.data(), b0.data(), n, 0.3);
+      k->axpy(acc_ref.data(), b1.data(), n, -1.7);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(bits(acc2[i]), bits(acc_ref[i])) << n << ":" << i;
+    }
+  }
+}
+
 TEST(SimdEquivalence, ElementwiseTransforms) {
   const auto& sk = scalar();
   for (const Kernels* vk : dispatched_backends()) {

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "linalg/svd.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -339,6 +340,84 @@ TEST(StandardFormLean, PositiveIntoMatchesStandardizeExactly) {
     EXPECT_EQ(out.standard, full_warm.standard);
     EXPECT_EQ(out.iterations, full_warm.iterations);
   }
+}
+
+// ---- Scale-factor overflow guards ----
+
+using hetero::ScaleOverflowError;
+using hetero::core::standardize_tiled;
+using hetero::par::ThreadPool;
+
+TEST(StandardFormOverflow, TinyEntriesConvergeViaClampedFactors) {
+  // Row sums near 4e-300 ask for scale factors ~1e299 < clamp: fine. But a
+  // uniformly denormal-scale matrix exercises the clamp branch on the way
+  // up without ever producing a non-finite entry.
+  const Matrix tiny(4, 4, 1e-300);
+  const auto r = standardize(tiny);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.standard.has_nonfinite());
+  EXPECT_NEAR(r.standard(0, 0), 0.25, 1e-12);
+
+  const Matrix denorm(3, 3, 5e-324);
+  const auto rd = standardize(denorm);
+  EXPECT_TRUE(rd.converged);
+  EXPECT_FALSE(rd.standard.has_nonfinite());
+}
+
+TEST(StandardFormOverflow, NonFiniteSumsThrowTypedError) {
+  // 1e308 + 1e308 overflows the row sum to +inf — the guard must surface a
+  // ScaleOverflowError (a ValueError) instead of poisoning the iteration
+  // with NaNs from inf/inf.
+  const Matrix huge{{1e308, 1e308}, {1e308, 1.0}};
+  EXPECT_THROW(standardize(huge), ScaleOverflowError);
+  EXPECT_THROW(standardize_reference(huge), ScaleOverflowError);
+  ThreadPool pool(2);
+  EXPECT_THROW(standardize_tiled(huge, {}, pool), ScaleOverflowError);
+  // ScaleOverflowError is catchable as the ValueError family.
+  EXPECT_THROW(standardize(huge), ValueError);
+}
+
+TEST(StandardFormOverflow, MixedMagnitudesStayFinite) {
+  // 250 orders of magnitude apart within one matrix: per-pass factors stay
+  // below the clamp and the standard form is exact.
+  Matrix m{{1e-250, 1.0}, {1.0, 1e250}};
+  const auto r = standardize(m);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.standard.has_nonfinite());
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(r.standard.row_sum(i), r.target_row_sum, 1e-7);
+}
+
+TEST(StandardFormTiled, MatchesFusedAcrossShapes) {
+  ThreadPool pool(3);
+  for (auto [t, m] : {std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{5, 2},
+                      std::pair<std::size_t, std::size_t>{63, 17},
+                      std::pair<std::size_t, std::size_t>{130, 40}}) {
+    const Matrix ecs = random_positive(t, m, static_cast<unsigned>(91 + t));
+    const auto fused = standardize(ecs);
+    const auto tiled = standardize_tiled(ecs, {}, pool);
+    EXPECT_EQ(tiled.converged, fused.converged) << t << "x" << m;
+    EXPECT_EQ(tiled.iterations, fused.iterations) << t << "x" << m;
+    EXPECT_LE(max_abs_diff(tiled.standard, fused.standard), 1e-8)
+        << t << "x" << m;
+  }
+}
+
+TEST(StandardFormTiled, ValidatesLikeTheFusedPath) {
+  ThreadPool pool(2);
+  EXPECT_THROW(standardize_tiled(Matrix{}, {}, pool), ValueError);
+  EXPECT_THROW(standardize_tiled(Matrix{{1.0, -1.0}, {1.0, 1.0}}, {}, pool),
+               ValueError);
+  SinkhornOptions opts;
+  EXPECT_THROW(standardize_tiled(Matrix{{1.0, 2.0}}, opts, pool, 0),
+               ValueError);
+  // Zero patterns go through the same classification as the fused path:
+  // limit_only inputs project to the core and still converge.
+  const auto r = standardize_tiled(Matrix{{10.0, 5.0}, {0.0, 1.0}}, {}, pool);
+  EXPECT_EQ(r.pattern, NormalizabilityClass::limit_only);
+  EXPECT_TRUE(r.projected_to_core);
+  EXPECT_TRUE(r.converged);
 }
 
 }  // namespace
