@@ -20,10 +20,31 @@
 //   BM_ServiceHandleInline      — queue/pool bypassed (Server::handle), to
 //                                 separate protocol+pipeline cost from
 //                                 dispatch cost
+//
+// TCP harness mode (bypasses google-benchmark; this is the BENCH_pr7
+// number): `perf_service --clients=N` starts an in-process epoll
+// EventLoopServer and drives it over real sockets with the non-blocking
+// loadgen harness, printing one JSON report line (throughput +
+// p50/p90/p99) to stdout. The process exits non-zero if any response was
+// malformed or dropped, any connect failed, or the run timed out — a
+// benchmark number can never paper over a broken server. Flags:
+//
+//   --clients=N       concurrent connections (required to enter this mode)
+//   --requests=M      requests per client (default 100)
+//   --workers=N       event-loop threads (default 1)
+//   --threads=N       compute pool threads (default: hw concurrency)
+//   --pipeline=K      in-flight requests per connection (default 1)
+//   --open-rps=R      open-loop arrival rate across all clients
+//                     (default 0 = closed loop)
+//   --distinct=D      cycle D distinct matrices (default 1 = pure warm)
+//   --connect=H:P     drive an external server instead of in-process
 #include <benchmark/benchmark.h>
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +53,8 @@
 #include "etcgen/range_based.hpp"
 #include "etcgen/rng.hpp"
 #include "io/json.hpp"
+#include "svc/event_loop.hpp"
+#include "svc/loadgen.hpp"
 #include "svc/server.hpp"
 
 namespace {
@@ -76,6 +99,13 @@ std::string call(Server& server, const std::string& line) {
   });
   std::unique_lock lock(m);
   cv.wait(lock, [&] { return done; });
+  // A dropped or malformed response must fail the benchmark run, not
+  // silently skew its numbers.
+  if (response.find("\"ok\":") == std::string::npos) {
+    std::fprintf(stderr, "perf_service: malformed response: %s\n",
+                 response.c_str());
+    std::abort();
+  }
   return response;
 }
 
@@ -219,4 +249,132 @@ void BM_ServiceHandleInline(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceHandleInline);
 
+// ---------------------------------------------------------------------------
+// TCP harness mode (--clients=N).
+
+struct HarnessOptions {
+  std::size_t clients = 0;  // 0 = harness mode not requested
+  std::size_t requests = 100;
+  std::size_t workers = 1;
+  std::size_t threads = 0;
+  std::size_t pipeline = 1;
+  double open_rps = 0.0;
+  std::size_t distinct = 1;
+  std::string connect_host;  // empty = in-process server
+  std::uint16_t connect_port = 0;
+};
+
+// Extracts --key=value flags this harness owns, compacting argv so the
+// rest still flows into benchmark::Initialize. Returns false on a
+// malformed value.
+bool parse_harness_args(int* argc, char** argv, HarnessOptions* h) {
+  int kept = 1;
+  bool ok = true;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    try {
+      const char* v = nullptr;
+      if ((v = value("--clients=")) != nullptr) {
+        h->clients = std::stoul(v);
+      } else if ((v = value("--requests=")) != nullptr) {
+        h->requests = std::stoul(v);
+      } else if ((v = value("--workers=")) != nullptr) {
+        h->workers = std::stoul(v);
+      } else if ((v = value("--threads=")) != nullptr) {
+        h->threads = std::stoul(v);
+      } else if ((v = value("--pipeline=")) != nullptr) {
+        h->pipeline = std::stoul(v);
+      } else if ((v = value("--open-rps=")) != nullptr) {
+        h->open_rps = std::stod(v);
+      } else if ((v = value("--distinct=")) != nullptr) {
+        h->distinct = std::stoul(v);
+      } else if ((v = value("--connect=")) != nullptr) {
+        const std::string hp = v;
+        const auto colon = hp.rfind(':');
+        if (colon == std::string::npos) return false;
+        h->connect_host = hp.substr(0, colon);
+        h->connect_port =
+            static_cast<std::uint16_t>(std::stoul(hp.substr(colon + 1)));
+      } else {
+        argv[kept++] = argv[i];
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  *argc = kept;
+  return ok;
+}
+
+int run_harness(const HarnessOptions& h) {
+  std::vector<std::string> lines;
+  const std::size_t distinct = h.distinct == 0 ? 1 : h.distinct;
+  for (std::size_t i = 0; i < distinct; ++i)
+    lines.push_back(
+        request_line(make_matrix(128, 16, 7 + i), "characterize", ""));
+
+  hetero::svc::LoadGenOptions gen;
+  gen.clients = h.clients;
+  gen.requests_per_client = h.requests;
+  gen.pipeline = h.pipeline;
+  gen.open_loop_rps = h.open_rps;
+
+  std::unique_ptr<Server> server;
+  std::unique_ptr<hetero::svc::EventLoopServer> loop;
+  if (h.connect_host.empty()) {
+    ServerOptions options;
+    options.threads = h.threads;
+    // Admission depth sized to the client population so a cold burst is
+    // absorbed instead of bouncing off a 256-deep queue.
+    options.queue_depth = std::max<std::size_t>(1024, h.clients * 2);
+    server = std::make_unique<Server>(options);
+    hetero::svc::EventLoopOptions loop_options;
+    loop_options.workers = h.workers;
+    loop = std::make_unique<hetero::svc::EventLoopServer>(*server,
+                                                          loop_options);
+    if (!loop->start(std::cerr)) return 1;
+    gen.host = "127.0.0.1";
+    gen.port = loop->port();
+  } else {
+    gen.host = h.connect_host;
+    gen.port = h.connect_port;
+  }
+
+  const auto report = hetero::svc::run_load(lines, gen);
+  if (loop) {
+    loop->request_shutdown();
+    loop->wait();
+  }
+  std::cout << report.to_json() << '\n';
+  if (!report.ok) {
+    std::cerr << "perf_service: load run FAILED (connect_failures="
+              << report.connect_failures << " malformed=" << report.malformed
+              << " dropped=" << report.dropped << " timed_out="
+              << (report.timed_out ? "yes" : "no") << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  HarnessOptions harness;
+  if (!parse_harness_args(&argc, argv, &harness)) {
+    std::cerr << "perf_service: malformed harness flag\n";
+    return 2;
+  }
+  if (harness.clients > 0 || !harness.connect_host.empty()) {
+    if (harness.clients == 0) harness.clients = 100;
+    return run_harness(harness);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,6 +24,13 @@
 # Set HETERO_NATIVE=1 to configure and build a separate build-native tree
 # with -DHETERO_NATIVE=ON (-march=native) and benchmark that instead — for
 # measuring what the host ISA buys on top of the dispatched kernels.
+#
+# Set CLIENTS to additionally run the perf_service TCP harness (the epoll
+# event loop driven by the non-blocking loadgen over real sockets) at that
+# many concurrent connections, recording BENCH_<tag>_service_tcp.json;
+# WORKERS (default 1) sets the event-loop thread count and REQUESTS
+# (default 100) the per-client request count, e.g.
+#   CLIENTS=1000 WORKERS=$(nproc) bench/run_benchmarks.sh pr7
 set -euo pipefail
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -68,4 +75,17 @@ if [ "$found" -eq 0 ]; then
   echo "no perf_* binaries under $BUILD_DIR/bench — build with" \
        "cmake -B build -S . && cmake --build build -j" >&2
   exit 1
+fi
+
+# TCP harness pass: real sockets, N concurrent clients against the epoll
+# event loop. perf_service exits non-zero on malformed/dropped responses,
+# which fails this script (set -e) — a bad number is never recorded.
+if [ -n "${CLIENTS:-}" ]; then
+  out="$OUT_DIR/BENCH_${TAG}_service_tcp.json"
+  echo "== perf_service --clients=$CLIENTS -> $out"
+  "$BUILD_DIR/bench/perf_service" \
+      --clients="$CLIENTS" \
+      --workers="${WORKERS:-1}" \
+      --requests="${REQUESTS:-100}" > "$out"
+  cat "$out"
 fi

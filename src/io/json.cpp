@@ -523,6 +523,66 @@ core::EtcMatrix etc_from_json(const JsonValue& value) {
                          std::move(machine_names));
 }
 
+LineFramer::LineFramer(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void LineFramer::feed(std::string_view bytes) {
+  // Compact before growing: once the consumed prefix dominates the buffer,
+  // shifting the live tail down keeps memory proportional to the unframed
+  // remainder instead of the whole stream.
+  if (start_ > 0 && start_ >= buffer_.size() / 2) {
+    buffer_.erase(0, start_);
+    scan_ -= start_;
+    start_ = 0;
+  }
+  if (discarding_) {
+    // Only the resync newline matters; nothing before it is kept.
+    const std::size_t nl = bytes.find('\n');
+    if (nl == std::string_view::npos) return;
+    discarding_ = false;
+    pending_oversized_ = true;  // report the truncated frame exactly once
+    bytes.remove_prefix(nl + 1);
+  }
+  buffer_.append(bytes);
+}
+
+std::optional<LineFramer::Frame> LineFramer::next() {
+  if (pending_oversized_) {
+    // The discard-mode line just resynchronized; deliver its truncated
+    // head (saved when the cap tripped) exactly once.
+    pending_oversized_ = false;
+    Frame f;
+    f.oversized = true;
+    f.line = std::move(oversize_head_);
+    oversize_head_.clear();
+    return f;
+  }
+  const std::size_t nl = buffer_.find('\n', scan_);
+  if (nl == std::string::npos) {
+    scan_ = buffer_.size();
+    if (max_frame_bytes_ > 0 && buffer_.size() - start_ > max_frame_bytes_) {
+      // Cap exceeded mid-line: keep a truncated head for the error reply,
+      // drop the rest until the stream resynchronizes on a newline.
+      oversize_head_ = buffer_.substr(start_, max_frame_bytes_);
+      buffer_.erase(start_);
+      scan_ = buffer_.size();
+      discarding_ = true;
+    }
+    return std::nullopt;
+  }
+  Frame f;
+  f.line = buffer_.substr(start_, nl - start_);
+  start_ = nl + 1;
+  scan_ = start_;
+  if (max_frame_bytes_ > 0 && f.line.size() > max_frame_bytes_) {
+    // The whole line arrived in-buffer before the cap check ran (one big
+    // feed); flag it oversized and truncate like the streaming path.
+    f.line.resize(max_frame_bytes_);
+    f.oversized = true;
+  }
+  return f;
+}
+
 core::MeasureSet measure_set_from_json(const JsonValue& value) {
   // Null is the writer's encoding for a non-finite measure (NaN policy);
   // surface it as NaN rather than failing the read.

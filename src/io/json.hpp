@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -111,6 +112,62 @@ JsonValue parse_json(std::string_view text);
 /// Writes a JsonValue back out (canonical: no whitespace, members in stored
 /// order, non-finite numbers as null).
 std::string to_json(const JsonValue& value);
+
+// ---------------------------------------------------------------------------
+// Resumable NDJSON framing.
+
+/// Incremental newline-delimited frame decoder: the per-connection parse
+/// state of the async service front end. feed() accepts arbitrary byte
+/// splits (a frame may arrive one byte at a time or many frames in one
+/// read) and next() hands back completed lines in arrival order; the scan
+/// position is remembered across calls, so decoding a stream is O(bytes)
+/// regardless of how the reads were split. Extracting frames from a
+/// LineFramer and parsing them yields byte-identical results to splitting
+/// the concatenated stream at '\n' — asserted by the svc_equiv tests.
+///
+/// Oversized lines (no newline within `max_frame_bytes`) are not buffered
+/// without bound: the framer switches to discard mode, drops bytes until
+/// the next newline, and emits the truncated frame with `oversized` set so
+/// the caller can answer with a protocol error and keep the connection —
+/// the stream resynchronizes on the newline.
+class LineFramer {
+ public:
+  /// Frames longer than `max_frame_bytes` (excluding the newline) are
+  /// truncated and flagged instead of buffered. 0 means unlimited.
+  explicit LineFramer(std::size_t max_frame_bytes = 0);
+
+  struct Frame {
+    std::string line;      // without the trailing '\n' (a trailing '\r' stays)
+    bool oversized = false;  // truncated; the overflow was discarded
+  };
+
+  /// Appends a chunk of stream bytes to the parse state.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next completed frame, or nullopt when every buffered
+  /// byte belongs to a still-incomplete line. Call until nullopt after
+  /// each feed().
+  std::optional<Frame> next();
+
+  /// Bytes buffered for the current incomplete line (discarded overflow
+  /// not included).
+  std::size_t pending_bytes() const noexcept { return buffer_.size() - start_; }
+
+  /// True when a partial line is buffered (or being discarded) — i.e. EOF
+  /// now would truncate a frame mid-line.
+  bool mid_frame() const noexcept {
+    return pending_bytes() > 0 || discarding_;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t start_ = 0;      // offset of the current line's first byte
+  std::size_t scan_ = 0;       // offset up to which '\n' search is done
+  bool discarding_ = false;    // current line exceeded the cap
+  bool pending_oversized_ = false;  // next completed frame is the truncated one
+  std::string oversize_head_;  // truncated head kept for the error reply
+};
 
 // ---------------------------------------------------------------------------
 // Readers for the report types the writers above emit.

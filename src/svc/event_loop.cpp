@@ -1,0 +1,653 @@
+#include "svc/event_loop.hpp"
+
+#include <ostream>
+
+#include "svc/net_util.hpp"
+
+#if defined(__linux__)
+#define HETERO_SVC_HAVE_EPOLL 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "io/json.hpp"
+#endif
+
+namespace hetero::svc {
+
+#if HETERO_SVC_HAVE_EPOLL
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// epoll_event.data.u64 tags for the two non-connection descriptors;
+// connection ids start above them.
+constexpr std::uint64_t kTagListener = 0;
+constexpr std::uint64_t kTagWakeup = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+// 8-bytes-at-a-time FNV-style hash for raw request lines. The memo
+// verifies candidates with a full byte compare, so this only needs to
+// spread well, not be collision-free.
+std::uint64_t hash_line(std::string_view s) noexcept {
+  std::uint64_t h = 1469598103934665603ull ^ (s.size() * 1099511628211ull);
+  std::size_t i = 0;
+  for (; i + 8 <= s.size(); i += 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, s.data() + i, 8);
+    h = (h ^ chunk) * 1099511628211ull;
+    h ^= h >> 29;
+  }
+  for (; i < s.size(); ++i) h = (h ^ static_cast<unsigned char>(s[i])) *
+                               1099511628211ull;
+  return h;
+}
+
+bool is_blank(std::string_view line) noexcept {
+  return line.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+/// Worker-local exact-match LRU of raw request line -> response. Single
+/// threaded (loop thread only), so no locks; eviction is oldest-stamp.
+class LineMemo {
+ public:
+  explicit LineMemo(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::uint64_t stamp = 0;
+    RequestKind kind = RequestKind::invalid;
+    std::string line;
+    std::string response;
+  };
+
+  const Entry* find(std::uint64_t hash, std::string_view line) noexcept {
+    for (auto& e : entries_) {
+      if (e.hash == hash && e.line == line) {
+        e.stamp = ++clock_;
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  void put(std::uint64_t hash, std::string line, std::string response,
+           RequestKind kind) {
+    if (capacity_ == 0) return;
+    if (entries_.size() < capacity_) {
+      entries_.push_back(Entry{hash, ++clock_, kind, std::move(line),
+                               std::move(response)});
+      return;
+    }
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin() + 1; it != entries_.end(); ++it)
+      if (it->stamp < oldest->stamp) oldest = it;
+    *oldest = Entry{hash, ++clock_, kind, std::move(line),
+                    std::move(response)};
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::vector<Entry> entries_;
+};
+
+int make_listener(std::uint16_t port, std::ostream& log) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    log << "svc: socket() failed: " << std::strerror(errno) << '\n';
+    return -1;
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+  // Every worker binds its own listener to the shared port; the kernel
+  // hashes incoming connections across them (the shared-accept model).
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &enable, sizeof enable);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    log << "svc: bind() to port " << port
+        << " failed: " << std::strerror(errno) << '\n';
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 1024) < 0) {
+    log << "svc: listen() failed: " << std::strerror(errno) << '\n';
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+// Completion channel from pool workers back to the owning loop thread.
+// Response callbacks hold it by shared_ptr, so a completion arriving after
+// the loop exited (or after its connection died) still has a live queue to
+// land in — it is simply never delivered.
+struct WorkerChannel {
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, std::string>> completions;
+  int wake_fd = -1;
+
+  ~WorkerChannel() {
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  void post(std::uint64_t conn_id, std::string response) {
+    {
+      const std::scoped_lock lock(mutex);
+      completions.emplace_back(conn_id, std::move(response));
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd, &one, sizeof one);
+  }
+
+  void wake() noexcept {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd, &one, sizeof one);
+  }
+};
+
+struct EventLoopServer::Worker {
+  std::size_t index = 0;
+  int epoll_fd = -1;
+  int listen_fd = -1;
+  std::shared_ptr<WorkerChannel> channel;
+  LineMemo memo{0};
+
+  struct Conn {
+    int fd = -1;
+    io::LineFramer framer;
+    std::string outbuf;
+    std::size_t out_off = 0;
+    std::size_t in_flight = 0;  // responses owed by the pool
+    bool reading_paused = false;
+    bool peer_closed = false;  // recv saw EOF; flush what is owed, then close
+    bool want_write = false;   // EPOLLOUT armed
+    Clock::time_point last_activity{};
+  };
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::uint64_t next_conn_id = kFirstConnId;
+  std::size_t in_flight_total = 0;
+  bool draining = false;  // graceful shutdown in progress
+  Clock::time_point drain_deadline{};
+  Clock::time_point last_sweep{};
+
+  ~Worker() {
+    for (auto& [id, conn] : conns) ::close(conn.fd);
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+};
+
+EventLoopServer::EventLoopServer(Server& server, EventLoopOptions options)
+    : server_(server),
+      options_(options),
+      shard_map_(server.cache().shard_count(),
+                 options.workers == 0 ? 1 : options.workers) {
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+EventLoopServer::~EventLoopServer() {
+  request_shutdown();
+  wait();
+}
+
+bool EventLoopServer::start(std::ostream& log) {
+  if (started_) return false;
+  net::ignore_sigpipe();
+  net::raise_nofile_limit();
+
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = w;
+    worker->memo = LineMemo(options_.line_memo_entries);
+    // Worker 0 may bind an ephemeral port; the rest join it via REUSEPORT.
+    worker->listen_fd = make_listener(
+        w == 0 ? options_.port : bound_port_, log);
+    if (worker->listen_fd < 0) {
+      workers_.clear();
+      return false;
+    }
+    if (w == 0) {
+      sockaddr_in addr{};
+      socklen_t len = sizeof addr;
+      if (::getsockname(worker->listen_fd,
+                        reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+        bound_port_ = ntohs(addr.sin_port);
+      else
+        bound_port_ = options_.port;
+    }
+    worker->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    worker->channel = std::make_shared<WorkerChannel>();
+    worker->channel->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (worker->epoll_fd < 0 || worker->channel->wake_fd < 0) {
+      log << "svc: epoll/eventfd setup failed: " << std::strerror(errno)
+          << '\n';
+      workers_.clear();
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagListener;
+    ::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->listen_fd, &ev);
+    ev.data.u64 = kTagWakeup;
+    ::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->channel->wake_fd,
+                &ev);
+    workers_.push_back(std::move(worker));
+  }
+
+  log << "svc: listening on port " << bound_port_ << " ("
+      << options_.workers << (options_.workers == 1 ? " worker)" : " workers)")
+      << '\n';
+  threads_.reserve(workers_.size());
+  for (auto& worker : workers_)
+    threads_.emplace_back([this, w = worker.get()] { loop(*w); });
+  started_ = true;
+  return true;
+}
+
+void EventLoopServer::wait() {
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+int EventLoopServer::run(std::ostream& log) {
+  if (!start(log)) return 1;
+  wait();
+  return 0;
+}
+
+void EventLoopServer::request_shutdown() noexcept {
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_)
+    if (worker->channel && worker->channel->wake_fd >= 0)
+      worker->channel->wake();
+}
+
+void EventLoopServer::loop(Worker& w) {
+  auto& gauges = server_.metrics().connections();
+  const std::size_t inline_worker =
+      options_.inline_warm_hits ? w.index : shard_map_.worker_count();
+
+  const auto update_interest = [&](std::uint64_t id, Worker::Conn& conn) {
+    epoll_event ev{};
+    ev.data.u64 = id;
+    ev.events = 0;
+    if (!conn.reading_paused && !conn.peer_closed && !w.draining)
+      ev.events |= EPOLLIN;
+    if (conn.want_write) ev.events |= EPOLLOUT;
+    ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  };
+
+  const auto close_conn = [&](std::uint64_t id) {
+    const auto it = w.conns.find(id);
+    if (it == w.conns.end()) return;
+    ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    w.conns.erase(it);
+    gauges.active.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  // Flushes as much of conn.outbuf as the socket accepts. Returns false
+  // when the connection died and was closed.
+  const auto try_flush = [&](std::uint64_t id, Worker::Conn& conn) -> bool {
+    while (conn.out_off < conn.outbuf.size()) {
+      const auto n = ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+                            conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(id);
+        return false;
+      }
+      conn.out_off += static_cast<std::size_t>(n);
+      gauges.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                 std::memory_order_relaxed);
+      conn.last_activity = Clock::now();
+    }
+    if (conn.out_off == conn.outbuf.size()) {
+      conn.outbuf.clear();
+      conn.out_off = 0;
+    } else if (conn.out_off > (1u << 20) &&
+               conn.out_off >= conn.outbuf.size() / 2) {
+      conn.outbuf.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+    const std::size_t pending = conn.outbuf.size() - conn.out_off;
+    const bool want_write = pending > 0;
+    const bool should_pause = pending > options_.write_high_water;
+    const bool should_resume =
+        conn.reading_paused && pending <= options_.write_high_water / 2;
+    if (want_write != conn.want_write || should_pause || should_resume) {
+      conn.want_write = want_write;
+      if (should_pause) conn.reading_paused = true;
+      if (should_resume) conn.reading_paused = false;
+      update_interest(id, conn);
+    }
+    if (conn.peer_closed && pending == 0 && conn.in_flight == 0) {
+      close_conn(id);
+      return false;
+    }
+    return true;
+  };
+
+  // Queues one response line on the connection; enforces the hard cap.
+  const auto deliver = [&](std::uint64_t id, Worker::Conn& conn,
+                           std::string_view response) -> bool {
+    if (conn.outbuf.empty()) {
+      // Nothing queued ahead: write straight from the response buffer
+      // (line + newline as one sendmsg) and spill only the unsent tail,
+      // skipping a full copy in the common drained-peer case (the warm
+      // path pushes ~40 KB per response, so that copy is a measurable
+      // share of peak throughput).
+      char nl = '\n';
+      std::size_t off = 0;  // across response + the trailing newline
+      const std::size_t total = response.size() + 1;
+      while (off < total) {
+        iovec iov[2];
+        int iov_count = 0;
+        if (off < response.size()) {
+          iov[iov_count].iov_base =
+              const_cast<char*>(response.data()) + off;
+          iov[iov_count].iov_len = response.size() - off;
+          ++iov_count;
+        }
+        iov[iov_count].iov_base = &nl;
+        iov[iov_count].iov_len = 1;
+        ++iov_count;
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+        const auto n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          close_conn(id);
+          return false;
+        }
+        off += static_cast<std::size_t>(n);
+        gauges.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+      }
+      conn.last_activity = Clock::now();
+      if (off == total) return true;
+      if (off < response.size()) {
+        conn.outbuf.assign(response.substr(off));
+        conn.outbuf.push_back('\n');
+      }
+      // off == response.size(): only the newline is still owed.
+      if (off == response.size()) conn.outbuf.assign(1, '\n');
+      conn.out_off = 0;
+      return try_flush(id, conn);
+    }
+    conn.outbuf.reserve(conn.outbuf.size() + response.size() + 1);
+    conn.outbuf.append(response);
+    conn.outbuf.push_back('\n');
+    if (conn.outbuf.size() - conn.out_off > options_.write_close_limit) {
+      gauges.backpressure_closed.fetch_add(1, std::memory_order_relaxed);
+      close_conn(id);
+      return false;
+    }
+    return try_flush(id, conn);
+  };
+
+  // Decodes and dispatches every complete frame buffered on `conn`.
+  const auto process_frames = [&](std::uint64_t id,
+                                  Worker::Conn& conn) -> bool {
+    while (auto frame = conn.framer.next()) {
+      if (w.draining) {
+        // Shutdown hit between decode and dispatch: answer explicitly
+        // instead of dropping a frame the peer already transmitted.
+        if (!is_blank(frame->line) &&
+            !deliver(id, conn,
+                     error_response("null", kErrUnavailable,
+                                    "service shutting down")))
+          return false;
+        continue;
+      }
+      if (frame->oversized) {
+        gauges.oversized_frames.fetch_add(1, std::memory_order_relaxed);
+        if (!deliver(id, conn,
+                     error_response(
+                         "null", kErrBadRequest,
+                         "frame exceeds " +
+                             std::to_string(options_.max_frame_bytes) +
+                             " bytes")))
+          return false;
+        continue;
+      }
+      if (is_blank(frame->line)) continue;
+
+      const std::uint64_t line_hash = hash_line(frame->line);
+      if (const auto* memo = w.memo.find(line_hash, frame->line)) {
+        // Byte-identical replay of a previous inline warm hit; account it
+        // exactly like the cache hit it memoized.
+        auto& k = server_.metrics().kind(memo->kind);
+        k.received.fetch_add(1, std::memory_order_relaxed);
+        k.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        k.queue_wait.record(0);
+        k.compute.record(0);
+        k.completed.fetch_add(1, std::memory_order_relaxed);
+        if (!deliver(id, conn, memo->response)) return false;
+        continue;
+      }
+
+      Server::FastPathInfo info;
+      auto response = server_.submit_fast(
+          frame->line,
+          [channel = w.channel, id](std::string r) {
+            channel->post(id, std::move(r));
+          },
+          &shard_map_, inline_worker, &info);
+      if (response) {
+        if (info.inline_hit && !info.had_deadline)
+          w.memo.put(line_hash, std::move(frame->line), *response, info.kind);
+        if (!deliver(id, conn, *response)) return false;
+      } else {
+        ++conn.in_flight;
+        ++w.in_flight_total;
+      }
+    }
+    return true;
+  };
+
+  const auto handle_readable = [&](std::uint64_t id, Worker::Conn& conn) {
+    char chunk[65536];
+    std::size_t budget = 4;  // reads per readiness; LT epoll re-notifies
+    while (budget-- > 0) {
+      const auto n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(id);
+        return;
+      }
+      if (n == 0) {
+        conn.peer_closed = true;
+        if (conn.in_flight == 0 && conn.outbuf.size() == conn.out_off)
+          close_conn(id);
+        else
+          update_interest(id, conn);  // stop reading; flush what is owed
+        return;
+      }
+      gauges.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      conn.last_activity = Clock::now();
+      conn.framer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+      if (!process_frames(id, conn)) return;
+      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+    }
+  };
+
+  const auto handle_accept = [&] {
+    while (true) {
+      const int fd = ::accept4(w.listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        break;  // EAGAIN, or transient EMFILE/ENFILE: retry on next wake
+      }
+      const int enable = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+      if (options_.send_buffer_bytes != 0) {
+        const int sndbuf = static_cast<int>(options_.send_buffer_bytes);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof sndbuf);
+      }
+      const std::uint64_t id = w.next_conn_id++;
+      Worker::Conn& conn = w.conns[id];
+      conn.fd = fd;
+      conn.framer = io::LineFramer(options_.max_frame_bytes);
+      conn.last_activity = Clock::now();
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = id;
+      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+      gauges.accepted.fetch_add(1, std::memory_order_relaxed);
+      gauges.active.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  const auto drain_completions = [&] {
+    std::vector<std::pair<std::uint64_t, std::string>> batch;
+    {
+      const std::scoped_lock lock(w.channel->mutex);
+      batch.swap(w.channel->completions);
+    }
+    for (auto& [id, response] : batch) {
+      --w.in_flight_total;
+      const auto it = w.conns.find(id);
+      if (it == w.conns.end()) continue;  // connection died while computing
+      Worker::Conn& conn = it->second;
+      if (conn.in_flight > 0) --conn.in_flight;
+      deliver(id, conn, response);
+    }
+  };
+
+  const auto sweep_idle = [&](Clock::time_point now) {
+    if (options_.idle_timeout.count() <= 0) return;
+    if (now - w.last_sweep < options_.idle_timeout / 4) return;
+    w.last_sweep = now;
+    std::vector<std::uint64_t> victims;
+    for (auto& [id, conn] : w.conns) {
+      if (conn.in_flight > 0) continue;  // compute in progress, not idle
+      if (now - conn.last_activity > options_.idle_timeout)
+        victims.push_back(id);
+    }
+    for (const std::uint64_t id : victims) {
+      gauges.timed_out.fetch_add(1, std::memory_order_relaxed);
+      close_conn(id);
+    }
+  };
+
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    if (stop_.load(std::memory_order_acquire) && !w.draining) {
+      // Begin graceful drain: no new connections, no new requests; every
+      // admitted request still gets its response flushed.
+      w.draining = true;
+      w.drain_deadline = Clock::now() + options_.drain_grace;
+      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, w.listen_fd, nullptr);
+      for (auto& [id, conn] : w.conns) update_interest(id, conn);
+    }
+    if (w.draining) {
+      bool flushed = w.in_flight_total == 0;
+      if (flushed)
+        for (auto& [id, conn] : w.conns)
+          if (conn.outbuf.size() != conn.out_off) {
+            flushed = false;
+            break;
+          }
+      if (flushed || Clock::now() > w.drain_deadline) break;
+    }
+
+    const int timeout_ms = w.draining ? 50 : 250;
+    const int n = ::epoll_wait(w.epoll_fd, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kTagListener) {
+        if (!w.draining) handle_accept();
+        continue;
+      }
+      if (tag == kTagWakeup) {
+        std::uint64_t drained;
+        while (::read(w.channel->wake_fd, &drained, sizeof drained) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      const auto it = w.conns.find(tag);
+      if (it == w.conns.end()) continue;  // closed earlier this batch
+      Worker::Conn& conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        // Give owed responses one last flush attempt, then drop.
+        if (conn.outbuf.size() != conn.out_off) try_flush(tag, conn);
+        close_conn(tag);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        if (!try_flush(tag, conn)) continue;
+      }
+      if (events[i].events & EPOLLIN) handle_readable(tag, conn);
+    }
+    drain_completions();
+    sweep_idle(Clock::now());
+  }
+
+  // Loop exit: close whatever remains (drain completed or grace expired).
+  std::vector<std::uint64_t> remaining;
+  remaining.reserve(w.conns.size());
+  for (auto& [id, conn] : w.conns) remaining.push_back(id);
+  for (const std::uint64_t id : remaining) close_conn(id);
+}
+
+#else  // !HETERO_SVC_HAVE_EPOLL
+
+struct EventLoopServer::Worker {};
+
+EventLoopServer::EventLoopServer(Server& server, EventLoopOptions options)
+    : server_(server),
+      options_(options),
+      shard_map_(server.cache().shard_count(),
+                 options.workers == 0 ? 1 : options.workers) {}
+
+EventLoopServer::~EventLoopServer() = default;
+
+bool EventLoopServer::start(std::ostream& log) {
+  log << "svc: epoll event loop is not supported on this platform\n";
+  return false;
+}
+
+void EventLoopServer::wait() {}
+
+int EventLoopServer::run(std::ostream& log) {
+  start(log);
+  return 1;
+}
+
+void EventLoopServer::request_shutdown() noexcept {}
+
+#endif
+
+}  // namespace hetero::svc

@@ -1,0 +1,124 @@
+// Async epoll front end for the characterization service.
+//
+// One EventLoopServer runs N event-loop workers (default 1). Each worker
+// owns an epoll instance, its own SO_REUSEPORT listening socket on the
+// shared port (the kernel load-balances accepts across workers), and the
+// connections it accepted: non-blocking reads feed a resumable
+// io::LineFramer per connection (arbitrary byte splits, oversized-line
+// resync), decoded frames enter the shared Server, and responses are
+// marshalled back to the owning loop thread through a completion queue +
+// eventfd, then written through a bounded per-connection buffer.
+//
+// The Server behind the loop is unchanged: the same admission queue,
+// deadline handling, sharded LRU cache, and compute ThreadPool as the
+// blocking front ends, so responses are bit-identical to serve_tcp /
+// serve_stream (asserted by the svc_equiv tests). What the loop adds:
+//
+//  - scale: one thread per worker regardless of connection count (the
+//    blocking path burns a thread per connection);
+//  - warm-hit fast path: cacheable requests whose cache shard is owned by
+//    the accepting worker (consistent-hash ShardMap) are answered inline
+//    on the loop thread on a hit, skipping the queue/pool round trip;
+//  - raw-line memo: a small per-worker LRU keyed by the exact request
+//    bytes short-circuits the JSON parse for verbatim-repeated requests
+//    (the steady-state fleet re-characterization pattern). Entries are
+//    exact-match (hash + full compare) copies of inline warm-hit
+//    responses, so a memo hit is byte-identical to the cache hit it
+//    memoized — and both to the cold compute, since compute_result is a
+//    pure function of the request line. Deadline-bearing requests are
+//    never memoized (their 408-vs-result outcome is time-dependent).
+//  - backpressure: a connection whose peer stops draining responses has
+//    its reads paused at the high-water mark and is closed at the hard
+//    cap instead of buffering without bound;
+//  - idle/half-open timeouts and graceful shutdown (stop accepting, stop
+//    reading, flush every in-flight response within a grace budget).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "svc/server.hpp"
+
+namespace hetero::svc {
+
+struct EventLoopOptions {
+  /// 0 = ephemeral (the bound port is reported by port() after start()).
+  std::uint16_t port = 0;
+  /// Event-loop threads, each with its own SO_REUSEPORT listener; 0 = 1.
+  std::size_t workers = 1;
+  /// Frames longer than this are answered with a 400 and discarded up to
+  /// the next newline (the connection survives).
+  std::size_t max_frame_bytes = 1 << 20;
+  /// Pause reading a connection whose unsent responses exceed this.
+  std::size_t write_high_water = 4u << 20;
+  /// Close a connection whose unsent responses exceed this.
+  std::size_t write_close_limit = 64u << 20;
+  /// SO_SNDBUF for accepted sockets; 0 = kernel default. Bounding it keeps
+  /// per-connection kernel memory predictable at 10k connections and makes
+  /// the user-space backpressure limits the binding ones.
+  std::size_t send_buffer_bytes = 0;
+  /// Close connections with no read/write progress and no in-flight
+  /// compute for this long (also reaps half-open peers). 0 = never.
+  std::chrono::milliseconds idle_timeout{30000};
+  /// Graceful-shutdown budget for flushing in-flight responses.
+  std::chrono::milliseconds drain_grace{5000};
+  /// Per-worker raw-line memo entries; 0 disables the memo.
+  std::size_t line_memo_entries = 64;
+  /// Serve warm cache hits inline on the loop thread (shard-ownership
+  /// gated). Off = every request takes the queue/pool path.
+  bool inline_warm_hits = true;
+};
+
+class EventLoopServer {
+ public:
+  /// `server` must outlive this object.
+  EventLoopServer(Server& server, EventLoopOptions options = {});
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  /// Binds the listeners and starts the worker threads. False on setup
+  /// failure (diagnostic to `log`).
+  bool start(std::ostream& log);
+
+  /// Blocks until every worker has exited (i.e. until request_shutdown()
+  /// and the drain complete).
+  void wait();
+
+  /// start() + wait(); returns 0 on clean shutdown, 1 on setup failure.
+  int run(std::ostream& log);
+
+  /// Initiates graceful shutdown: stop accepting, stop reading, flush
+  /// in-flight responses (within drain_grace), then exit the loops.
+  /// Async-signal-safe (atomic flag + eventfd writes); callable from any
+  /// thread or from a signal handler.
+  void request_shutdown() noexcept;
+
+  /// The port the listeners are bound to (meaningful after start()).
+  std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Worker count actually running.
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+ private:
+  struct Worker;
+  void loop(Worker& w);
+
+  Server& server_;
+  EventLoopOptions options_;
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::uint16_t bound_port_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace hetero::svc

@@ -91,6 +91,19 @@ Metrics::Snapshot Metrics::snapshot() const {
   }
   s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
   s.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  s.connections.accepted =
+      connections_.accepted.load(std::memory_order_relaxed);
+  s.connections.active = connections_.active.load(std::memory_order_relaxed);
+  s.connections.timed_out =
+      connections_.timed_out.load(std::memory_order_relaxed);
+  s.connections.backpressure_closed =
+      connections_.backpressure_closed.load(std::memory_order_relaxed);
+  s.connections.oversized_frames =
+      connections_.oversized_frames.load(std::memory_order_relaxed);
+  s.connections.bytes_in =
+      connections_.bytes_in.load(std::memory_order_relaxed);
+  s.connections.bytes_out =
+      connections_.bytes_out.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -129,7 +142,15 @@ std::string to_json(const Metrics::Snapshot& snapshot) {
     os << '}';
   }
   os << "},\"rejected_full\":" << snapshot.rejected_full
-     << ",\"rejected_deadline\":" << snapshot.rejected_deadline << '}';
+     << ",\"rejected_deadline\":" << snapshot.rejected_deadline
+     << ",\"connections\":{\"accepted\":" << snapshot.connections.accepted
+     << ",\"active\":" << snapshot.connections.active
+     << ",\"timed_out\":" << snapshot.connections.timed_out
+     << ",\"backpressure_closed\":"
+     << snapshot.connections.backpressure_closed
+     << ",\"oversized_frames\":" << snapshot.connections.oversized_frames
+     << ",\"bytes_in\":" << snapshot.connections.bytes_in
+     << ",\"bytes_out\":" << snapshot.connections.bytes_out << "}}";
   return os.str();
 }
 
@@ -150,6 +171,14 @@ std::string render_text(const Metrics::Snapshot& snapshot) {
   t.print(os);
   os << "rejected: " << snapshot.rejected_full << " queue-full, "
      << snapshot.rejected_deadline << " deadline-expired\n";
+  const auto& c = snapshot.connections;
+  if (c.accepted != 0) {
+    os << "connections: " << c.accepted << " accepted, " << c.active
+       << " active, " << c.timed_out << " timed-out, "
+       << c.backpressure_closed << " backpressure-closed, "
+       << c.oversized_frames << " oversized frames, " << c.bytes_in
+       << " B in, " << c.bytes_out << " B out\n";
+  }
   return os.str();
 }
 

@@ -97,6 +97,21 @@ class Metrics {
     rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Connection-level gauges, maintained by the socket front ends (both the
+  /// blocking accept loop and the epoll event loop). `active` is the only
+  /// non-monotone member (incremented on accept, decremented on close).
+  struct ConnectionGauges {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> timed_out{0};
+    std::atomic<std::uint64_t> backpressure_closed{0};
+    std::atomic<std::uint64_t> oversized_frames{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+  };
+  ConnectionGauges& connections() noexcept { return connections_; }
+  const ConnectionGauges& connections() const noexcept { return connections_; }
+
   /// Plain-data snapshot of the whole registry.
   struct Snapshot {
     struct Kind {
@@ -112,6 +127,15 @@ class Metrics {
     std::vector<Kind> kinds;  // one per RequestKind, in enum order
     std::uint64_t rejected_full = 0;
     std::uint64_t rejected_deadline = 0;
+    struct Connections {
+      std::uint64_t accepted = 0;
+      std::uint64_t active = 0;
+      std::uint64_t timed_out = 0;
+      std::uint64_t backpressure_closed = 0;
+      std::uint64_t oversized_frames = 0;
+      std::uint64_t bytes_in = 0;
+      std::uint64_t bytes_out = 0;
+    } connections;
   };
   Snapshot snapshot() const;
 
@@ -122,6 +146,7 @@ class Metrics {
   std::array<PaddedCounters, kRequestKindCount> per_kind_{};
   std::atomic<std::uint64_t> rejected_full_{0};
   std::atomic<std::uint64_t> rejected_deadline_{0};
+  ConnectionGauges connections_;
 };
 
 /// Machine-readable snapshot (the `stats` response payload).

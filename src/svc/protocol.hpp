@@ -40,6 +40,9 @@ inline constexpr int kErrBadRequest = 400;
 inline constexpr int kErrDeadlineExpired = 408;
 inline constexpr int kErrQueueFull = 429;
 inline constexpr int kErrInternal = 500;
+/// Graceful shutdown: frames already decoded but not yet admitted when the
+/// event loop begins draining are answered with 503 instead of silence.
+inline constexpr int kErrUnavailable = 503;
 
 /// A parsed, validated request.
 struct Request {

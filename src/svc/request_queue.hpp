@@ -35,6 +35,10 @@ struct QueuedItem {
   std::uint64_t sequence = 0;  // admission order, assigned by the queue
   Request request;
   ResponseFn respond;
+  /// Content hash computed at admission (the event-loop front end hashes
+  /// on the loop thread for its warm-hit fast path); the worker reuses it
+  /// instead of re-hashing the matrix. nullopt = compute on the worker.
+  std::optional<std::uint64_t> cache_key;
   std::chrono::steady_clock::time_point enqueued{};
   /// time_point::max() means "no deadline".
   std::chrono::steady_clock::time_point deadline{

@@ -1,7 +1,9 @@
 #include "svc/result_cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <utility>
 
 namespace hetero::svc {
 
@@ -75,6 +77,44 @@ void ResultCache::put(std::uint64_t key, std::string value) {
     s.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
     entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash for ring points.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::size_t shard_count, std::size_t worker_count,
+                   std::size_t replicas)
+    : worker_count_(worker_count == 0 ? 1 : worker_count) {
+  if (shard_count == 0) shard_count = 1;
+  if (replicas == 0) replicas = 1;
+  // Ring points: (hash, worker), sorted by hash. Ties cannot occur in
+  // practice (64-bit mixes of distinct inputs); if one did, the lower
+  // worker index wins deterministically via the pair ordering.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring;
+  ring.reserve(worker_count_ * replicas);
+  for (std::size_t w = 0; w < worker_count_; ++w)
+    for (std::size_t r = 0; r < replicas; ++r)
+      ring.emplace_back(mix64((static_cast<std::uint64_t>(w) << 32) | r), w);
+  std::sort(ring.begin(), ring.end());
+  owner_.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::uint64_t h = mix64(0xABCDEF0000000000ull + s);
+    auto it = std::lower_bound(
+        ring.begin(), ring.end(),
+        std::make_pair(h, std::size_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it == ring.end()) it = ring.begin();  // wrap around the ring
+    owner_[s] = it->second;
   }
 }
 

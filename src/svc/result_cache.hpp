@@ -56,6 +56,13 @@ class ResultCache {
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
 
+  /// Which shard `key` lives in (stable for the cache's lifetime). The
+  /// event loop uses this with a ShardMap to decide whether the calling
+  /// worker owns the key's shard and may serve a warm hit inline.
+  std::size_t shard_index(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(key & shard_mask_);
+  }
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -88,6 +95,37 @@ class ResultCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> entries_{0};
+};
+
+/// Consistent-hash assignment of cache shards to event-loop workers.
+///
+/// Workers place `replicas` points each on a 64-bit hash ring; a shard
+/// belongs to the worker owning the first ring point at or after the
+/// shard's own hash. The assignment is a pure function of (shard_count,
+/// worker_count, replicas), so every worker computes the same map without
+/// coordination, and growing the fleet by one worker reassigns only the
+/// shards whose ring successor changed (~1/workers of them) instead of
+/// reshuffling everything — warm shards stay with their worker across
+/// resizes.
+///
+/// Ownership is used as a *serving* hint, not a partition: any worker may
+/// read or write any shard through the shared ResultCache; the owner is
+/// simply the worker allowed to answer warm hits inline on its loop
+/// thread, which keeps each shard's mutex on one core in the steady state.
+class ShardMap {
+ public:
+  ShardMap(std::size_t shard_count, std::size_t worker_count,
+           std::size_t replicas = 64);
+
+  std::size_t owner(std::size_t shard) const noexcept {
+    return owner_[shard];
+  }
+  std::size_t shard_count() const noexcept { return owner_.size(); }
+  std::size_t worker_count() const noexcept { return worker_count_; }
+
+ private:
+  std::vector<std::size_t> owner_;  // shard index -> worker index
+  std::size_t worker_count_;
 };
 
 }  // namespace hetero::svc

@@ -9,10 +9,11 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "svc/net_util.hpp"
 
-#if defined(__unix__) || defined(__APPLE__)
-#define HETERO_SVC_HAVE_SOCKETS 1
+#if HETERO_SVC_HAVE_SOCKETS
 #include <arpa/inet.h>
+#include <cerrno>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -84,6 +85,72 @@ void Server::submit(std::string line, ResponseFn respond) {
   pool_.submit([this] { drain_one(); });
 }
 
+std::optional<std::string> Server::submit_fast(std::string line,
+                                               ResponseFn respond,
+                                               const ShardMap* shard_map,
+                                               std::size_t worker_index,
+                                               FastPathInfo* info) {
+  const Clock::time_point t0 = Clock::now();
+  QueuedItem item;
+  try {
+    item.request = parse_request(line);
+  } catch (const Error& e) {
+    auto& k = metrics_.kind(RequestKind::invalid);
+    k.received.fetch_add(1, std::memory_order_relaxed);
+    k.errors.fetch_add(1, std::memory_order_relaxed);
+    return error_response("null", kErrBadRequest, e.what());
+  }
+  auto& k = metrics_.kind(item.request.kind);
+  k.received.fetch_add(1, std::memory_order_relaxed);
+  item.enqueued = t0;
+  if (item.request.deadline)
+    item.deadline = t0 + *item.request.deadline;
+  else if (options_.default_deadline.count() > 0)
+    item.deadline = t0 + options_.default_deadline;
+  if (info) {
+    info->kind = item.request.kind;
+    info->inline_hit = false;
+    info->had_deadline = item.deadline != Clock::time_point::max();
+  }
+
+  if (cacheable(item.request.kind)) {
+    item.cache_key = cache_key(item.request);
+    const bool owns_shard =
+        shard_map == nullptr ||
+        shard_map->owner(cache_.shard_index(*item.cache_key)) == worker_index;
+    if (owns_shard) {
+      // Inline warm-hit path: same expiry check the worker would make at
+      // pop time, then the cache — a hit responds from the loop thread
+      // with the exact bytes the pool path would have produced.
+      if (item.expired(Clock::now())) {
+        metrics_.count_rejected_deadline();
+        return error_response(item.request.id_json, kErrDeadlineExpired,
+                              "deadline expired before dispatch");
+      }
+      if (auto hit = cache_.get(*item.cache_key)) {
+        k.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        k.queue_wait.record(0);
+        k.compute.record(elapsed_us(t0, Clock::now()));
+        k.completed.fetch_add(1, std::memory_order_relaxed);
+        if (info) info->inline_hit = true;
+        return ok_response(item.request.id_json, *hit);
+      }
+    }
+  }
+
+  item.respond = std::move(respond);
+  if (!queue_.try_push(std::move(item))) {
+    // Rejection leaves the item intact, so the id is still available.
+    metrics_.count_rejected_full();
+    return error_response(
+        item.request.id_json, kErrQueueFull,
+        "queue full (depth " + std::to_string(queue_.depth()) +
+            "); retry later");
+  }
+  pool_.submit([this] { drain_one(); });
+  return std::nullopt;
+}
+
 void Server::drain_one() {
   auto popped = queue_.try_pop();
   if (!popped) return;  // close() raced; nothing left to answer
@@ -101,11 +168,13 @@ void Server::drain_one() {
 }
 
 std::string Server::result_for(const Request& request,
-                               Clock::time_point deadline) {
+                               Clock::time_point deadline,
+                               std::optional<std::uint64_t> precomputed_key) {
   if (request.kind == RequestKind::stats) return to_json(metrics_.snapshot());
   auto& k = metrics_.kind(request.kind);
   if (!cacheable(request.kind)) return compute_result(request);
-  const std::uint64_t key = cache_key(request);
+  const std::uint64_t key =
+      precomputed_key ? *precomputed_key : cache_key(request);
   if (auto hit = cache_.get(key)) {
     k.cache_hits.fetch_add(1, std::memory_order_relaxed);
     return *std::move(hit);
@@ -123,7 +192,8 @@ void Server::process(const QueuedItem& item) {
   auto& k = metrics_.kind(item.request.kind);
   const Clock::time_point start = Clock::now();
   try {
-    std::string result = result_for(item.request, item.deadline);
+    std::string result = result_for(item.request, item.deadline,
+                                    item.cache_key);
     k.compute.record(elapsed_us(start, Clock::now()));
     k.completed.fetch_add(1, std::memory_order_relaxed);
     item.respond(ok_response(item.request.id_json, result));
@@ -204,8 +274,12 @@ namespace {
 // reader loop both hold a reference; the socket closes when the last one
 // drops (so a late response never writes into a recycled fd).
 struct Connection {
-  explicit Connection(int descriptor) : fd(descriptor) {}
-  ~Connection() { ::close(fd); }
+  Connection(int descriptor, Metrics::ConnectionGauges& g)
+      : fd(descriptor), gauges(g) {}
+  ~Connection() {
+    ::close(fd);
+    gauges.active.fetch_sub(1, std::memory_order_relaxed);
+  }
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
@@ -214,20 +288,28 @@ struct Connection {
     const std::scoped_lock lock(mutex);
     std::size_t off = 0;
     while (off < response.size()) {
+      // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, never a
+      // process-killing SIGPIPE (SIGPIPE is also ignored process-wide by
+      // the socket front ends, for platforms where the flag is missing).
       const auto sent = ::send(fd, response.data() + off,
                                response.size() - off, MSG_NOSIGNAL);
+      if (sent < 0 && errno == EINTR) continue;
       if (sent <= 0) return;  // peer went away; response is undeliverable
       off += static_cast<std::size_t>(sent);
+      gauges.bytes_out.fetch_add(static_cast<std::uint64_t>(sent),
+                                 std::memory_order_relaxed);
     }
   }
 
   const int fd;
+  Metrics::ConnectionGauges& gauges;
   std::mutex mutex;
 };
 
 }  // namespace
 
 int Server::serve_tcp(std::uint16_t port, std::ostream& log) {
+  net::ignore_sigpipe();
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     log << "svc: socket() failed\n";
@@ -252,17 +334,31 @@ int Server::serve_tcp(std::uint16_t port, std::ostream& log) {
   }
   log << "svc: listening on port " << port << '\n';
 
+  auto& gauges = metrics_.connections();
   std::vector<std::jthread> readers;
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;
-    readers.emplace_back([this, fd] {
-      const auto conn = std::make_shared<Connection>(fd);
+    if (fd < 0) {
+      // Transient accept failures are not fatal: a signal (EINTR) or a
+      // peer that reset before we got to it (ECONNABORTED) just means
+      // "try again"; so does running out of descriptors for a moment.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
+          errno == ENFILE)
+        continue;
+      break;
+    }
+    gauges.accepted.fetch_add(1, std::memory_order_relaxed);
+    gauges.active.fetch_add(1, std::memory_order_relaxed);
+    readers.emplace_back([this, fd, &gauges] {
+      const auto conn = std::make_shared<Connection>(fd, gauges);
       std::string buffer;
       char chunk[4096];
       while (true) {
         const auto n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR) continue;
         if (n <= 0) break;
+        gauges.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
         buffer.append(chunk, static_cast<std::size_t>(n));
         std::size_t newline;
         while ((newline = buffer.find('\n')) != std::string::npos) {

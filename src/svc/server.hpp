@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "parallel/thread_pool.hpp"
@@ -60,6 +61,38 @@ class Server {
   /// thread-safe across requests.
   void submit(std::string line, ResponseFn respond);
 
+  /// What submit_fast did with the request, for front ends that cache or
+  /// account responses without re-parsing the line (the event loop's
+  /// raw-line memo and per-kind metrics).
+  struct FastPathInfo {
+    RequestKind kind = RequestKind::invalid;
+    /// The returned response is a warm cache hit served inline (true only
+    /// when a value was returned and it is an ok response from the cache).
+    bool inline_hit = false;
+    /// The request carried a deadline (explicit or default) — its outcome
+    /// is time-dependent and must not be memoized.
+    bool had_deadline = false;
+  };
+
+  /// Event-loop entry point. Returns the response when it can be produced
+  /// without the worker pool — parse errors (400), admission rejections
+  /// (429), expired-on-arrival deadlines (408), and warm cache hits served
+  /// inline on the calling thread; otherwise admits the request (with its
+  /// content hash precomputed into the queue item) and returns nullopt,
+  /// and `respond` fires exactly once on a pool worker. `respond` is never
+  /// invoked when a value is returned.
+  ///
+  /// Warm hits are served inline only for cache shards the calling worker
+  /// owns under `shard_map` (nullptr = own everything): each shard's mutex
+  /// then stays on one loop thread in the steady state, so warm throughput
+  /// scales with workers instead of bouncing a lock. Non-owned shards take
+  /// the queue path and still hit the cache on the pool worker, so the
+  /// response bytes are identical either way.
+  std::optional<std::string> submit_fast(std::string line, ResponseFn respond,
+                                         const ShardMap* shard_map = nullptr,
+                                         std::size_t worker_index = 0,
+                                         FastPathInfo* info = nullptr);
+
   /// Synchronous entry point: full pipeline (cache included) on the
   /// calling thread, bypassing admission control. The cold and cached
   /// paths produce byte-identical responses.
@@ -86,9 +119,11 @@ class Server {
   /// Runs cache lookup + compute for one popped item and responds.
   void process(const QueuedItem& item);
   /// Result payload for `request` (cache consulted for cacheable kinds);
-  /// throws past `deadline` between stages.
+  /// throws past `deadline` between stages. `key` is the precomputed
+  /// content hash when the front end already hashed the request.
   std::string result_for(const Request& request,
-                         std::chrono::steady_clock::time_point deadline);
+                         std::chrono::steady_clock::time_point deadline,
+                         std::optional<std::uint64_t> key);
   void drain_one();
 
   ServerOptions options_;

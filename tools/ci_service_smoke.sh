@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the epoll service: boots hetero_served with two
+# event-loop workers on an ephemeral port, drives it over real sockets
+# with a few hundred concurrent closed-loop clients via the perf_service
+# harness (which exits non-zero on any malformed or dropped response),
+# then checks that SIGTERM produces a graceful drain and a clean exit
+# with the connection gauges in the shutdown metrics dump.
+#
+# Usage, from the repository root (after cmake --build build):
+#   tools/ci_service_smoke.sh
+# Env knobs: BUILD_DIR (default build), CLIENTS (300), REQUESTS (20),
+# WORKERS (2).
+set -euo pipefail
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${BUILD_DIR:-$REPO_ROOT/build}
+CLIENTS=${CLIENTS:-300}
+REQUESTS=${REQUESTS:-20}
+WORKERS=${WORKERS:-2}
+
+served="$BUILD_DIR/examples/hetero_served"
+harness="$BUILD_DIR/bench/perf_service"
+for bin in "$served" "$harness"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build first)" >&2; exit 1; }
+done
+
+log=$(mktemp)
+cleanup() {
+  [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+"$served" --tcp 0 --workers "$WORKERS" 2> "$log" &
+pid=$!
+
+# The server prints "svc: listening on port N (M workers)" once bound.
+port=
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on port \([0-9][0-9]*\).*/\1/p' "$log" | head -1)
+  [ -n "$port" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died during startup:" >&2
+                                  cat "$log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "server never reported its port:" >&2
+                    cat "$log" >&2; exit 1; }
+echo "== smoke: $CLIENTS closed-loop clients x $REQUESTS requests" \
+     "against $WORKERS workers on port $port"
+
+# Closed-loop drive; non-zero exit (malformed/dropped/timeout) fails the
+# script via set -e.
+"$harness" --connect="127.0.0.1:$port" \
+           --clients="$CLIENTS" --requests="$REQUESTS"
+
+# Graceful shutdown: SIGTERM must drain and exit 0 within the grace
+# budget, and the metrics dump must report the connection gauges.
+kill -TERM "$pid"
+deadline=$((SECONDS + 30))
+while kill -0 "$pid" 2>/dev/null; do
+  [ "$SECONDS" -lt "$deadline" ] || { echo "server did not exit after SIGTERM" >&2
+                                      cat "$log" >&2; exit 1; }
+  sleep 0.1
+done
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "server exited with status $rc:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+pid=
+
+grep -q "^connections: " "$log" || {
+  echo "shutdown dump is missing the connection gauges:" >&2
+  cat "$log" >&2
+  exit 1
+}
+echo "== smoke: OK"
+grep "^connections: " "$log"
