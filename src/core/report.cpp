@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "core/clustering.hpp"
 #include "core/confidence.hpp"
@@ -116,7 +117,7 @@ std::string markdown_report(const EtcMatrix& etc, const ReportOptions& opt) {
        << "| TMA | " << fixed(conf.tma.point) << " | [" << fixed(conf.tma.lower)
        << ", " << fixed(conf.tma.upper) << "] |\n";
   }
-  return os.str();
+  return std::move(os).str();
 }
 
 }  // namespace hetero::core

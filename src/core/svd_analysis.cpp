@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "linalg/rsvd.hpp"
 #include "linalg/svd.hpp"
@@ -186,7 +187,7 @@ std::string describe_strongest_mode(const AffinityAnalysis& analysis,
     first = false;
   }
   os << "}";
-  return os.str();
+  return std::move(os).str();
 }
 
 }  // namespace hetero::core

@@ -51,7 +51,8 @@ std::string json_escape(const std::string& s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -73,7 +74,7 @@ std::string to_json(const core::MeasureSet& measures) {
   os << "{\"mph\":" << json_number(measures.mph)
      << ",\"tdh\":" << json_number(measures.tdh)
      << ",\"tma\":" << json_number(measures.tma) << '}';
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string to_json(const core::EnvironmentReport& report,
@@ -101,7 +102,7 @@ std::string to_json(const core::EnvironmentReport& report,
   os << ",\"sinkhorn_iterations\":" << sf.iterations
      << ",\"converged\":" << (sf.converged ? "true" : "false")
      << ",\"residual\":" << json_number(sf.residual) << "}}";
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string to_json(const core::EtcMatrix& etc) {
@@ -118,7 +119,7 @@ std::string to_json(const core::EtcMatrix& etc) {
     os << ']';
   }
   os << "]}";
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string to_json(const sched::ScheduleSummary& summary) {
@@ -130,7 +131,7 @@ std::string to_json(const sched::ScheduleSummary& summary) {
   os << ",\"machine_loads\":";
   append_number_array(os, summary.machine_loads);
   os << '}';
-  return os.str();
+  return std::move(os).str();
 }
 
 // ---------------------------------------------------------------------------
@@ -489,7 +490,7 @@ JsonValue parse_json(std::string_view text) {
 std::string to_json(const JsonValue& value) {
   std::ostringstream os;
   append_json(os, value);
-  return os.str();
+  return std::move(os).str();
 }
 
 core::EtcMatrix etc_from_json(const JsonValue& value) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "base/error.hpp"
 
@@ -47,7 +48,7 @@ std::string format_fixed(double value, int decimals) {
   os.setf(std::ios::fixed);
   os.precision(decimals);
   os << value;
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string format_general(double value, int significant) {
@@ -55,7 +56,7 @@ std::string format_general(double value, int significant) {
   std::ostringstream os;
   os.precision(significant);
   os << value;
-  return os.str();
+  return std::move(os).str();
 }
 
 void print_matrix(std::ostream& os, const linalg::Matrix& m,

@@ -18,8 +18,14 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
 }
 
 ThreadPool::~ThreadPool() {
-  for (auto& w : workers_) w.request_stop();
-  cv_.notify_all();
+  {
+    // Stop flags and the wakeup are published under the queue mutex: a
+    // worker is either inside the locked predicate check (it will see the
+    // flag) or waiting (it will get the notify), so no wakeup is missed.
+    const support::MutexLock lock(mutex_);
+    for (auto& w : workers_) w.request_stop();
+    cv_.notify_all();
+  }
   // jthread destructors join; worker_loop drains the queue before exiting.
 }
 
@@ -27,8 +33,8 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
   while (true) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      support::MutexLock lock(mutex_);
+      while (queue_.empty() && !stop.stop_requested()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop requested and no work left
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -54,11 +60,12 @@ struct ClaimState {
   void (*body)(void*, std::size_t) = nullptr;
   void* ctx = nullptr;
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t helpers_running = 0;
-  std::size_t error_index = static_cast<std::size_t>(-1);
-  std::exception_ptr error;
+  support::Mutex mutex{support::kRankParallelForState, "parallel-for-state"};
+  support::CondVar cv;
+  std::size_t helpers_running HETERO_GUARDED_BY(mutex) = 0;
+  std::size_t error_index HETERO_GUARDED_BY(mutex) =
+      static_cast<std::size_t>(-1);
+  std::exception_ptr error HETERO_GUARDED_BY(mutex);
 
   // Claims and runs chunks until the range is exhausted. A throwing
   // iteration aborts its chunk but not the range; the failure with the
@@ -72,13 +79,25 @@ struct ClaimState {
       try {
         for (; i < hi; ++i) body(ctx, i);
       } catch (...) {
-        const std::scoped_lock lock(mutex);
+        const support::MutexLock lock(mutex);
         if (i < error_index) {
           error_index = i;
           error = std::current_exception();
         }
       }
     }
+  }
+
+  // One helper's whole job; keeps guarded state out of the submit lambda.
+  void run_as_helper() {
+    run_chunks();
+    const support::MutexLock lock(mutex);
+    if (--helpers_running == 0) cv.notify_all();
+  }
+
+  void wait_helpers() {
+    support::MutexLock lock(mutex);
+    while (helpers_running != 0) cv.wait(lock);
   }
 };
 
@@ -101,21 +120,23 @@ void detail::parallel_for_impl(ThreadPool& pool, std::size_t begin,
   // The caller claims chunks too, so at most chunks - 1 helpers are useful.
   const std::size_t chunks = (end - begin + grain - 1) / grain;
   const std::size_t helpers = std::min(pool.thread_count(), chunks - 1);
-  state.helpers_running = helpers;
-  for (std::size_t w = 0; w < helpers; ++w) {
-    pool.submit([&state] {
-      state.run_chunks();
-      const std::scoped_lock lock(state.mutex);
-      if (--state.helpers_running == 0) state.cv.notify_all();
-    });
+  {
+    const support::MutexLock lock(state.mutex);
+    state.helpers_running = helpers;
   }
+  for (std::size_t w = 0; w < helpers; ++w)
+    pool.submit([&state] { state.run_as_helper(); });
 
   state.run_chunks();
-  if (helpers > 0) {
-    std::unique_lock lock(state.mutex);
-    state.cv.wait(lock, [&state] { return state.helpers_running == 0; });
+  if (helpers > 0) state.wait_helpers();
+  // All helpers joined above, but the lock keeps the read inside the
+  // guarded discipline (and publishes any helper's final store).
+  std::exception_ptr error;
+  {
+    const support::MutexLock lock(state.mutex);
+    error = std::move(state.error);
   }
-  if (state.error) std::rethrow_exception(state.error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace hetero::par

@@ -6,16 +6,18 @@
 // mutex-protected queue, exceptions surfaced to the waiter via futures.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "support/lock_ranks.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetero::par {
 
@@ -40,7 +42,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      const std::scoped_lock lock(mutex_);
+      const support::MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -50,9 +52,9 @@ class ThreadPool {
  private:
   void worker_loop(const std::stop_token& stop);
 
-  std::mutex mutex_;
-  std::condition_variable_any cv_;
-  std::deque<std::function<void()>> queue_;
+  support::Mutex mutex_{support::kRankPoolQueue, "pool-queue"};
+  support::CondVar cv_;
+  std::deque<std::function<void()>> queue_ HETERO_GUARDED_BY(mutex_);
   std::vector<std::jthread> workers_;  // last member: joins before the rest die
 };
 

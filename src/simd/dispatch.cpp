@@ -62,6 +62,12 @@ const Kernels* kernels_for(Backend b) {
 namespace {
 
 Backend select_backend() {
+  // det-waiver: wall-clock -- startup-only backend override; every backend
+  // produces bit-identical results, so the choice cannot change any output
+  //
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): runs once under the dispatch
+  // table's static initializer, before any worker thread exists; nothing
+  // in the process calls setenv.
   if (const char* env = std::getenv("HETERO_SIMD")) {
     Backend forced = Backend::scalar;
     bool known = true;

@@ -1,0 +1,95 @@
+#include "support/lock_rank.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hetero::support {
+
+namespace {
+
+std::atomic<RankViolationPolicy> g_policy{RankViolationPolicy::fatal};
+
+struct Held {
+  const void* site = nullptr;
+  int rank = 0;
+  const char* name = "";
+};
+
+// Per-thread acquisition stack. Plain array + count: no heap, no static
+// destruction order hazards, trivially async-signal-tolerant reads.
+thread_local Held t_held[lock_rank::kMaxHeld];
+thread_local std::size_t t_held_count = 0;
+
+[[noreturn]] void report(const std::string& what) {
+  if (g_policy.load(std::memory_order_relaxed) ==
+      RankViolationPolicy::throw_exception)
+    throw RankViolationError(what);
+  std::fprintf(stderr, "hetero lock-rank violation: %s\n", what.c_str());
+  for (std::size_t i = 0; i < t_held_count; ++i)
+    std::fprintf(stderr, "  held[%zu]: rank %d (%s)\n", i, t_held[i].rank,
+                 t_held[i].name[0] ? t_held[i].name : "unnamed");
+  std::abort();
+}
+
+}  // namespace
+
+RankViolationPolicy set_rank_violation_policy(RankViolationPolicy p) noexcept {
+  return g_policy.exchange(p, std::memory_order_relaxed);
+}
+
+namespace lock_rank {
+
+void note_acquire(const void* site, int rank, const char* name) {
+  int worst = kNoRank;
+  const char* worst_name = "";
+  for (std::size_t i = 0; i < t_held_count; ++i) {
+    if (t_held[i].rank >= worst) {
+      worst = t_held[i].rank;
+      worst_name = t_held[i].name;
+    }
+    if (t_held[i].site == site)
+      report("re-acquisition of non-recursive mutex rank " +
+             std::to_string(rank) + " (" + name + ")");
+  }
+  if (t_held_count > 0 && rank <= worst)
+    report("acquiring rank " + std::to_string(rank) + " (" + name +
+           ") while holding rank " + std::to_string(worst) + " (" +
+           worst_name + "); acquisition order requires strictly "
+           "increasing ranks");
+  if (t_held_count >= kMaxHeld)
+    report("more than " + std::to_string(kMaxHeld) +
+           " mutexes held by one thread");
+  t_held[t_held_count++] = Held{site, rank, name};
+}
+
+void note_acquire_unchecked(const void* site, int rank, const char* name) {
+  if (t_held_count >= kMaxHeld)
+    report("more than " + std::to_string(kMaxHeld) +
+           " mutexes held by one thread");
+  t_held[t_held_count++] = Held{site, rank, name};
+}
+
+void note_release(const void* site) noexcept {
+  // Search from the top: releases are almost always LIFO.
+  for (std::size_t i = t_held_count; i-- > 0;) {
+    if (t_held[i].site != site) continue;
+    for (std::size_t j = i + 1; j < t_held_count; ++j)
+      t_held[j - 1] = t_held[j];
+    --t_held_count;
+    return;
+  }
+}
+
+std::size_t held_count() noexcept { return t_held_count; }
+
+int max_held_rank() noexcept {
+  int worst = kNoRank;
+  for (std::size_t i = 0; i < t_held_count; ++i)
+    if (t_held[i].rank > worst) worst = t_held[i].rank;
+  return worst;
+}
+
+}  // namespace lock_rank
+}  // namespace hetero::support

@@ -1,0 +1,89 @@
+// Runtime lock-rank (lock-order) checking for support::Mutex.
+//
+// Every support::Mutex carries a static rank from support/lock_ranks.hpp.
+// A thread may only acquire a mutex whose rank is strictly greater than
+// the rank of every mutex it already holds; acquiring downward or sideways
+// (equal rank) is a *potential* deadlock even when this particular
+// interleaving did not deadlock — exactly the class of bug TSan cannot
+// see, because TSan only reports cycles it actually observes.
+//
+// The checker keeps a small thread-local stack of held (site, rank)
+// pairs. In release builds (NDEBUG, unless HETERO_FORCE_LOCK_RANK_CHECKS
+// is defined project-wide) support::Mutex never calls into it, so the
+// fast path carries zero overhead; the checker's own entry points stay
+// compiled in every build so tests can exercise the detection logic
+// directly regardless of build type.
+#pragma once
+
+#include <cstddef>
+
+#include "base/error.hpp"
+
+// Whether support::Mutex invokes the checker on every lock/unlock. The
+// macro is fixed per build (PUBLIC compile definition / NDEBUG), never per
+// translation unit, so all TUs agree on the inline Mutex definitions.
+#if defined(HETERO_FORCE_LOCK_RANK_CHECKS)
+#define HETERO_LOCK_RANK_CHECKS 1
+#elif !defined(NDEBUG)
+#define HETERO_LOCK_RANK_CHECKS 1
+#else
+#define HETERO_LOCK_RANK_CHECKS 0
+#endif
+
+namespace hetero::support {
+
+/// Thrown (under RankViolationPolicy::throw_exception) when an acquisition
+/// would violate the rank order. Deriving from hetero::Error keeps it
+/// catchable at the same boundaries as every other library failure.
+class RankViolationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// What a detected inversion does. `fatal` (the default) prints the held
+/// stack to stderr and aborts — a rank inversion is a latent deadlock, and
+/// aborting in debug CI is the loudest possible signal. Tests switch to
+/// `throw_exception` so the violation is observable without dying.
+enum class RankViolationPolicy { fatal, throw_exception };
+
+/// Sets the process-wide policy; returns the previous one. Not intended
+/// for concurrent mutation (tests set it once up front).
+RankViolationPolicy set_rank_violation_policy(RankViolationPolicy p) noexcept;
+
+namespace lock_rank {
+
+/// Records that the calling thread is about to acquire `site` (the mutex
+/// address, used only as an identity token) at `rank`. Called *before* the
+/// underlying lock, so a violation can throw without leaving the mutex
+/// held. Violations: rank <= the highest rank currently held by this
+/// thread, or stack overflow (more than kMaxHeld nested locks).
+void note_acquire(const void* site, int rank, const char* name);
+
+/// note_acquire without the ordering check: joins the held set so later
+/// blocking acquisitions are checked against it, but does not itself
+/// require increasing rank. Used for try_lock, which never blocks and so
+/// cannot complete a deadlock cycle. Overflow is still a violation.
+void note_acquire_unchecked(const void* site, int rank,
+                            const char* name);
+
+/// Records that the calling thread released `site`. Unknown sites are
+/// ignored (a Mutex compiled with checks on may be unlocked by code
+/// compiled before the stack was pushed — never the case in-tree, but
+/// release must not be able to fail).
+void note_release(const void* site) noexcept;
+
+/// How many mutexes the calling thread currently holds (test hook).
+std::size_t held_count() noexcept;
+
+/// Highest rank the calling thread currently holds, or kNoRank when it
+/// holds nothing (test hook).
+inline constexpr int kNoRank = -2147483647 - 1;  // INT_MIN without <climits>
+int max_held_rank() noexcept;
+
+/// Nesting depth the thread-local stack supports before overflow is
+/// reported as a violation. Deep enough for any sane design: the in-tree
+/// maximum nesting is 1.
+inline constexpr std::size_t kMaxHeld = 32;
+
+}  // namespace lock_rank
+}  // namespace hetero::support

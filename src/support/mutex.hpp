@@ -1,0 +1,139 @@
+// Annotated mutex wrappers: the only locking primitives the tree uses.
+//
+// support::Mutex wraps std::mutex with (a) clang thread-safety-analysis
+// capability annotations, so data protected by a mutex can be declared
+// HETERO_GUARDED_BY it and misuse is a compile error under
+// -DHETERO_THREAD_SAFETY=ON, and (b) a static lock rank (see
+// support/lock_ranks.hpp) checked at runtime in debug builds, so a
+// *potential* deadlock — acquiring ranks out of order — is reported even
+// on interleavings that happened not to deadlock and that TSan therefore
+// cannot flag. Release builds compile the rank checking out entirely;
+// the wrapper is then exactly a std::mutex plus two trivially-dead
+// members.
+//
+// tools/lint_determinism.py bans raw std::mutex outside src/support, so
+// new concurrent code inherits both checks by construction.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/lock_rank.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace hetero::support {
+
+/// A std::mutex with a capability annotation and a static lock rank.
+class HETERO_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` appears in rank-violation reports; keep it a string literal
+  /// (the Mutex stores the pointer, not a copy).
+  explicit Mutex(int rank, const char* name = "") noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HETERO_ACQUIRE() {
+#if HETERO_LOCK_RANK_CHECKS
+    // Checked before the acquire so a violation can throw under the test
+    // policy without leaving the mutex held.
+    lock_rank::note_acquire(this, rank_, name_);
+#endif
+    m_.lock();
+  }
+
+  void unlock() HETERO_RELEASE() {
+    m_.unlock();
+#if HETERO_LOCK_RANK_CHECKS
+    lock_rank::note_release(this);
+#endif
+  }
+
+  /// Exempt from the rank-order check (a try_lock never blocks, so it
+  /// cannot complete a deadlock cycle), but a successful try still joins
+  /// the held set so later blocking acquisitions are checked against it.
+  bool try_lock() HETERO_TRY_ACQUIRE(true) {
+    const bool got = m_.try_lock();
+#if HETERO_LOCK_RANK_CHECKS
+    if (got) lock_rank::note_acquire_unchecked(this, rank_, name_);
+#endif
+    return got;
+  }
+
+  int rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+  /// True when this build compiled the rank checker into lock()/unlock().
+  static constexpr bool rank_checks_enabled() noexcept {
+    return HETERO_LOCK_RANK_CHECKS != 0;
+  }
+
+ private:
+  std::mutex m_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// Scoped lock for one support::Mutex (the std::scoped_lock of this
+/// library). Also satisfies BasicLockable so CondVar can release and
+/// re-acquire it across a wait.
+class HETERO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) HETERO_ACQUIRE(m) : m_(m) {
+    m_.lock();
+    held_ = true;
+  }
+
+  ~MutexLock() HETERO_RELEASE() {
+    if (held_) m_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable surface for CondVar's wait internals only; analysis is
+  // disabled because a wait's transient release/re-acquire would otherwise
+  // read as losing the scoped capability (callers do hold it again, by the
+  // condition-variable contract, whenever wait returns).
+  void lock() HETERO_NO_THREAD_SAFETY_ANALYSIS {
+    m_.lock();
+    held_ = true;
+  }
+  void unlock() HETERO_NO_THREAD_SAFETY_ANALYSIS {
+    held_ = false;
+    m_.unlock();
+  }
+
+ private:
+  Mutex& m_;
+  bool held_ = false;
+};
+
+/// Condition variable paired with support::Mutex via MutexLock. A thin
+/// wrapper over std::condition_variable_any: waits release and re-acquire
+/// through MutexLock, so the lock-rank stack stays correct across sleeps.
+///
+/// Call pattern (the explicit loop keeps every guarded read inside the
+/// locked scope, where the thread-safety analysis can verify it):
+///
+///   support::MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock);
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock, d);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace hetero::support

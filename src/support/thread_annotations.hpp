@@ -1,0 +1,72 @@
+// Clang thread-safety-analysis macros (no-ops on other compilers).
+//
+// These wrap the capability attributes understood by clang's
+// -Wthread-safety so locking invariants are declared in the type system
+// and machine-checked at compile time: a mutex is a CAPABILITY, data it
+// protects is GUARDED_BY it, and functions declare what they ACQUIRE,
+// RELEASE, REQUIRE, or EXCLUDE. GCC compiles the same sources with the
+// macros expanding to nothing, so the annotations cost nothing where the
+// analysis is unavailable.
+//
+// Build with -DHETERO_THREAD_SAFETY=ON (clang only) to turn violations
+// into hard errors; see docs/static_analysis.md for the conventions and
+// src/support/mutex.hpp for the annotated Mutex/MutexLock wrappers every
+// in-tree mutex must use.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HETERO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HETERO_THREAD_ANNOTATION
+#define HETERO_THREAD_ANNOTATION(x)  // not clang: annotations vanish
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define HETERO_CAPABILITY(x) HETERO_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define HETERO_SCOPED_CAPABILITY HETERO_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define HETERO_GUARDED_BY(x) HETERO_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define HETERO_PT_GUARDED_BY(x) HETERO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and did not hold it on entry).
+#define HETERO_ACQUIRE(...) \
+  HETERO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (and held it on entry).
+#define HETERO_RELEASE(...) \
+  HETERO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define HETERO_TRY_ACQUIRE(result, ...) \
+  HETERO_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must hold the capability across the call.
+#define HETERO_REQUIRES(...) \
+  HETERO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// declares deadlock-by-reentry impossible).
+#define HETERO_EXCLUDES(...) HETERO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Documented acquisition order between two capabilities (the static
+/// counterpart of the runtime lock-rank checker).
+#define HETERO_ACQUIRED_BEFORE(...) \
+  HETERO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HETERO_ACQUIRED_AFTER(...) \
+  HETERO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define HETERO_RETURN_CAPABILITY(x) HETERO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (condition-variable
+/// relock internals). Every use needs a one-line justification comment.
+#define HETERO_NO_THREAD_SAFETY_ANALYSIS \
+  HETERO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -17,12 +17,14 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "io/json.hpp"
+#include "support/lock_ranks.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 #endif
 
 namespace hetero::svc {
@@ -108,7 +110,7 @@ class LineMemo {
 int make_listener(std::uint16_t port, std::ostream& log) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) {
-    log << "svc: socket() failed: " << std::strerror(errno) << '\n';
+    log << "svc: socket() failed: " << net::errno_string(errno) << '\n';
     return -1;
   }
   const int enable = 1;
@@ -122,12 +124,12 @@ int make_listener(std::uint16_t port, std::ostream& log) {
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
     log << "svc: bind() to port " << port
-        << " failed: " << std::strerror(errno) << '\n';
+        << " failed: " << net::errno_string(errno) << '\n';
     ::close(fd);
     return -1;
   }
   if (::listen(fd, 1024) < 0) {
-    log << "svc: listen() failed: " << std::strerror(errno) << '\n';
+    log << "svc: listen() failed: " << net::errno_string(errno) << '\n';
     ::close(fd);
     return -1;
   }
@@ -141,8 +143,9 @@ int make_listener(std::uint16_t port, std::ostream& log) {
 // the loop exited (or after its connection died) still has a live queue to
 // land in — it is simply never delivered.
 struct WorkerChannel {
-  std::mutex mutex;
-  std::vector<std::pair<std::uint64_t, std::string>> completions;
+  support::Mutex mutex{support::kRankWorkerChannel, "worker-channel"};
+  std::vector<std::pair<std::uint64_t, std::string>> completions
+      HETERO_GUARDED_BY(mutex);
   int wake_fd = -1;
 
   ~WorkerChannel() {
@@ -151,11 +154,19 @@ struct WorkerChannel {
 
   void post(std::uint64_t conn_id, std::string response) {
     {
-      const std::scoped_lock lock(mutex);
+      const support::MutexLock lock(mutex);
       completions.emplace_back(conn_id, std::move(response));
     }
     const std::uint64_t one = 1;
     [[maybe_unused]] const auto n = ::write(wake_fd, &one, sizeof one);
+  }
+
+  /// Swaps out everything posted so far (the loop thread's drain step).
+  std::vector<std::pair<std::uint64_t, std::string>> take() {
+    std::vector<std::pair<std::uint64_t, std::string>> batch;
+    const support::MutexLock lock(mutex);
+    batch.swap(completions);
+    return batch;
   }
 
   void wake() noexcept {
@@ -238,7 +249,7 @@ bool EventLoopServer::start(std::ostream& log) {
     worker->channel = std::make_shared<WorkerChannel>();
     worker->channel->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     if (worker->epoll_fd < 0 || worker->channel->wake_fd < 0) {
-      log << "svc: epoll/eventfd setup failed: " << std::strerror(errno)
+      log << "svc: epoll/eventfd setup failed: " << net::errno_string(errno)
           << '\n';
       workers_.clear();
       return false;
@@ -525,11 +536,7 @@ void EventLoopServer::loop(Worker& w) {
   };
 
   const auto drain_completions = [&] {
-    std::vector<std::pair<std::uint64_t, std::string>> batch;
-    {
-      const std::scoped_lock lock(w.channel->mutex);
-      batch.swap(w.channel->completions);
-    }
+    auto batch = w.channel->take();
     for (auto& [id, response] : batch) {
       --w.in_flight_total;
       const auto it = w.conns.find(id);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <sstream>
+#include <utility>
 
 #include "io/json.hpp"
 #include "io/table.hpp"
@@ -151,7 +152,7 @@ std::string to_json(const Metrics::Snapshot& snapshot) {
      << ",\"oversized_frames\":" << snapshot.connections.oversized_frames
      << ",\"bytes_in\":" << snapshot.connections.bytes_in
      << ",\"bytes_out\":" << snapshot.connections.bytes_out << "}}";
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string render_text(const Metrics::Snapshot& snapshot) {
@@ -179,7 +180,7 @@ std::string render_text(const Metrics::Snapshot& snapshot) {
        << c.oversized_frames << " oversized frames, " << c.bytes_in
        << " B in, " << c.bytes_out << " B out\n";
   }
-  return os.str();
+  return std::move(os).str();
 }
 
 }  // namespace hetero::svc

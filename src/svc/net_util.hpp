@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
+#include <string>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define HETERO_SVC_HAVE_SOCKETS 1
@@ -13,6 +15,24 @@
 #include <sys/resource.h>
 
 namespace hetero::svc::net {
+
+/// Thread-safe strerror: std::strerror may return a pointer into shared
+/// static storage, so concurrent event-loop workers logging setup failures
+/// could race on it. This copies through strerror_r into a caller-owned
+/// string instead.
+inline std::string errno_string(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r: returns the message pointer (buf used only as backing).
+  const char* msg = ::strerror_r(err, buf, sizeof buf);
+  return std::string(msg != nullptr ? msg : "unknown error");
+#else
+  // POSIX strerror_r: fills buf, returns 0 on success.
+  if (::strerror_r(err, buf, sizeof buf) != 0)
+    return "error " + std::to_string(err);
+  return std::string(buf);
+#endif
+}
 
 /// A write into a half-closed socket must surface as EPIPE, not kill the
 /// process. Idempotent; every socket front end calls it on startup (the

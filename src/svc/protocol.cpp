@@ -62,7 +62,7 @@ std::string whatif_result(const Request& request) {
     append(core::whatif_remove_each_machine(ecs));
   if (request.whatif_tasks) append(core::whatif_remove_each_task(ecs));
   os << "]}";
-  return os.str();
+  return std::move(os).str();
 }
 
 }  // namespace
@@ -194,7 +194,7 @@ std::string error_response(const std::string& id_json, int code,
   std::ostringstream os;
   os << "{\"id\":" << id_json << ",\"ok\":false,\"error\":{\"code\":" << code
      << ",\"message\":\"" << io::json_escape(message) << "\"}}";
-  return os.str();
+  return std::move(os).str();
 }
 
 }  // namespace hetero::svc

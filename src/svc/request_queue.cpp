@@ -7,7 +7,7 @@ RequestQueue::RequestQueue(std::size_t depth)
 
 bool RequestQueue::try_push(QueuedItem&& item) {
   {
-    const std::scoped_lock lock(mutex_);
+    const support::MutexLock lock(mutex_);
     if (closed_ || items_.size() >= depth_) return false;
     item.sequence = next_sequence_++;
     items_.push_back(std::move(item));
@@ -17,8 +17,8 @@ bool RequestQueue::try_push(QueuedItem&& item) {
 }
 
 std::optional<QueuedItem> RequestQueue::pop() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  support::MutexLock lock(mutex_);
+  while (!closed_ && items_.empty()) cv_.wait(lock);
   if (items_.empty()) return std::nullopt;
   QueuedItem item = std::move(items_.front());
   items_.pop_front();
@@ -26,7 +26,7 @@ std::optional<QueuedItem> RequestQueue::pop() {
 }
 
 std::optional<QueuedItem> RequestQueue::try_pop() {
-  const std::scoped_lock lock(mutex_);
+  const support::MutexLock lock(mutex_);
   if (items_.empty()) return std::nullopt;
   QueuedItem item = std::move(items_.front());
   items_.pop_front();
@@ -35,14 +35,14 @@ std::optional<QueuedItem> RequestQueue::try_pop() {
 
 void RequestQueue::close() {
   {
-    const std::scoped_lock lock(mutex_);
+    const support::MutexLock lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t RequestQueue::size() const {
-  const std::scoped_lock lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return items_.size();
 }
 

@@ -12,15 +12,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "support/lock_ranks.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 #include "svc/protocol.hpp"
 
 namespace hetero::svc {
@@ -80,11 +81,11 @@ class RequestQueue {
 
  private:
   const std::size_t depth_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<QueuedItem> items_;
-  std::uint64_t next_sequence_ = 0;
-  bool closed_ = false;
+  mutable support::Mutex mutex_{support::kRankRequestQueue, "request-queue"};
+  support::CondVar cv_;
+  std::deque<QueuedItem> items_ HETERO_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ HETERO_GUARDED_BY(mutex_) = 0;
+  bool closed_ HETERO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hetero::svc

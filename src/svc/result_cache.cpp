@@ -47,7 +47,7 @@ ResultCache::ResultCache(std::size_t shards, std::size_t capacity_per_shard)
 std::optional<std::string> ResultCache::get(std::uint64_t key) {
   Shard& s = shard_for(key);
   {
-    const std::scoped_lock lock(s.mutex);
+    const support::MutexLock lock(s.mutex);
     const auto it = s.index.find(key);
     if (it != s.index.end()) {
       s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
@@ -61,7 +61,7 @@ std::optional<std::string> ResultCache::get(std::uint64_t key) {
 
 void ResultCache::put(std::uint64_t key, std::string value) {
   Shard& s = shard_for(key);
-  const std::scoped_lock lock(s.mutex);
+  const support::MutexLock lock(s.mutex);
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
     // Same key implies same content hash; keep the existing payload (it is

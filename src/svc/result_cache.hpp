@@ -13,12 +13,15 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "support/lock_ranks.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hetero::svc {
 
@@ -73,14 +76,17 @@ class ResultCache {
 
  private:
   struct Shard {
-    std::mutex mutex;
+    // All shards share one rank: a thread must never hold two shard
+    // mutexes at once (the equal-rank check enforces exactly that).
+    support::Mutex mutex{support::kRankCacheShard, "cache-shard"};
     // LRU order: front = most recent. The map holds iterators into the
     // list; list nodes are stable under splice.
-    std::list<std::pair<std::uint64_t, std::string>> lru;
+    std::list<std::pair<std::uint64_t, std::string>> lru
+        HETERO_GUARDED_BY(mutex);
     std::unordered_map<std::uint64_t,
                        std::list<std::pair<std::uint64_t, std::string>>::
                            iterator>
-        index;
+        index HETERO_GUARDED_BY(mutex);
   };
 
   Shard& shard_for(std::uint64_t key) noexcept {

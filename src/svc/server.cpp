@@ -1,14 +1,15 @@
 #include "svc/server.hpp"
 
-#include <condition_variable>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "base/error.hpp"
+#include "support/lock_ranks.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 #include "svc/net_util.hpp"
 
 #if HETERO_SVC_HAVE_SOCKETS
@@ -53,7 +54,7 @@ Server::~Server() {
   // the workers join.
 }
 
-void Server::submit(std::string line, ResponseFn respond) {
+void Server::submit(const std::string& line, ResponseFn respond) {
   const Clock::time_point t0 = Clock::now();
   QueuedItem item;
   try {
@@ -85,7 +86,7 @@ void Server::submit(std::string line, ResponseFn respond) {
   pool_.submit([this] { drain_one(); });
 }
 
-std::optional<std::string> Server::submit_fast(std::string line,
+std::optional<std::string> Server::submit_fast(const std::string& line,
                                                ResponseFn respond,
                                                const ShardMap* shard_map,
                                                std::size_t worker_index,
@@ -232,38 +233,60 @@ std::string Server::handle(const std::string& line) {
   return out;
 }
 
-void Server::serve_stream(std::istream& in, std::ostream& out) {
-  std::mutex out_mutex;
-  std::mutex flight_mutex;
-  std::condition_variable drained;
-  std::size_t in_flight = 0;
+namespace {
 
+// serve_stream's shared state: serialized response writes plus the drain
+// bookkeeping. Guarded accesses live in member functions (not in the
+// response lambda) so the thread-safety analysis can verify each one
+// against the mutex it requires.
+class StreamGate {
+ public:
+  void begin_request() {
+    const support::MutexLock lock(flight_mutex_);
+    ++in_flight_;
+  }
+
+  void write_response(std::ostream& out, const std::string& response) {
+    const support::MutexLock lock(out_mutex_);
+    out << response << '\n';
+    out.flush();
+  }
+
+  void end_request() {
+    // Notify under the lock: the waiter destroys this object right after
+    // the predicate holds, so an unlocked notify could touch a dead cv.
+    const support::MutexLock lock(flight_mutex_);
+    --in_flight_;
+    drained_.notify_one();
+  }
+
+  void wait_drained() {
+    support::MutexLock lock(flight_mutex_);
+    while (in_flight_ != 0) drained_.wait(lock);
+  }
+
+ private:
+  support::Mutex out_mutex_{support::kRankStreamOut, "stream-out"};
+  support::Mutex flight_mutex_{support::kRankStreamFlight, "stream-flight"};
+  support::CondVar drained_;
+  std::size_t in_flight_ HETERO_GUARDED_BY(flight_mutex_) = 0;
+};
+
+}  // namespace
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  StreamGate gate;
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    {
-      const std::scoped_lock lock(flight_mutex);
-      ++in_flight;
-    }
-    submit(std::move(line), [&](std::string response) {
-      {
-        const std::scoped_lock lock(out_mutex);
-        out << response << '\n';
-        out.flush();
-      }
-      {
-        // Notify under the lock: the waiter destroys the condition
-        // variable right after the predicate holds, so an unlocked
-        // notify could touch a dead object.
-        const std::scoped_lock lock(flight_mutex);
-        --in_flight;
-        drained.notify_one();
-      }
+    gate.begin_request();
+    submit(line, [&gate, &out](std::string response) {
+      gate.write_response(out, response);
+      gate.end_request();
     });
     line.clear();
   }
-  std::unique_lock lock(flight_mutex);
-  drained.wait(lock, [&] { return in_flight == 0; });
+  gate.wait_drained();
 }
 
 #if HETERO_SVC_HAVE_SOCKETS
@@ -285,7 +308,7 @@ struct Connection {
 
   void send_line(std::string response) {
     response += '\n';
-    const std::scoped_lock lock(mutex);
+    const support::MutexLock lock(mutex);
     std::size_t off = 0;
     while (off < response.size()) {
       // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, never a
@@ -303,7 +326,7 @@ struct Connection {
 
   const int fd;
   Metrics::ConnectionGauges& gauges;
-  std::mutex mutex;
+  support::Mutex mutex{support::kRankConnectionWrite, "tcp-conn-write"};
 };
 
 }  // namespace
@@ -366,7 +389,7 @@ int Server::serve_tcp(std::uint16_t port, std::ostream& log) {
           buffer.erase(0, newline + 1);
           if (request_line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
-          submit(std::move(request_line), [conn](std::string response) {
+          submit(request_line, [conn](std::string response) {
             conn->send_line(std::move(response));
           });
         }

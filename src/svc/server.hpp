@@ -55,11 +55,12 @@ class Server {
   ~Server();
 
   /// Asynchronous entry point: parses, admits, and dispatches one request
-  /// line. `respond` is invoked exactly once — on the calling thread for
+  /// line (borrowed for the duration of the call; nothing retains it).
+  /// `respond` is invoked exactly once — on the calling thread for
   /// parse errors and admission rejections, on a worker otherwise. It may
   /// be invoked concurrently with other requests' callbacks and must be
   /// thread-safe across requests.
-  void submit(std::string line, ResponseFn respond);
+  void submit(const std::string& line, ResponseFn respond);
 
   /// What submit_fast did with the request, for front ends that cache or
   /// account responses without re-parsing the line (the event loop's
@@ -88,7 +89,8 @@ class Server {
   /// scales with workers instead of bouncing a lock. Non-owned shards take
   /// the queue path and still hit the cache on the pool worker, so the
   /// response bytes are identical either way.
-  std::optional<std::string> submit_fast(std::string line, ResponseFn respond,
+  std::optional<std::string> submit_fast(const std::string& line,
+                                         ResponseFn respond,
                                          const ShardMap* shard_map = nullptr,
                                          std::size_t worker_index = 0,
                                          FastPathInfo* info = nullptr);

@@ -9,7 +9,7 @@
 # Usage, from the repository root (after cmake --build build):
 #   tools/ci_service_smoke.sh
 # Env knobs: BUILD_DIR (default build), CLIENTS (300), REQUESTS (20),
-# WORKERS (2).
+# WORKERS (2), PORT (0 = ephemeral).
 set -euo pipefail
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -17,6 +17,17 @@ BUILD_DIR=${BUILD_DIR:-$REPO_ROOT/build}
 CLIENTS=${CLIENTS:-300}
 REQUESTS=${REQUESTS:-20}
 WORKERS=${WORKERS:-2}
+PORT=${PORT:-0}
+
+# Pre-flight for a fixed port: a conflict must be a readable failure up
+# front, not a hang waiting for a listening line that never comes.
+if [ "$PORT" -ne 0 ]; then
+  if command -v ss >/dev/null 2>&1 && ss -Hltn "sport = :$PORT" | grep -q .; then
+    echo "port $PORT is already bound:" >&2
+    ss -ltnp "sport = :$PORT" >&2 || true
+    exit 1
+  fi
+fi
 
 served="$BUILD_DIR/examples/hetero_served"
 harness="$BUILD_DIR/bench/perf_service"
@@ -31,7 +42,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$served" --tcp 0 --workers "$WORKERS" 2> "$log" &
+"$served" --tcp "$PORT" --workers "$WORKERS" 2> "$log" &
 pid=$!
 
 # The server prints "svc: listening on port N (M workers)" once bound.
@@ -39,11 +50,18 @@ port=
 for _ in $(seq 1 100); do
   port=$(sed -n 's/.*listening on port \([0-9][0-9]*\).*/\1/p' "$log" | head -1)
   [ -n "$port" ] && break
+  # A bind/listen failure is terminal even if the process lingers: dump
+  # the server's own error instead of spinning out the startup budget.
+  if grep -qE 'bind\(\)|listen\(\)|socket\(\)' "$log"; then
+    echo "server failed during socket setup:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
   kill -0 "$pid" 2>/dev/null || { echo "server died during startup:" >&2
                                   cat "$log" >&2; exit 1; }
   sleep 0.1
 done
-[ -n "$port" ] || { echo "server never reported its port:" >&2
+[ -n "$port" ] || { echo "server never reported its port; stderr was:" >&2
                     cat "$log" >&2; exit 1; }
 echo "== smoke: $CLIENTS closed-loop clients x $REQUESTS requests" \
      "against $WORKERS workers on port $port"

@@ -1,0 +1,3 @@
+// Fixture: a waiver naming a rule that does not exist must be reported
+// (typo protection — a misspelled waiver must not silently do nothing).
+int x = 0;  // det-waiver: no-such-rule -- this name is a typo

@@ -1,0 +1,4 @@
+// Fixture: bare rand() must trip the 'rand' rule.
+#include <cstdlib>
+
+int noisy_pick() { return std::rand() % 7; }

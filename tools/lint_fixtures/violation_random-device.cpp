@@ -1,0 +1,4 @@
+// Fixture: std::random_device outside etcgen/rng.hpp must trip.
+#include <random>
+
+unsigned fresh_seed() { return std::random_device{}(); }

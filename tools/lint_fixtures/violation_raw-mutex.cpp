@@ -1,0 +1,6 @@
+// Fixture: a raw std::mutex outside src/support must trip.
+#include <mutex>
+
+std::mutex g_lock;
+
+void critical() { const std::scoped_lock lock(g_lock); }

@@ -1,0 +1,8 @@
+// Fixture: an unordered container in a deterministic dir must trip.
+#include <unordered_map>
+
+double sum_values(const std::unordered_map<int, double>& m) {
+  double sum = 0.0;
+  for (const auto& [k, v] : m) sum += v;  // order-dependent accumulation
+  return sum;
+}

@@ -1,0 +1,6 @@
+// Fixture: a wall-clock read inside computation must trip.
+#include <chrono>
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Fixture: the same call with an inline waiver must stay quiet.
+#include <cstdlib>
+
+int noisy_pick() {
+  return std::rand() % 7;  // det-waiver: rand -- fixture: exercising waiver
+}

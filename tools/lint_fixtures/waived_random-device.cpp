@@ -1,0 +1,7 @@
+// Fixture: a standalone waiver comment covers the following line.
+#include <random>
+
+unsigned fresh_seed() {
+  // det-waiver: random-device -- fixture: exercising next-line waiver
+  return std::random_device{}();
+}

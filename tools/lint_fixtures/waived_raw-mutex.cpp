@@ -1,0 +1,6 @@
+// Fixture: waived raw mutex (e.g. interop with a C API demanding one).
+#include <mutex>
+
+std::mutex g_lock;  // det-waiver: raw-mutex -- fixture: exercising waiver
+
+void critical() { g_lock.lock(); g_lock.unlock(); }

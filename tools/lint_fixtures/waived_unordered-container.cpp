@@ -1,0 +1,7 @@
+// Fixture: waived unordered use (membership-only, never iterated).
+#include <unordered_set>
+
+bool seen(const std::unordered_set<int>& s,  // det-waiver: unordered-container -- fixture: membership test only, never iterated
+          int key) {
+  return s.count(key) != 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: a waived environment read (startup-time backend override; the
+// numeric contract holds because all backends are bit-identical).
+#include <cstdlib>
+
+const char* backend_override() {
+  return std::getenv("HETERO_SIMD");  // det-waiver: wall-clock -- fixture: startup-only override
+}

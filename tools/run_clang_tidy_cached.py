@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""clang-tidy over src/ with a content-addressed result cache.
+
+A full clang-tidy pass costs minutes; almost all of it is re-analyzing
+translation units that have not changed. This wrapper keys each TU on a
+hash of everything that can change its verdict — the compile command, the
+TU contents, every header it includes (from the compiler's -MM output),
+the .clang-tidy profile, and the clang-tidy version — and skips TUs whose
+key already has a clean marker in the cache directory. CI persists the
+cache across runs (actions/cache), so a typical PR re-analyzes only the
+files it touched.
+
+Only CLEAN results are cached: a TU with findings is re-run every time
+until it comes back clean, so a stale cache can hide nothing.
+
+Usage:
+  run_clang_tidy_cached.py --build-dir build [--cache-dir .tidy-cache]
+                           [--clang-tidy clang-tidy] [--jobs N]
+                           [--source-filter ^src/]
+
+Exit codes: 0 clean, 1 findings, 2 setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import pathlib
+import re
+import shlex
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def fail(message):
+    print(f"run_clang_tidy_cached: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_compile_commands(build_dir):
+    path = build_dir / "compile_commands.json"
+    if not path.is_file():
+        fail(f"{path} not found (configure with "
+             "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def command_argv(entry):
+    if "arguments" in entry:
+        return list(entry["arguments"])
+    return shlex.split(entry["command"])
+
+
+def header_deps(entry):
+    """The TU's include closure via the compiler's -MM preprocessor pass.
+
+    Falls back to just the TU itself if the compiler invocation fails (the
+    key is then coarser, never wrong: a header edit would miss the cache
+    only through the .clang-tidy/compile-command components, so we warn).
+    """
+    argv = command_argv(entry)
+    out = []
+    skip_next = False
+    for arg in argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-c", "-o"):
+            skip_next = arg == "-o"
+            continue
+        out.append(arg)
+    cmd = [argv[0], "-MM"] + out
+    try:
+        proc = subprocess.run(
+            cmd, cwd=entry["directory"], capture_output=True, text=True,
+            timeout=120, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    deps = proc.stdout.replace("\\\n", " ")
+    # "target.o: dep dep dep" -> the deps.
+    deps = deps.split(":", 1)[1] if ":" in deps else deps
+    return [d for d in deps.split() if d]
+
+
+def content_key(entry, extra_parts):
+    h = hashlib.sha256()
+    for part in extra_parts:
+        h.update(part)
+        h.update(b"\x00")
+    h.update(" ".join(command_argv(entry)).encode())
+    h.update(b"\x00")
+    directory = pathlib.Path(entry["directory"])
+    deps = header_deps(entry)
+    if deps is None:
+        print(f"warning: -MM failed for {entry['file']}; "
+              "caching on TU content only", file=sys.stderr)
+        deps = [entry["file"]]
+    for dep in sorted(set(deps)):
+        dep_path = pathlib.Path(dep)
+        if not dep_path.is_absolute():
+            dep_path = directory / dep_path
+        try:
+            h.update(dep_path.read_bytes())
+        except OSError:
+            h.update(dep.encode())  # vanished dep: still a stable key
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=pathlib.Path, required=True)
+    parser.add_argument("--cache-dir", type=pathlib.Path,
+                        default=REPO_ROOT / ".tidy-cache")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--source-filter", default=r"/src/.*\.cpp$",
+                        help="regex on the absolute TU path")
+    args = parser.parse_args(argv)
+
+    build_dir = args.build_dir.resolve()
+    entries = [e for e in load_compile_commands(build_dir)
+               if re.search(args.source_filter, e["file"])]
+    if not entries:
+        fail(f"no TUs match --source-filter {args.source_filter!r}")
+
+    try:
+        version = subprocess.run(
+            [args.clang_tidy, "--version"], capture_output=True, text=True,
+            check=True).stdout
+    except (OSError, subprocess.CalledProcessError) as e:
+        fail(f"cannot run {args.clang_tidy}: {e}")
+
+    profile = (REPO_ROOT / ".clang-tidy").read_bytes()
+    args.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    keyed = []
+    for entry in entries:
+        key = content_key(entry, [version.encode(), profile])
+        keyed.append((entry, key))
+
+    todo = [(e, k) for e, k in keyed
+            if not (args.cache_dir / k).is_file()]
+    hits = len(keyed) - len(todo)
+    print(f"clang-tidy: {len(keyed)} TUs, {hits} cached clean, "
+          f"{len(todo)} to analyze")
+
+    failures = []
+
+    def run_one(entry, key):
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(build_dir), "--quiet",
+             entry["file"]],
+            capture_output=True, text=True, check=False)
+        return entry, key, proc
+
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for entry, key, proc in pool.map(lambda t: run_one(*t), todo):
+            rel = os.path.relpath(entry["file"], REPO_ROOT)
+            if proc.returncode == 0 and "warning:" not in proc.stdout \
+                    and "error:" not in proc.stdout:
+                (args.cache_dir / key).touch()
+                print(f"  clean: {rel}")
+            else:
+                failures.append((rel, proc.stdout.strip(),
+                                 proc.stderr.strip()))
+
+    for rel, out, err in failures:
+        print(f"\n=== findings in {rel} ===")
+        if out:
+            print(out)
+        if err:
+            print(err, file=sys.stderr)
+    if failures:
+        print(f"\nclang-tidy: {len(failures)} TU(s) with findings")
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
