@@ -38,6 +38,14 @@
 //                     (default 0 = closed loop)
 //   --distinct=D      cycle D distinct matrices (default 1 = pure warm)
 //   --connect=H:P     drive an external server instead of in-process
+//   --stream=1        delta-stream workload: every client subscribes once
+//                     (loadgen prologue, excluded from the measured
+//                     numbers) and then streams `update` requests revising
+//                     cells of its session's matrix — the BENCH_pr9
+//                     updates/sec number
+//   --stream-size=RxC subscribe matrix shape in stream mode (default
+//                     128x16)
+//   --stream-batch=K  cells revised per update request (default 1)
 #include <benchmark/benchmark.h>
 
 #include <condition_variable>
@@ -260,6 +268,10 @@ struct HarnessOptions {
   std::size_t pipeline = 1;
   double open_rps = 0.0;
   std::size_t distinct = 1;
+  bool stream = false;
+  std::size_t stream_tasks = 128;
+  std::size_t stream_machines = 16;
+  std::size_t stream_batch = 1;
   std::string connect_host;  // empty = in-process server
   std::uint16_t connect_port = 0;
 };
@@ -292,6 +304,16 @@ bool parse_harness_args(int* argc, char** argv, HarnessOptions* h) {
         h->open_rps = std::stod(v);
       } else if ((v = value("--distinct=")) != nullptr) {
         h->distinct = std::stoul(v);
+      } else if ((v = value("--stream=")) != nullptr) {
+        h->stream = std::stoul(v) != 0;
+      } else if ((v = value("--stream-size=")) != nullptr) {
+        const std::string rc = v;
+        const auto x = rc.find('x');
+        if (x == std::string::npos) return false;
+        h->stream_tasks = std::stoul(rc.substr(0, x));
+        h->stream_machines = std::stoul(rc.substr(x + 1));
+      } else if ((v = value("--stream-batch=")) != nullptr) {
+        h->stream_batch = std::stoul(v);
       } else if ((v = value("--connect=")) != nullptr) {
         const std::string hp = v;
         const auto colon = hp.rfind(':');
@@ -310,14 +332,48 @@ bool parse_harness_args(int* argc, char** argv, HarnessOptions* h) {
   return ok;
 }
 
+// Delta-stream workload: `update` request lines cycling over distinct
+// cells of the subscribed matrix, `batch` cells per request, values
+// alternating between two positive levels so every update genuinely moves
+// the matrix (and the session's warm re-evaluation runs every time).
+std::vector<std::string> stream_update_lines(std::size_t tasks,
+                                             std::size_t machines,
+                                             std::size_t batch) {
+  constexpr std::size_t kDistinctLines = 64;
+  std::vector<std::string> lines;
+  std::size_t cell = 0;
+  for (std::size_t i = 0; i < kDistinctLines; ++i) {
+    std::string line = "{\"kind\":\"update\",\"set\":[";
+    for (std::size_t b = 0; b < batch; ++b, ++cell) {
+      const std::size_t task = cell % tasks;
+      const std::size_t machine = (cell / tasks) % machines;
+      const double value = 1.0 + 0.25 * static_cast<double>(cell % 5);
+      if (b > 0) line += ',';
+      line += "{\"task\":" + std::to_string(task) +
+              ",\"machine\":" + std::to_string(machine) +
+              ",\"etc\":" + std::to_string(value) + "}";
+    }
+    line += "]}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
 int run_harness(const HarnessOptions& h) {
   std::vector<std::string> lines;
-  const std::size_t distinct = h.distinct == 0 ? 1 : h.distinct;
-  for (std::size_t i = 0; i < distinct; ++i)
-    lines.push_back(
-        request_line(make_matrix(128, 16, 7 + i), "characterize", ""));
-
   hetero::svc::LoadGenOptions gen;
+  if (h.stream) {
+    const std::size_t batch = std::max<std::size_t>(1, h.stream_batch);
+    gen.prologue_lines.push_back(request_line(
+        make_matrix(h.stream_tasks, h.stream_machines, 7), "subscribe", ""));
+    lines = stream_update_lines(h.stream_tasks, h.stream_machines, batch);
+  } else {
+    const std::size_t distinct = h.distinct == 0 ? 1 : h.distinct;
+    for (std::size_t i = 0; i < distinct; ++i)
+      lines.push_back(
+          request_line(make_matrix(128, 16, 7 + i), "characterize", ""));
+  }
+
   gen.clients = h.clients;
   gen.requests_per_client = h.requests;
   gen.pipeline = h.pipeline;

@@ -1,0 +1,180 @@
+// Streaming characterization microbenchmarks: the delta-maintained
+// MeasureView against the full-recompute baseline it replaces.
+//
+// Suites (Args = {tasks, machines}):
+//   BM_ViewWarmUpdate      — one-cell revision through the warm path
+//                            (incremental sums + warm Sinkhorn + warm
+//                            eigensolve); the steady-state streaming cost
+//   BM_ViewChurnWarm       — a 1% entry-churn batch through set_entries
+//                            (one warm re-evaluation for the whole batch)
+//   BM_ViewChurnCold       — the same churn paid as a from-scratch rebuild
+//                            of the view's own pipeline (cold_measures,
+//                            the equivalence twin)
+//   BM_ChurnFullRecompute  — the same churn paid the way a client of the
+//                            pre-streaming service had to: a fresh
+//                            `measures`-path core::measure_set per
+//                            revision. The BENCH_pr9 speedup quotes warm
+//                            churn against this baseline
+//   BM_ViewColdRefresh     — a forced refresh() on the live view (equals
+//                            ChurnCold work plus state reseeding)
+//   BM_EstimatorObserve    — EtcEstimator::observe with the materiality
+//                            gate mostly closed (the per-observation cost
+//                            of a noisy-but-stationary stream)
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/etc_estimator.hpp"
+#include "core/etc_matrix.hpp"
+#include "core/measure_view.hpp"
+#include "core/measures.hpp"
+#include "etcgen/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using hetero::core::CellDelta;
+using hetero::core::EtcEstimator;
+using hetero::core::MeasureView;
+using hetero::linalg::Matrix;
+
+Matrix random_ecs(std::size_t tasks, std::size_t machines,
+                  std::uint64_t seed) {
+  hetero::etcgen::Rng rng(seed);
+  Matrix m(tasks, machines);
+  for (std::size_t i = 0; i < tasks; ++i)
+    for (std::size_t j = 0; j < machines; ++j)
+      m(i, j) = hetero::etcgen::uniform(rng, 0.05, 4.0);
+  return m;
+}
+
+// Pre-generated churn batches revising `fraction` of the matrix's cells,
+// cycling cell positions and alternating values so consecutive batches
+// keep moving the matrix instead of writing the same numbers back.
+std::vector<std::vector<CellDelta>> churn_batches(std::size_t tasks,
+                                                  std::size_t machines,
+                                                  double fraction,
+                                                  std::size_t batches) {
+  const std::size_t cells = tasks * machines;
+  const std::size_t per_batch = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(cells) * fraction));
+  std::vector<std::vector<CellDelta>> out(batches);
+  std::size_t cell = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    out[b].reserve(per_batch);
+    for (std::size_t k = 0; k < per_batch; ++k, ++cell) {
+      const std::size_t flat = cell % cells;
+      out[b].push_back(CellDelta{
+          flat / machines, flat % machines,
+          1.0 + 0.25 * static_cast<double>(cell % 5)});
+    }
+  }
+  return out;
+}
+
+void BM_ViewWarmUpdate(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  MeasureView view(random_ecs(tasks, machines, 11));
+  std::size_t cell = 0;
+  for (auto _ : state) {
+    const std::size_t flat = cell % (tasks * machines);
+    view.set_entry(flat / machines, flat % machines,
+                   1.0 + 0.25 * static_cast<double>(cell % 5));
+    benchmark::DoNotOptimize(view.current());
+    ++cell;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cold_refreshes"] = benchmark::Counter(
+      static_cast<double>(view.stats().cold_refreshes));
+}
+BENCHMARK(BM_ViewWarmUpdate)->Args({128, 16})->Args({1024, 64});
+
+void BM_ViewChurnWarm(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  MeasureView view(random_ecs(tasks, machines, 13));
+  const auto batches = churn_batches(tasks, machines, 0.01, 16);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    view.set_entries(batches[b % batches.size()]);
+    benchmark::DoNotOptimize(view.current());
+    ++b;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cells_per_batch"] =
+      benchmark::Counter(static_cast<double>(batches[0].size()));
+  state.counters["cold_refreshes"] = benchmark::Counter(
+      static_cast<double>(view.stats().cold_refreshes));
+}
+BENCHMARK(BM_ViewChurnWarm)->Args({128, 16})->Args({1024, 64});
+
+void BM_ViewChurnCold(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  // Mutate a plain matrix by the same churn batches, paying a full
+  // from-scratch recompute per batch — what a stateless service does for
+  // every revision.
+  Matrix ecs = random_ecs(tasks, machines, 13);
+  const auto batches = churn_batches(tasks, machines, 0.01, 16);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    for (const CellDelta& d : batches[b % batches.size()])
+      ecs(d.task, d.machine) = d.value;
+    benchmark::DoNotOptimize(MeasureView::cold_measures(ecs));
+    ++b;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ViewChurnCold)->Args({128, 16})->Args({1024, 64});
+
+void BM_ChurnFullRecompute(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  Matrix ecs = random_ecs(tasks, machines, 13);
+  const auto batches = churn_batches(tasks, machines, 0.01, 16);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    for (const CellDelta& d : batches[b % batches.size()])
+      ecs(d.task, d.machine) = d.value;
+    benchmark::DoNotOptimize(
+        hetero::core::measure_set(hetero::core::EcsMatrix(ecs)));
+    ++b;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChurnFullRecompute)->Args({128, 16})->Args({1024, 64});
+
+void BM_ViewColdRefresh(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  MeasureView view(random_ecs(tasks, machines, 17));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.refresh());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ViewColdRefresh)->Args({128, 16})->Args({1024, 64});
+
+void BM_EstimatorObserve(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  Matrix etc(tasks, machines, 10.0);
+  EtcEstimator est(etc);
+  // Observations hover around the seeded mean: the materiality gate stays
+  // mostly closed, isolating the per-observation tracking cost.
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t flat = i % (tasks * machines);
+    benchmark::DoNotOptimize(
+        est.observe(flat / machines, flat % machines,
+                    10.0 + 0.01 * static_cast<double>(i % 3)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EstimatorObserve)->Args({128, 16})->Args({1024, 64});
+
+}  // namespace

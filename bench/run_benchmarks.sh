@@ -31,6 +31,24 @@
 # WORKERS (default 1) sets the event-loop thread count and REQUESTS
 # (default 100) the per-client request count, e.g.
 #   CLIENTS=1000 WORKERS=$(nproc) bench/run_benchmarks.sh pr7
+#
+# Set MATRIX to a comma list of WxT (event-loop workers x compute threads)
+# pairs to sweep the harness across a worker/thread grid, recording one
+# JSON array in BENCH_<tag>_service_matrix.json, e.g.
+#   CLIENTS=200 MATRIX=1x1,2x2,4x4 bench/run_benchmarks.sh pr9
+#
+# Set STREAM=1 (with CLIENTS) to run the delta-stream workload instead of
+# characterize: every connection subscribes once and then streams `update`
+# requests (BENCH_<tag>_stream_tcp.json). STREAM_SIZE (default 128x16) and
+# STREAM_BATCH (default 1) shape the session matrix and the cells revised
+# per update.
+#
+# Set OPEN_RPS to a comma list of offered loads to additionally run the
+# harness open loop at each rate (latency-under-offered-load study),
+# recording one JSON array in BENCH_<tag>_service_openloop.json.
+#
+# Every recorded file is stamped with host metadata (cores, CPU, compiler,
+# HETERO_SIMD backend) via tools/bench_meta.py.
 set -euo pipefail
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -69,6 +87,15 @@ for bench in "$BUILD_DIR"/bench/perf_*; do
            --benchmark_out="$out" --benchmark_out_format=json \
            --benchmark_min_time="$MIN_TIME" \
            ${FILTER:+--benchmark_filter="$FILTER"}
+  # When FILTER matches nothing in this binary google-benchmark still exits
+  # zero but leaves the output file empty — that means "not this suite",
+  # not a failure; drop the empty file instead of recording it.
+  if [ -n "$FILTER" ] && ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$out" 2>/dev/null; then
+    echo "   (no benchmarks matching FILTER in $name; skipped)"
+    rm -f "$out"
+    continue
+  fi
+  python3 "$REPO_ROOT/tools/bench_meta.py" "$out"
 done
 
 if [ "$found" -eq 0 ]; then
@@ -77,15 +104,75 @@ if [ "$found" -eq 0 ]; then
   exit 1
 fi
 
-# TCP harness pass: real sockets, N concurrent clients against the epoll
+# TCP harness passes: real sockets, N concurrent clients against the epoll
 # event loop. perf_service exits non-zero on malformed/dropped responses,
 # which fails this script (set -e) — a bad number is never recorded.
 if [ -n "${CLIENTS:-}" ]; then
-  out="$OUT_DIR/BENCH_${TAG}_service_tcp.json"
-  echo "== perf_service --clients=$CLIENTS -> $out"
-  "$BUILD_DIR/bench/perf_service" \
-      --clients="$CLIENTS" \
-      --workers="${WORKERS:-1}" \
-      --requests="${REQUESTS:-100}" > "$out"
-  cat "$out"
+  stream_args=
+  suffix=service_tcp
+  if [ "${STREAM:-0}" = "1" ]; then
+    stream_args="--stream=1 --stream-size=${STREAM_SIZE:-128x16} --stream-batch=${STREAM_BATCH:-1}"
+    suffix=stream_tcp
+  fi
+
+  run_harness() {
+    # run_harness WORKERS THREADS OUT; appends the report line to OUT.
+    "$BUILD_DIR/bench/perf_service" \
+        --clients="$CLIENTS" \
+        --workers="$1" \
+        --threads="$2" \
+        --requests="${REQUESTS:-100}" \
+        ${stream_args:+$stream_args} \
+        ${3:+--open-rps="$3"}
+  }
+
+  if [ -n "${MATRIX:-}" ]; then
+    # WORKERS x THREADS grid: one harness run per WxT pair, all reports in
+    # one JSON array tagged with their grid coordinates.
+    out="$OUT_DIR/BENCH_${TAG}_service_matrix.json"
+    echo "== perf_service $suffix matrix ($MATRIX) -> $out"
+    {
+      echo '['
+      first=1
+      for combo in $(echo "$MATRIX" | tr ',' ' '); do
+        w=${combo%x*}
+        t=${combo#*x}
+        [ "$first" -eq 1 ] || echo ','
+        first=0
+        report=$(run_harness "$w" "$t" "")
+        printf '{"workers":%s,"threads":%s,"report":%s}' "$w" "$t" "$report"
+      done
+      echo
+      echo ']'
+    } > "$out"
+    python3 "$REPO_ROOT/tools/bench_meta.py" "$out"
+    cat "$out"
+  else
+    out="$OUT_DIR/BENCH_${TAG}_${suffix}.json"
+    echo "== perf_service --clients=$CLIENTS $stream_args -> $out"
+    run_harness "${WORKERS:-1}" "${THREADS:-0}" "" > "$out"
+    python3 "$REPO_ROOT/tools/bench_meta.py" "$out"
+    cat "$out"
+  fi
+
+  if [ -n "${OPEN_RPS:-}" ]; then
+    # Open-loop latency-under-offered-load study: fixed arrival schedule at
+    # each offered rate, one report per rate.
+    out="$OUT_DIR/BENCH_${TAG}_service_openloop.json"
+    echo "== perf_service open-loop sweep ($OPEN_RPS rps) -> $out"
+    {
+      echo '['
+      first=1
+      for rps in $(echo "$OPEN_RPS" | tr ',' ' '); do
+        [ "$first" -eq 1 ] || echo ','
+        first=0
+        report=$(run_harness "${WORKERS:-1}" "${THREADS:-0}" "$rps")
+        printf '{"offered_rps":%s,"report":%s}' "$rps" "$report"
+      done
+      echo
+      echo ']'
+    } > "$out"
+    python3 "$REPO_ROOT/tools/bench_meta.py" "$out"
+    cat "$out"
+  fi
 fi

@@ -1,0 +1,169 @@
+#include "core/etc_estimator.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace hetero::core {
+namespace {
+
+void require_cell_values(std::span<const double> values, const char* what) {
+  for (double v : values)
+    hetero::detail::require_value(v > 0.0 && std::isfinite(v), what);
+}
+
+}  // namespace
+
+EtcEstimator::EtcEstimator(const linalg::Matrix& initial_etc,
+                           EtcEstimatorOptions options)
+    : options_(options),
+      tasks_(initial_etc.rows()),
+      machines_(initial_etc.cols()) {
+  hetero::detail::require_value(
+      options_.alpha > 0.0 && options_.alpha <= 1.0,
+      "EtcEstimator: alpha must be in (0, 1]");
+  hetero::detail::require_value(
+      options_.min_rel_change >= 0.0 &&
+          std::isfinite(options_.min_rel_change),
+      "EtcEstimator: min_rel_change must be >= 0 and finite");
+  hetero::detail::require_value(
+      !initial_etc.empty() && initial_etc.all_positive() &&
+          !initial_etc.has_nonfinite(),
+      "EtcEstimator: initial ETC must be non-empty, strictly positive, and "
+      "finite");
+  const auto d = initial_etc.data();
+  mean_.assign(d.begin(), d.end());
+  last_fed_ = mean_;
+  count_.assign(mean_.size(), 0);
+}
+
+std::size_t EtcEstimator::flat(std::size_t task, std::size_t machine) const {
+  hetero::detail::require_dims(task < tasks_ && machine < machines_,
+                               "EtcEstimator: cell index out of range");
+  return task * machines_ + machine;
+}
+
+std::optional<double> EtcEstimator::observe(std::size_t task,
+                                            std::size_t machine,
+                                            double runtime) {
+  hetero::detail::require_value(runtime > 0.0 && std::isfinite(runtime),
+                                "EtcEstimator::observe: runtime must be "
+                                "positive and finite");
+  const std::size_t k = flat(task, machine);
+  mean_[k] = options_.alpha * runtime + (1.0 - options_.alpha) * mean_[k];
+  ++count_[k];
+  ++observations_;
+  if (std::abs(mean_[k] - last_fed_[k]) <
+      options_.min_rel_change * last_fed_[k])
+    return std::nullopt;
+  last_fed_[k] = mean_[k];
+  return mean_[k];
+}
+
+void EtcEstimator::set(std::size_t task, std::size_t machine, double etc) {
+  hetero::detail::require_value(etc > 0.0 && std::isfinite(etc),
+                                "EtcEstimator::set: value must be positive "
+                                "and finite");
+  const std::size_t k = flat(task, machine);
+  mean_[k] = etc;
+  last_fed_[k] = etc;
+  count_[k] = 0;
+}
+
+double EtcEstimator::mean(std::size_t task, std::size_t machine) const {
+  return mean_[flat(task, machine)];
+}
+
+double EtcEstimator::last_fed(std::size_t task, std::size_t machine) const {
+  return last_fed_[flat(task, machine)];
+}
+
+std::uint64_t EtcEstimator::count(std::size_t task,
+                                  std::size_t machine) const {
+  return count_[flat(task, machine)];
+}
+
+void EtcEstimator::add_task(std::span<const double> initial_etc_row) {
+  hetero::detail::require_dims(initial_etc_row.size() == machines_,
+                               "EtcEstimator::add_task: row length must "
+                               "equal machines()");
+  require_cell_values(initial_etc_row,
+                      "EtcEstimator::add_task: values must be positive and "
+                      "finite");
+  mean_.insert(mean_.end(), initial_etc_row.begin(), initial_etc_row.end());
+  last_fed_.insert(last_fed_.end(), initial_etc_row.begin(),
+                   initial_etc_row.end());
+  count_.insert(count_.end(), machines_, 0);
+  ++tasks_;
+}
+
+void EtcEstimator::add_machine(std::span<const double> initial_etc_col) {
+  hetero::detail::require_dims(initial_etc_col.size() == tasks_,
+                               "EtcEstimator::add_machine: column length "
+                               "must equal tasks()");
+  require_cell_values(initial_etc_col,
+                      "EtcEstimator::add_machine: values must be positive "
+                      "and finite");
+  std::vector<double> mean(tasks_ * (machines_ + 1));
+  std::vector<double> fed(mean.size());
+  std::vector<std::uint64_t> count(mean.size());
+  for (std::size_t i = 0; i < tasks_; ++i) {
+    for (std::size_t j = 0; j < machines_; ++j) {
+      const std::size_t src = i * machines_ + j;
+      const std::size_t dst = i * (machines_ + 1) + j;
+      mean[dst] = mean_[src];
+      fed[dst] = last_fed_[src];
+      count[dst] = count_[src];
+    }
+    const std::size_t dst = i * (machines_ + 1) + machines_;
+    mean[dst] = initial_etc_col[i];
+    fed[dst] = initial_etc_col[i];
+  }
+  mean_ = std::move(mean);
+  last_fed_ = std::move(fed);
+  count_ = std::move(count);
+  ++machines_;
+}
+
+void EtcEstimator::remove_task(std::size_t task) {
+  hetero::detail::require_dims(task < tasks_,
+                               "EtcEstimator::remove_task: index out of "
+                               "range");
+  hetero::detail::require_value(tasks_ > 1,
+                                "EtcEstimator::remove_task: cannot remove "
+                                "the last task type");
+  const auto first = static_cast<std::ptrdiff_t>(task * machines_);
+  const auto last = static_cast<std::ptrdiff_t>((task + 1) * machines_);
+  mean_.erase(mean_.begin() + first, mean_.begin() + last);
+  last_fed_.erase(last_fed_.begin() + first, last_fed_.begin() + last);
+  count_.erase(count_.begin() + first, count_.begin() + last);
+  --tasks_;
+}
+
+void EtcEstimator::remove_machine(std::size_t machine) {
+  hetero::detail::require_dims(machine < machines_,
+                               "EtcEstimator::remove_machine: index out of "
+                               "range");
+  hetero::detail::require_value(machines_ > 1,
+                                "EtcEstimator::remove_machine: cannot "
+                                "remove the last machine");
+  std::vector<double> mean(tasks_ * (machines_ - 1));
+  std::vector<double> fed(mean.size());
+  std::vector<std::uint64_t> count(mean.size());
+  for (std::size_t i = 0; i < tasks_; ++i) {
+    for (std::size_t j = 0, o = 0; j < machines_; ++j) {
+      if (j == machine) continue;
+      const std::size_t src = i * machines_ + j;
+      const std::size_t dst = i * (machines_ - 1) + o++;
+      mean[dst] = mean_[src];
+      fed[dst] = last_fed_[src];
+      count[dst] = count_[src];
+    }
+  }
+  mean_ = std::move(mean);
+  last_fed_ = std::move(fed);
+  count_ = std::move(count);
+  --machines_;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,90 @@
+// Online ETC estimation from noisy runtime observations.
+//
+// ETC entries are estimates; in a live fleet the freshest evidence is the
+// stream of observed runtimes, each one draw of the etcgen/noise forward
+// model (etcgen::sample_runtime_lognormal). EtcEstimator solves the inverse
+// problem with an exponentially-weighted per-cell mean — the standard
+// fixed-gain tracker for a drifting level — and acts as a materiality
+// filter in front of MeasureView: it reports a revised ETC estimate only
+// when a cell's tracked mean has moved by at least `min_rel_change`
+// relative to the value last fed downstream, so a noisy-but-stationary
+// cell costs zero measure re-evaluations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hetero::core {
+
+struct EtcEstimatorOptions {
+  /// Exponential weight of each new observation, in (0, 1]:
+  /// mean <- alpha * runtime + (1 - alpha) * mean. Higher alpha tracks
+  /// drift faster but passes more observation noise through.
+  double alpha = 0.2;
+  /// Minimum relative move |mean - last_fed| / last_fed before a revised
+  /// estimate is emitted. Zero emits on every observation.
+  double min_rel_change = 0.01;
+};
+
+/// Per-cell exponentially-weighted runtime means over a task x machine
+/// grid, seeded from an initial ETC matrix and kept shape-aligned with the
+/// MeasureView it feeds. Not thread-safe; callers serialize access.
+class EtcEstimator {
+ public:
+  /// `initial_etc` must be non-empty with strictly positive finite entries;
+  /// it seeds the means and the last-fed values.
+  explicit EtcEstimator(const linalg::Matrix& initial_etc,
+                        EtcEstimatorOptions options = {});
+
+  std::size_t tasks() const noexcept { return tasks_; }
+  std::size_t machines() const noexcept { return machines_; }
+  std::uint64_t observations() const noexcept { return observations_; }
+  const EtcEstimatorOptions& options() const noexcept { return options_; }
+
+  /// Folds one observed runtime (positive, finite) into the cell's mean.
+  /// Returns the new ETC estimate when the mean has moved materially since
+  /// the estimate last fed downstream (and marks it fed), nullopt when the
+  /// move is immaterial.
+  std::optional<double> observe(std::size_t task, std::size_t machine,
+                                double runtime);
+
+  /// Authoritative ETC revision for one cell (a profiled/benchmarked value
+  /// replacing the tracked history): resets the mean, the last-fed value,
+  /// and the observation count.
+  void set(std::size_t task, std::size_t machine, double etc);
+
+  /// Current tracked mean for one cell.
+  double mean(std::size_t task, std::size_t machine) const;
+
+  /// Estimate most recently fed downstream for one cell.
+  double last_fed(std::size_t task, std::size_t machine) const;
+
+  /// Observations folded into one cell.
+  std::uint64_t count(std::size_t task, std::size_t machine) const;
+
+  /// Shape maintenance, mirroring MeasureView's structural deltas. New
+  /// cells are seeded from the provided initial ETC values.
+  void add_task(std::span<const double> initial_etc_row);
+  void add_machine(std::span<const double> initial_etc_col);
+  void remove_task(std::size_t task);
+  void remove_machine(std::size_t machine);
+
+ private:
+  std::size_t flat(std::size_t task, std::size_t machine) const;
+
+  EtcEstimatorOptions options_;
+  std::size_t tasks_ = 0;
+  std::size_t machines_ = 0;
+  std::uint64_t observations_ = 0;
+  // Dense row-major per-cell state: tracked mean, the value last emitted
+  // downstream, and the observation count.
+  std::vector<double> mean_;
+  std::vector<double> last_fed_;
+  std::vector<std::uint64_t> count_;
+};
+
+}  // namespace hetero::core

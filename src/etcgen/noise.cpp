@@ -38,6 +38,17 @@ core::EtcMatrix perturb_uniform(const core::EtcMatrix& etc, double spread,
   return perturb(etc, [&] { return uniform(rng, 1.0 - spread, 1.0 + spread); });
 }
 
+double sample_runtime_lognormal(double true_etc, double cov, Rng& rng) {
+  detail::require_value(true_etc > 0.0 && std::isfinite(true_etc),
+                        "sample_runtime_lognormal: true_etc must be positive "
+                        "and finite");
+  detail::require_value(cov >= 0.0,
+                        "sample_runtime_lognormal: cov must be >= 0");
+  if (cov == 0.0) return true_etc;
+  const double sigma = std::sqrt(std::log1p(cov * cov));
+  return true_etc * std::exp(normal(rng, 0.0, sigma));
+}
+
 core::EtcMatrix drop_capabilities(const core::EtcMatrix& etc, double p,
                                   Rng& rng) {
   detail::require_value(p >= 0.0 && p < 1.0,

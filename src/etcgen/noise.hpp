@@ -22,6 +22,13 @@ core::EtcMatrix perturb_lognormal(const core::EtcMatrix& etc, double cov,
 core::EtcMatrix perturb_uniform(const core::EtcMatrix& etc, double spread,
                                 Rng& rng);
 
+/// One observed runtime for a task whose true ETC is `true_etc`: the entry
+/// times an independent unit-median lognormal factor with the given
+/// coefficient of variation — a single draw of the perturb_lognormal factor
+/// model. This is the forward model whose inverse problem
+/// core::EtcEstimator solves when it ingests runtime observations.
+double sample_runtime_lognormal(double true_etc, double cov, Rng& rng);
+
 /// Sets each finite entry to +infinity ("machine loses the capability")
 /// with probability p, skipping changes that would violate the EtcMatrix
 /// invariants (each task must keep one machine, each machine one task).

@@ -30,37 +30,6 @@ double mean_nonmax_singular_value(std::span<const double> sigma) {
   return acc / static_cast<double>(sigma.size() - 1);
 }
 
-// Gram matrix of the smaller dimension of `a` (A^T A when tall, A A^T when
-// wide), written into the presized min x min buffer `g` — the allocation-free
-// core of linalg::singular_values_gram for the proposal hot path.
-void min_gram_into(const Matrix& a, Matrix& g) {
-  std::fill(g.data().begin(), g.data().end(), 0.0);
-  if (a.rows() >= a.cols()) {
-    const std::size_t n = a.cols();
-    for (std::size_t k = 0; k < a.rows(); ++k) {
-      const auto r = a.row(k);
-      for (std::size_t i = 0; i < n; ++i) {
-        const double rki = r[i];
-        for (std::size_t j = i; j < n; ++j) g(i, j) += rki * r[j];
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
-  } else {
-    const std::size_t n = a.rows();
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto ri = a.row(i);
-      for (std::size_t j = i; j < n; ++j) {
-        const auto rj = a.row(j);
-        double s = 0.0;
-        for (std::size_t k = 0; k < ri.size(); ++k) s += ri[k] * rj[k];
-        g(i, j) = s;
-        g(j, i) = s;
-      }
-    }
-  }
-}
-
 // Sinkhorn budget for reported measures: positive matrices converge
 // geometrically, so a modest cap keeps each evaluation cheap.
 core::SinkhornOptions energy_sinkhorn() {
@@ -239,7 +208,7 @@ MeasureSet IncrementalMeasures::evaluate() {
   sinkhorn_.warm_row_scale = warm_row_scale_;
   sinkhorn_.warm_col_scale = warm_col_scale_;
   core::standardize_positive_into(matrix_, sinkhorn_, sf_);
-  min_gram_into(sf_.standard, gram_);
+  linalg::min_gram_into(sf_.standard, gram_);
   // Diagonalize the candidate's Gram in the incumbent's eigenbasis: a
   // single-entry proposal perturbs the Gram only slightly, so the congruence
   // B = V^T G V is already near-diagonal and the Jacobi cleanup converges in

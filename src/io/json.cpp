@@ -584,6 +584,73 @@ std::optional<LineFramer::Frame> LineFramer::next() {
   return f;
 }
 
+namespace {
+
+std::size_t index_from_json(const JsonValue& v, const char* what) {
+  detail::require_value(v.is_number(), what);
+  const double n = v.as_number();
+  detail::require_value(n >= 0 && n == std::floor(n) && n <= 1e15, what);
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+std::vector<CellUpdate> cell_updates_from_json(const JsonValue& value,
+                                               std::string_view value_key) {
+  detail::require_value(value.is_array(),
+                        "delta: cell list must be an array");
+  std::vector<CellUpdate> out;
+  out.reserve(value.as_array().size());
+  for (const JsonValue& cell : value.as_array()) {
+    detail::require_value(cell.is_object(),
+                          "delta: each cell must be an object");
+    CellUpdate u;
+    u.task = index_from_json(cell.at("task"),
+                             "delta: \"task\" must be a nonnegative integer");
+    u.machine = index_from_json(
+        cell.at("machine"), "delta: \"machine\" must be a nonnegative integer");
+    const JsonValue& v = cell.at(value_key);
+    detail::require_value(v.is_number(),
+                          "delta: cell value must be a number");
+    u.value = v.as_number();
+    out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> number_lists_from_json(
+    const JsonValue& value) {
+  detail::require_value(value.is_array(),
+                        "delta: expected an array of numeric arrays");
+  std::vector<std::vector<double>> out;
+  out.reserve(value.as_array().size());
+  for (const JsonValue& row : value.as_array()) {
+    detail::require_value(row.is_array(),
+                          "delta: expected an array of numeric arrays");
+    std::vector<double> numbers;
+    numbers.reserve(row.as_array().size());
+    for (const JsonValue& n : row.as_array()) {
+      detail::require_value(n.is_number(),
+                            "delta: entries must be numbers (null is not "
+                            "allowed in streaming deltas)");
+      numbers.push_back(n.as_number());
+    }
+    out.push_back(std::move(numbers));
+  }
+  return out;
+}
+
+std::vector<std::size_t> index_list_from_json(const JsonValue& value) {
+  detail::require_value(value.is_array(),
+                        "delta: expected an array of indices");
+  std::vector<std::size_t> out;
+  out.reserve(value.as_array().size());
+  for (const JsonValue& v : value.as_array())
+    out.push_back(
+        index_from_json(v, "delta: indices must be nonnegative integers"));
+  return out;
+}
+
 core::MeasureSet measure_set_from_json(const JsonValue& value) {
   // Null is the writer's encoding for a non-finite measure (NaN policy);
   // surface it as NaN rather than failing the read.

@@ -180,6 +180,33 @@ core::EtcMatrix etc_from_json(const JsonValue& value);
 /// Rebuilds a MeasureSet from to_json(MeasureSet) output.
 core::MeasureSet measure_set_from_json(const JsonValue& value);
 
+// ---------------------------------------------------------------------------
+// Streaming delta parsing (the `update` request of the characterization
+// service). Shapes are validated here; value ranges (positivity, matrix
+// bounds) are the consumer's contract.
+
+/// One (task, machine, value) triple from {"task":i,"machine":j,<key>:v}.
+struct CellUpdate {
+  std::size_t task = 0;
+  std::size_t machine = 0;
+  double value = 0.0;
+};
+
+/// Parses an array of {"task","machine",<value_key>} objects. Throws
+/// ValueError unless every element is an object with nonnegative-integer
+/// "task"/"machine" members and a numeric value member named `value_key`.
+std::vector<CellUpdate> cell_updates_from_json(const JsonValue& value,
+                                               std::string_view value_key);
+
+/// Parses an array of numeric arrays (structural delta rows/columns).
+/// Inner arrays may be empty only if the consumer tolerates it; nulls
+/// (JSON's non-finite stand-in) are rejected.
+std::vector<std::vector<double>> number_lists_from_json(
+    const JsonValue& value);
+
+/// Parses an array of nonnegative integer indices.
+std::vector<std::size_t> index_list_from_json(const JsonValue& value);
+
 /// Rebuilds a ScheduleSummary from to_json(ScheduleSummary) output.
 sched::ScheduleSummary schedule_summary_from_json(const JsonValue& value);
 

@@ -254,6 +254,34 @@ Matrix gram(const Matrix& a) {
   return g;
 }
 
+void min_gram_into(const Matrix& a, Matrix& g) {
+  const std::size_t n = std::min(a.rows(), a.cols());
+  detail::require_dims(g.rows() == n && g.cols() == n,
+                       "min_gram_into: buffer must be min-dim square");
+  std::fill(g.data().begin(), g.data().end(), 0.0);
+  if (a.rows() >= a.cols()) {
+    // Rank-1 row accumulation through the rank1_upper kernel: identical
+    // unfused multiply-adds in identical order to the scalar reference
+    // (bit-identical across backends), one dispatch per matrix row.
+    const auto& kernels = simd::kernels();
+    for (std::size_t k = 0; k < a.rows(); ++k)
+      kernels.rank1_upper(g.row(0).data(), g.cols(), a.row(k).data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto ri = a.row(i);
+      for (std::size_t j = i; j < n; ++j) {
+        const auto rj = a.row(j);
+        double s = 0.0;
+        for (std::size_t k = 0; k < ri.size(); ++k) s += ri[k] * rj[k];
+        g(i, j) = s;
+        g(j, i) = s;
+      }
+    }
+  }
+}
+
 double max_abs_diff(const Matrix& a, const Matrix& b) {
   detail::require_dims(a.rows() == b.rows() && a.cols() == b.cols(),
                        "max_abs_diff: shape mismatch");

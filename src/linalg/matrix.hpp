@@ -146,6 +146,12 @@ std::vector<double> matvec(const Matrix& a, std::span<const double> x);
 /// A^T A, computed without forming the transpose.
 Matrix gram(const Matrix& a);
 
+/// Gram matrix of the smaller dimension of `a` (A^T A when tall, A A^T when
+/// wide), written into the presized min x min buffer `g`. Allocation-free
+/// core of the Gram-path singular value evaluators; `g` must already be
+/// min(rows, cols) square (throws DimensionError otherwise).
+void min_gram_into(const Matrix& a, Matrix& g);
+
 /// Max over entries of |a - b|. Throws DimensionError on shape mismatch.
 double max_abs_diff(const Matrix& a, const Matrix& b);
 

@@ -156,6 +156,21 @@ struct KernelsImpl {
     for (; i < n; ++i) acc[i] += a * x[i];
   }
 
+  static void rank1_upper(double* g, std::size_t stride, const double* r,
+                          std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double* grow = g + i * stride + i;
+      const double* x = r + i;
+      const std::size_t m = n - i;
+      const v av = V::bcast(r[i]);
+      std::size_t j = 0;
+      for (; j + 4 <= m; j += 4)
+        V::store(grow + j,
+                 V::add(V::load(grow + j), V::mul(av, V::load(x + j))));
+      for (; j < m; ++j) grow[j] += r[i] * x[j];
+    }
+  }
+
   static void axpy2(double* acc, const double* x0, const double* x1,
                     std::size_t n, double a0, double a1) {
     const v a0v = V::bcast(a0);
@@ -486,6 +501,7 @@ struct KernelsImpl {
     k.scale = &scale;
     k.add_into = &add_into;
     k.axpy = &axpy;
+    k.rank1_upper = &rank1_upper;
     k.axpy2 = &axpy2;
     k.rotate_pair = &rotate_pair;
     k.reciprocal_or_zero = &reciprocal_or_zero;

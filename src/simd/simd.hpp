@@ -52,6 +52,15 @@ struct Kernels {
   void (*scale)(double* x, std::size_t n, double f);        // x[i] *= f
   void (*add_into)(const double* x, double* acc, std::size_t n);  // acc += x
   void (*axpy)(double* acc, const double* x, std::size_t n, double a);
+  // Upper-triangular rank-1 accumulation g[i][j] += r[i] * r[j] for
+  // j >= i, with g row-major at `stride` doubles per row. Each element
+  // update is the same unfused multiply-add the scalar reference performs,
+  // in the same order, so every backend agrees bitwise. One call
+  // accumulates one matrix row into the tall-case Gram build
+  // (linalg::min_gram_into), keeping kernel-dispatch overhead off the
+  // per-element path.
+  void (*rank1_upper)(double* g, std::size_t stride, const double* r,
+                      std::size_t n);
   // acc[i] = (acc[i] + a0*x0[i]) + a1*x1[i]: two fused axpy updates that
   // stream acc once, bit-identical to axpy(a0, x0) followed by axpy(a1,
   // x1). Backbone of the rank-2 tridiagonalization update and the tiled

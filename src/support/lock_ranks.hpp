@@ -23,6 +23,12 @@ namespace hetero::support {
 /// svc::RequestQueue::mutex_ — admission; first lock a request meets.
 inline constexpr int kRankRequestQueue = 100;
 
+/// svc::StreamSession::mutex_ — per-connection streaming view state
+/// (update/subscribe). Session compute runs entirely under it and takes
+/// no further locks; ranked between admission and the cache so a future
+/// session path that consulted the cache would stay legal.
+inline constexpr int kRankStreamSession = 150;
+
 /// svc::ResultCache::Shard::mutex — one per shard; the cache never holds
 /// two shards at once, so all shards share one rank (equal rank forbids
 /// shard-to-shard nesting, which is exactly the invariant).

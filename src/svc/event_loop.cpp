@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "io/json.hpp"
+#include "svc/session.hpp"
 #include "support/lock_ranks.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
@@ -192,6 +193,10 @@ struct EventLoopServer::Worker {
     bool peer_closed = false;  // recv saw EOF; flush what is owed, then close
     bool want_write = false;   // EPOLLOUT armed
     Clock::time_point last_activity{};
+    // Per-connection streaming session (subscribe/update state). Created
+    // at accept: the empty session is a mutex plus two empty optionals,
+    // and update/subscribe frames need it before the line is parsed.
+    std::unique_ptr<StreamSession> session;
   };
   std::unordered_map<std::uint64_t, Conn> conns;
   std::uint64_t next_conn_id = kFirstConnId;
@@ -466,7 +471,7 @@ void EventLoopServer::loop(Worker& w) {
           [channel = w.channel, id](std::string r) {
             channel->post(id, std::move(r));
           },
-          &shard_map_, inline_worker, &info);
+          &shard_map_, inline_worker, &info, conn.session.get());
       if (response) {
         if (info.inline_hit && !info.had_deadline)
           w.memo.put(line_hash, std::move(frame->line), *response, info.kind);
@@ -525,6 +530,7 @@ void EventLoopServer::loop(Worker& w) {
       Worker::Conn& conn = w.conns[id];
       conn.fd = fd;
       conn.framer = io::LineFramer(options_.max_frame_bytes);
+      conn.session = std::make_unique<StreamSession>();
       conn.last_activity = Clock::now();
       epoll_event ev{};
       ev.events = EPOLLIN;

@@ -28,7 +28,8 @@ std::string LoadGenReport::to_json() const {
       << connect_failures << ",\"sent\":" << sent << ",\"received\":"
       << received << ",\"ok_true\":" << ok_true << ",\"ok_false\":"
       << ok_false << ",\"malformed\":" << malformed << ",\"dropped\":"
-      << dropped << ",\"bytes_in\":" << bytes_in << ",\"bytes_out\":"
+      << dropped << ",\"prologue_failures\":" << prologue_failures
+      << ",\"bytes_in\":" << bytes_in << ",\"bytes_out\":"
       << bytes_out << ",\"elapsed_s\":" << elapsed_s
       << ",\"requests_per_s\":" << requests_per_s
       << ",\"latency_us\":{\"mean\":" << latency.mean_us()
@@ -67,6 +68,7 @@ struct Client {
   int fd = -1;
   bool connected = false;
   bool closed = false;
+  std::size_t prologue_received = 0;
   std::size_t sent = 0;
   std::size_t received = 0;
   std::size_t in_flight = 0;
@@ -92,6 +94,7 @@ LoadGenReport run_load(const std::vector<std::string>& request_lines,
 
   const std::size_t pipeline = std::max<std::size_t>(1, options.pipeline);
   const bool open_loop = options.open_loop_rps > 0.0;
+  const std::size_t prologue_count = options.prologue_lines.size();
   const std::uint64_t total_target =
       static_cast<std::uint64_t>(options.clients) *
       options.requests_per_client;
@@ -203,9 +206,23 @@ LoadGenReport run_load(const std::vector<std::string>& request_lines,
     return true;
   };
 
+  // How a response line advanced its client: still inside the prologue,
+  // the response that completed the prologue (measured stream may start),
+  // or a measured response.
+  enum class LineKind { prologue_pending, prologue_done, measured };
+
   const auto handle_response_line = [&](std::size_t idx,
                                         std::string_view line) {
     Client& c = clients[idx];
+    if (c.prologue_received < prologue_count) {
+      // Prologue responses are awaited but never measured: a session
+      // subscribe is setup cost, not stream throughput.
+      ++c.prologue_received;
+      if (classify_response(line) != 0) ++report.prologue_failures;
+      return c.prologue_received == prologue_count
+                 ? LineKind::prologue_done
+                 : LineKind::prologue_pending;
+    }
     ++c.received;
     ++report.received;
     if (c.in_flight > 0) --c.in_flight;
@@ -218,6 +235,7 @@ LoadGenReport run_load(const std::vector<std::string>& request_lines,
       case 1: ++report.ok_false; break;
       default: ++report.malformed; break;
     }
+    return LineKind::measured;
   };
 
   const auto handle_readable = [&](std::size_t idx) {
@@ -242,12 +260,21 @@ LoadGenReport run_load(const std::vector<std::string>& request_lines,
       std::size_t consumed = 0;
       std::size_t pos;
       while ((pos = c.inbuf.find('\n', consumed)) != std::string::npos) {
-        handle_response_line(
+        const LineKind kind = handle_response_line(
             idx, std::string_view(c.inbuf).substr(consumed, pos - consumed));
         consumed = pos + 1;
-        if (!open_loop && c.sent < options.requests_per_client) {
-          queue_request(idx);
-          if (!flush_client(idx)) return;
+        if (!open_loop) {
+          if (kind == LineKind::prologue_done) {
+            // The session is established: prime the measured pipeline.
+            const std::size_t burst =
+                std::min(pipeline, options.requests_per_client);
+            for (std::size_t b = 0; b < burst; ++b) queue_request(idx);
+            if (!flush_client(idx)) return;
+          } else if (kind == LineKind::measured &&
+                     c.sent < options.requests_per_client) {
+            queue_request(idx);
+            if (!flush_client(idx)) return;
+          }
         }
       }
       if (consumed > 0) c.inbuf.erase(0, consumed);
@@ -259,9 +286,18 @@ LoadGenReport run_load(const std::vector<std::string>& request_lines,
     }
   };
 
-  // Closed-loop priming: fill the connection's pipeline window as soon as
-  // the connect is confirmed.
+  // Priming on connect confirmation: with a prologue, send it (in both
+  // loop modes) and hold the measured stream until its responses land;
+  // otherwise fill the closed-loop pipeline window immediately.
   const auto prime_client = [&](std::size_t idx) -> bool {
+    if (prologue_count > 0) {
+      Client& c = clients[idx];
+      for (const std::string& line : options.prologue_lines) {
+        c.outbuf.append(line);
+        c.outbuf.push_back('\n');
+      }
+      return flush_client(idx);
+    }
     if (open_loop) return true;
     const std::size_t burst =
         std::min(pipeline, options.requests_per_client);
@@ -322,6 +358,7 @@ LoadGenReport run_load(const std::vector<std::string>& request_lines,
           const std::size_t idx = (open_cursor + scan) % options.clients;
           Client& c = clients[idx];
           if (c.closed || !c.connected ||
+              c.prologue_received < prologue_count ||
               c.sent >= options.requests_per_client)
             continue;
           open_cursor = idx + 1;
@@ -387,8 +424,8 @@ LoadGenReport run_load(const std::vector<std::string>& request_lines,
           ? static_cast<double>(report.received) / report.elapsed_s
           : 0.0;
   report.ok = report.connect_failures == 0 && report.malformed == 0 &&
-              report.dropped == 0 && !report.timed_out &&
-              report.received == total_target;
+              report.dropped == 0 && report.prologue_failures == 0 &&
+              !report.timed_out && report.received == total_target;
   return report;
 }
 

@@ -50,6 +50,12 @@ struct LoadGenOptions {
   /// 0 = closed loop; > 0 = open loop at this many requests/s aggregated
   /// across all clients.
   double open_loop_rps = 0.0;
+  /// Lines every client sends once, in order, immediately after its
+  /// connect and before the measured stream starts (e.g. a `subscribe`
+  /// establishing a streaming session on the connection). Their responses
+  /// are awaited but excluded from sent/received/latency; a non-ok
+  /// prologue response counts as prologue_failures and fails the run.
+  std::vector<std::string> prologue_lines;
   /// Abort the run (marking it failed) if it exceeds this wall budget.
   std::chrono::milliseconds time_limit{60000};
 };
@@ -63,6 +69,7 @@ struct LoadGenReport {
   std::uint64_t ok_false = 0;   // well-formed protocol errors (408/429/...)
   std::uint64_t malformed = 0;  // lines that are not protocol envelopes
   std::uint64_t dropped = 0;    // sent - received at connection close
+  std::uint64_t prologue_failures = 0;  // non-ok prologue responses
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   double elapsed_s = 0.0;

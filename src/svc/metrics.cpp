@@ -12,7 +12,8 @@ namespace hetero::svc {
 namespace {
 
 constexpr const char* kKindNames[kRequestKindCount] = {
-    "characterize", "measures", "schedule", "whatif", "stats", "invalid"};
+    "characterize", "measures", "schedule", "whatif",
+    "stats",        "update",   "subscribe", "invalid"};
 
 // Bucket b covers [2^(b-1), 2^b) microseconds; bucket 0 is < 1 us.
 std::size_t bucket_of(std::uint64_t micros) noexcept {

@@ -30,9 +30,11 @@ enum class RequestKind {
   schedule,
   whatif,
   stats,
+  update,
+  subscribe,
   invalid,
 };
-inline constexpr std::size_t kRequestKindCount = 6;
+inline constexpr std::size_t kRequestKindCount = 8;
 
 /// Protocol token for a kind ("characterize", ..., "invalid").
 const char* kind_name(RequestKind kind) noexcept;

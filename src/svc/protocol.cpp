@@ -120,6 +120,54 @@ Request parse_request(const std::string& line) {
     }
   }
 
+  if (request.kind == RequestKind::subscribe) {
+    // Subscribe carries a matrix but must never be cacheable (it mutates
+    // session state), so it is parsed here rather than via needs_matrix().
+    const io::JsonValue* etc = doc.find("etc");
+    detail::require_value(etc != nullptr,
+                          "subscribe needs an \"etc\" matrix");
+    request.etc = io::etc_from_json(*etc);
+    if (const io::JsonValue* budget = doc.find("error_budget")) {
+      const double v = budget->as_number();
+      detail::require_value(v >= 0 && std::isfinite(v),
+                            "subscribe: error_budget must be a nonnegative "
+                            "number");
+      request.stream_error_budget = v;
+    }
+    if (const io::JsonValue* est = doc.find("estimator")) {
+      detail::require_value(est->is_object(),
+                            "subscribe: \"estimator\" must be an object");
+      if (const io::JsonValue* alpha = est->find("alpha")) {
+        const double v = alpha->as_number();
+        detail::require_value(v > 0 && v <= 1,
+                              "subscribe: estimator.alpha must be in (0, 1]");
+        request.estimator_alpha = v;
+      }
+      if (const io::JsonValue* mrc = est->find("min_rel_change")) {
+        const double v = mrc->as_number();
+        detail::require_value(v >= 0 && std::isfinite(v),
+                              "subscribe: estimator.min_rel_change must be a "
+                              "nonnegative number");
+        request.estimator_min_rel_change = v;
+      }
+    }
+  }
+
+  if (request.kind == RequestKind::update) {
+    if (const io::JsonValue* v = doc.find("remove_tasks"))
+      request.remove_tasks = io::index_list_from_json(*v);
+    if (const io::JsonValue* v = doc.find("remove_machines"))
+      request.remove_machines = io::index_list_from_json(*v);
+    if (const io::JsonValue* v = doc.find("add_tasks"))
+      request.add_tasks = io::number_lists_from_json(*v);
+    if (const io::JsonValue* v = doc.find("add_machines"))
+      request.add_machines = io::number_lists_from_json(*v);
+    if (const io::JsonValue* v = doc.find("set"))
+      request.set = io::cell_updates_from_json(*v, "etc");
+    if (const io::JsonValue* v = doc.find("observe"))
+      request.observe = io::cell_updates_from_json(*v, "runtime");
+  }
+
   if (request.kind == RequestKind::whatif) {
     if (const io::JsonValue* remove = doc.find("remove")) {
       const std::string& mode = remove->as_string();
@@ -172,6 +220,8 @@ std::string compute_result(const Request& request) {
     case RequestKind::schedule: return schedule_result(request);
     case RequestKind::whatif: return whatif_result(request);
     case RequestKind::stats:
+    case RequestKind::update:
+    case RequestKind::subscribe:
     case RequestKind::invalid: break;
   }
   throw ValueError("compute_result: kind has no computable result");

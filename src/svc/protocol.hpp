@@ -12,6 +12,23 @@
 //   {"kind": "whatif", "remove": "machines", "etc": [[1, 2], [3, 4]]}
 //   {"kind": "stats"}
 //
+// Streaming sessions (stateful; available on the stream/TCP front ends,
+// which key one session per connection):
+//
+//   {"id": 1, "kind": "subscribe", "etc": [[1, 2], [3, 4]],
+//    "error_budget": 1e-5, "estimator": {"alpha": 0.2,
+//    "min_rel_change": 0.01}}
+//   {"id": 2, "kind": "update", "set": [{"task": 0, "machine": 1,
+//    "etc": 2.5}], "observe": [{"task": 1, "machine": 0, "runtime": 3.1}],
+//    "add_tasks": [[5, 6]], "add_machines": [[2, 3, 4]],
+//    "remove_tasks": [0], "remove_machines": [1]}
+//
+// subscribe installs (or replaces) the connection's measure view over a
+// fully-finite ETC matrix; update streams deltas against it and the
+// response carries the re-evaluated measures plus view statistics. Both
+// kinds are stateful, so they bypass the result cache and the raw-line
+// memo, and are computed inline on the receiving thread (never queued).
+//
 // Responses echo the id:
 //
 //   {"id": 7, "ok": true, "result": {...}}
@@ -28,8 +45,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/etc_matrix.hpp"
+#include "io/json.hpp"
 #include "sched/makespan.hpp"
 #include "svc/metrics.hpp"
 
@@ -65,6 +84,26 @@ struct Request {
   /// Relative deadline; unset = no deadline. 0 means "already expired"
   /// (useful for drain tests).
   std::optional<std::chrono::milliseconds> deadline;
+
+  /// `subscribe`: accumulated warm-update drift allowed before the
+  /// session's view takes an automatic cold refresh.
+  double stream_error_budget = 1e-5;
+  /// `subscribe`: estimator gains (see core::EtcEstimatorOptions).
+  double estimator_alpha = 0.2;
+  double estimator_min_rel_change = 0.01;
+
+  /// `update`: parsed delta lists. `set` values and the structural
+  /// rows/columns are ETC entries; `observe` values are observed runtimes.
+  /// Deltas apply sequentially in the order below (each list in element
+  /// order, each index against the shape the preceding deltas produced);
+  /// an invalid delta aborts the request at that point — earlier deltas
+  /// in the same request stay applied, each one atomically.
+  std::vector<std::size_t> remove_tasks;
+  std::vector<std::size_t> remove_machines;
+  std::vector<std::vector<double>> add_tasks;
+  std::vector<std::vector<double>> add_machines;
+  std::vector<io::CellUpdate> set;
+  std::vector<io::CellUpdate> observe;
 };
 
 /// Parses and validates one request line. Throws hetero::Error (surfaced

@@ -11,6 +11,7 @@
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 #include "svc/net_util.hpp"
+#include "svc/session.hpp"
 
 #if HETERO_SVC_HAVE_SOCKETS
 #include <arpa/inet.h>
@@ -54,7 +55,37 @@ Server::~Server() {
   // the workers join.
 }
 
-void Server::submit(const std::string& line, ResponseFn respond) {
+bool Server::is_session_kind(RequestKind kind) noexcept {
+  return kind == RequestKind::update || kind == RequestKind::subscribe;
+}
+
+std::string Server::session_response(const Request& request,
+                                     StreamSession* session) {
+  auto& k = metrics_.kind(request.kind);
+  if (session == nullptr) {
+    k.errors.fetch_add(1, std::memory_order_relaxed);
+    return error_response(request.id_json, kErrBadRequest,
+                          std::string(kind_name(request.kind)) +
+                              ": this front end has no streaming sessions");
+  }
+  const Clock::time_point start = Clock::now();
+  try {
+    std::string result = session->handle(request);
+    k.queue_wait.record(0);
+    k.compute.record(elapsed_us(start, Clock::now()));
+    k.completed.fetch_add(1, std::memory_order_relaxed);
+    return ok_response(request.id_json, result);
+  } catch (const Error& e) {
+    // Session failures are request-content errors (bad indices,
+    // non-positive values, overflow-guard trips, update-before-subscribe):
+    // 400, with the session still consistent.
+    k.errors.fetch_add(1, std::memory_order_relaxed);
+    return error_response(request.id_json, kErrBadRequest, e.what());
+  }
+}
+
+void Server::submit(const std::string& line, ResponseFn respond,
+                    StreamSession* session) {
   const Clock::time_point t0 = Clock::now();
   QueuedItem item;
   try {
@@ -68,6 +99,10 @@ void Server::submit(const std::string& line, ResponseFn respond) {
   }
   metrics_.kind(item.request.kind)
       .received.fetch_add(1, std::memory_order_relaxed);
+  if (is_session_kind(item.request.kind)) {
+    respond(session_response(item.request, session));
+    return;
+  }
   item.respond = std::move(respond);
   item.enqueued = t0;
   if (item.request.deadline)
@@ -90,7 +125,8 @@ std::optional<std::string> Server::submit_fast(const std::string& line,
                                                ResponseFn respond,
                                                const ShardMap* shard_map,
                                                std::size_t worker_index,
-                                               FastPathInfo* info) {
+                                               FastPathInfo* info,
+                                               StreamSession* session) {
   const Clock::time_point t0 = Clock::now();
   QueuedItem item;
   try {
@@ -103,6 +139,16 @@ std::optional<std::string> Server::submit_fast(const std::string& line,
   }
   auto& k = metrics_.kind(item.request.kind);
   k.received.fetch_add(1, std::memory_order_relaxed);
+  if (is_session_kind(item.request.kind)) {
+    // Inline, uncacheable, never memoized: info keeps inline_hit false so
+    // the event loop's raw-line memo cannot replay a stateful response.
+    if (info) {
+      info->kind = item.request.kind;
+      info->inline_hit = false;
+      info->had_deadline = false;
+    }
+    return session_response(item.request, session);
+  }
   item.enqueued = t0;
   if (item.request.deadline)
     item.deadline = t0 + *item.request.deadline;
@@ -209,7 +255,7 @@ void Server::process(const QueuedItem& item) {
   }
 }
 
-std::string Server::handle(const std::string& line) {
+std::string Server::handle(const std::string& line, StreamSession* session) {
   std::string out;
   const Clock::time_point t0 = Clock::now();
   QueuedItem item;
@@ -223,6 +269,8 @@ std::string Server::handle(const std::string& line) {
   }
   metrics_.kind(item.request.kind)
       .received.fetch_add(1, std::memory_order_relaxed);
+  if (is_session_kind(item.request.kind))
+    return session_response(item.request, session);
   item.enqueued = t0;
   if (item.request.deadline)
     item.deadline = t0 + *item.request.deadline;
@@ -276,14 +324,20 @@ class StreamGate {
 
 void Server::serve_stream(std::istream& in, std::ostream& out) {
   StreamGate gate;
+  // One streaming session per stream: the stdin/stdout mode behaves like a
+  // single connection, so subscribe/update state lives for the whole run.
+  StreamSession session;
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     gate.begin_request();
-    submit(line, [&gate, &out](std::string response) {
-      gate.write_response(out, response);
-      gate.end_request();
-    });
+    submit(
+        line,
+        [&gate, &out](std::string response) {
+          gate.write_response(out, response);
+          gate.end_request();
+        },
+        &session);
     line.clear();
   }
   gate.wait_drained();
@@ -374,6 +428,9 @@ int Server::serve_tcp(std::uint16_t port, std::ostream& log) {
     gauges.active.fetch_add(1, std::memory_order_relaxed);
     readers.emplace_back([this, fd, &gauges] {
       const auto conn = std::make_shared<Connection>(fd, gauges);
+      // Per-connection streaming session; session requests respond inline
+      // on this reader thread, so the session outlives every use.
+      StreamSession session;
       std::string buffer;
       char chunk[4096];
       while (true) {
@@ -389,9 +446,12 @@ int Server::serve_tcp(std::uint16_t port, std::ostream& log) {
           buffer.erase(0, newline + 1);
           if (request_line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
-          submit(request_line, [conn](std::string response) {
-            conn->send_line(std::move(response));
-          });
+          submit(
+              request_line,
+              [conn](std::string response) {
+                conn->send_line(std::move(response));
+              },
+              &session);
         }
       }
     });

@@ -30,6 +30,8 @@
 
 namespace hetero::svc {
 
+class StreamSession;
+
 struct ServerOptions {
   /// Worker threads; 0 = hardware_concurrency.
   std::size_t threads = 0;
@@ -57,10 +59,14 @@ class Server {
   /// Asynchronous entry point: parses, admits, and dispatches one request
   /// line (borrowed for the duration of the call; nothing retains it).
   /// `respond` is invoked exactly once — on the calling thread for
-  /// parse errors and admission rejections, on a worker otherwise. It may
-  /// be invoked concurrently with other requests' callbacks and must be
-  /// thread-safe across requests.
-  void submit(const std::string& line, ResponseFn respond);
+  /// parse errors, admission rejections, and stateful session requests
+  /// (update/subscribe, computed inline against `session`), on a worker
+  /// otherwise. It may be invoked concurrently with other requests'
+  /// callbacks and must be thread-safe across requests. `session` nullptr
+  /// means the front end has no per-connection session; update/subscribe
+  /// then answer 400.
+  void submit(const std::string& line, ResponseFn respond,
+              StreamSession* session = nullptr);
 
   /// What submit_fast did with the request, for front ends that cache or
   /// account responses without re-parsing the line (the event loop's
@@ -89,16 +95,22 @@ class Server {
   /// scales with workers instead of bouncing a lock. Non-owned shards take
   /// the queue path and still hit the cache on the pool worker, so the
   /// response bytes are identical either way.
+  /// Stateful session requests (update/subscribe) are computed inline
+  /// against `session` and returned directly — with inline_hit left false,
+  /// so a memoizing front end never replays them.
   std::optional<std::string> submit_fast(const std::string& line,
                                          ResponseFn respond,
                                          const ShardMap* shard_map = nullptr,
                                          std::size_t worker_index = 0,
-                                         FastPathInfo* info = nullptr);
+                                         FastPathInfo* info = nullptr,
+                                         StreamSession* session = nullptr);
 
   /// Synchronous entry point: full pipeline (cache included) on the
   /// calling thread, bypassing admission control. The cold and cached
-  /// paths produce byte-identical responses.
-  std::string handle(const std::string& line);
+  /// paths produce byte-identical responses. update/subscribe run against
+  /// `session` (400 when nullptr).
+  std::string handle(const std::string& line,
+                     StreamSession* session = nullptr);
 
   /// Newline-delimited JSON loop: reads requests from `in` until EOF,
   /// writes one response line per request to `out` (completion order, not
@@ -118,6 +130,13 @@ class Server {
   par::ThreadPool& pool() noexcept { return pool_; }
 
  private:
+  /// True when the request kind is stateful (update/subscribe) and must be
+  /// computed inline against a session, never queued/cached/memoized.
+  static bool is_session_kind(RequestKind kind) noexcept;
+  /// Inline session pipeline: computes against `session` on the calling
+  /// thread (400 when nullptr) and returns the full response envelope.
+  std::string session_response(const Request& request,
+                               StreamSession* session);
   /// Runs cache lookup + compute for one popped item and responds.
   void process(const QueuedItem& item);
   /// Result payload for `request` (cache consulted for cacheable kinds);

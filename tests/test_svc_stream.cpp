@@ -1,0 +1,345 @@
+// Streaming service tests: the subscribe/update request kinds end to end —
+// session state machine, equivalence with a directly-driven
+// core::MeasureView, 400s for sessionless front ends, byte-identical
+// responses across worker thread counts, and memo/cache bypass through the
+// epoll event loop over a real socket. Runs under the `stream_equiv` ctest
+// label (TSan in CI).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/measure_view.hpp"
+#include "etcgen/range_based.hpp"
+#include "etcgen/rng.hpp"
+#include "io/json.hpp"
+#include "svc/event_loop.hpp"
+#include "svc/server.hpp"
+#include "svc/session.hpp"
+
+namespace {
+
+namespace svc = hetero::svc;
+namespace io = hetero::io;
+using hetero::core::EtcMatrix;
+
+EtcMatrix test_matrix(std::size_t tasks, std::size_t machines,
+                      std::uint64_t seed) {
+  hetero::etcgen::Rng rng(seed);
+  hetero::etcgen::RangeBasedOptions options;
+  options.tasks = tasks;
+  options.machines = machines;
+  return hetero::etcgen::generate_range_based(options, rng);
+}
+
+std::string subscribe_line(const EtcMatrix& etc,
+                           const std::string& extra = {}) {
+  return "{\"kind\":\"subscribe\"" + extra + ",\"etc\":" + io::to_json(etc) +
+         "}";
+}
+
+std::string update_line(const std::string& deltas) {
+  return "{\"kind\":\"update\"," + deltas + "}";
+}
+
+bool is_ok(const std::string& response) {
+  return response.find("\"ok\":true") != std::string::npos;
+}
+
+bool is_error(const std::string& response, int code) {
+  return response.find("\"ok\":false") != std::string::npos &&
+         response.find("\"code\":" + std::to_string(code)) !=
+             std::string::npos;
+}
+
+/// The scripted session every equivalence test replays: subscribe, entry
+/// revisions, structural churn, and noisy observations.
+std::vector<std::string> scripted_session(const EtcMatrix& etc) {
+  return {
+      subscribe_line(etc),
+      update_line("\"set\":[{\"task\":0,\"machine\":1,\"etc\":2.5},"
+                  "{\"task\":3,\"machine\":2,\"etc\":0.75}]"),
+      update_line("\"add_tasks\":[[1.0,2.0,3.0,4.0]]"),
+      update_line("\"remove_machines\":[1],"
+                  "\"add_machines\":[[0.5,1.5,2.5,3.5,4.5,5.5,6.5,7.5,"
+                  "8.5,9.5]]"),
+      update_line("\"observe\":[{\"task\":1,\"machine\":0,\"runtime\":9.0},"
+                  "{\"task\":1,\"machine\":0,\"runtime\":9.5}]"),
+      update_line("\"remove_tasks\":[4]"),
+  };
+}
+
+TEST(SvcStream, SubscribeThenUpdateMatchesDirectView) {
+  svc::Server server;
+  svc::StreamSession session;
+  const EtcMatrix etc = test_matrix(8, 4, 11);
+
+  const std::string sub = server.handle(subscribe_line(etc), &session);
+  ASSERT_TRUE(is_ok(sub)) << sub;
+  EXPECT_NE(sub.find("\"version\":0"), std::string::npos) << sub;
+  EXPECT_NE(sub.find("\"tasks\":8"), std::string::npos);
+  EXPECT_NE(sub.find("\"machines\":4"), std::string::npos);
+
+  // Twin view driven directly through the core API with the same deltas,
+  // batched exactly as the session batches a "set" list: the service
+  // response must embed its exact measure bytes.
+  hetero::core::MeasureView twin(etc.to_ecs().values());
+  const std::vector<hetero::core::CellDelta> deltas = {
+      {0, 1, 1.0 / 2.5}, {3, 2, 1.0 / 0.75}};
+  twin.set_entries(deltas);
+  const std::string upd = server.handle(
+      update_line("\"set\":[{\"task\":0,\"machine\":1,\"etc\":2.5},"
+                  "{\"task\":3,\"machine\":2,\"etc\":0.75}]"),
+      &session);
+  ASSERT_TRUE(is_ok(upd)) << upd;
+  EXPECT_NE(upd.find("\"measures\":" + io::to_json(twin.current())),
+            std::string::npos)
+      << upd;
+  EXPECT_NE(upd.find("\"version\":1"), std::string::npos) << upd;
+}
+
+TEST(SvcStream, SessionKindsWithoutSessionAre400) {
+  svc::Server server;
+  const EtcMatrix etc = test_matrix(4, 3, 7);
+  EXPECT_TRUE(is_error(server.handle(subscribe_line(etc)), 400));
+  EXPECT_TRUE(is_error(
+      server.handle(update_line("\"set\":[{\"task\":0,\"machine\":0,"
+                                "\"etc\":1.0}]")),
+      400));
+}
+
+TEST(SvcStream, UpdateBeforeSubscribeIs400) {
+  svc::Server server;
+  svc::StreamSession session;
+  EXPECT_FALSE(session.active());
+  const std::string got = server.handle(
+      update_line("\"set\":[{\"task\":0,\"machine\":0,\"etc\":1.0}]"),
+      &session);
+  EXPECT_TRUE(is_error(got, 400)) << got;
+  EXPECT_NE(got.find("subscribe"), std::string::npos) << got;
+}
+
+TEST(SvcStream, InvalidDeltasAre400AndSessionSurvives) {
+  svc::Server server;
+  svc::StreamSession session;
+  const EtcMatrix etc = test_matrix(4, 3, 19);
+  ASSERT_TRUE(is_ok(server.handle(subscribe_line(etc), &session)));
+
+  // Out-of-range index, non-positive value, non-finite subscribe matrix.
+  EXPECT_TRUE(is_error(
+      server.handle(update_line("\"set\":[{\"task\":9,\"machine\":0,"
+                                "\"etc\":1.0}]"),
+                    &session),
+      400));
+  EXPECT_TRUE(is_error(
+      server.handle(update_line("\"set\":[{\"task\":0,\"machine\":0,"
+                                "\"etc\":-1.0}]"),
+                    &session),
+      400));
+  // Removing the last rows one past the end.
+  EXPECT_TRUE(is_error(
+      server.handle(update_line("\"remove_tasks\":[0,0,0,0]"), &session),
+      400));
+
+  // The session is still alive and consistent after every rejection.
+  const std::string ok = server.handle(
+      update_line("\"set\":[{\"task\":0,\"machine\":0,\"etc\":1.25}]"),
+      &session);
+  EXPECT_TRUE(is_ok(ok)) << ok;
+}
+
+TEST(SvcStream, ByteIdenticalAcrossThreadCounts) {
+  const EtcMatrix etc = test_matrix(9, 4, 42);
+  const std::vector<std::string> script = scripted_session(etc);
+  std::vector<std::vector<std::string>> runs;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    svc::ServerOptions options;
+    options.threads = threads;
+    svc::Server server(options);
+    svc::StreamSession session;
+    std::vector<std::string> responses;
+    for (const std::string& line : script)
+      responses.push_back(server.handle(line, &session));
+    for (const std::string& r : responses) ASSERT_TRUE(is_ok(r)) << r;
+    runs.push_back(std::move(responses));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(SvcStream, ServeStreamKeepsOneSession) {
+  svc::Server server;
+  const EtcMatrix etc = test_matrix(6, 3, 23);
+  std::istringstream in(
+      subscribe_line(etc) + "\n" +
+      update_line("\"set\":[{\"task\":1,\"machine\":1,\"etc\":3.0}]") + "\n" +
+      update_line("\"observe\":[{\"task\":0,\"machine\":0,"
+                  "\"runtime\":5.0}]") +
+      "\n");
+  std::ostringstream out;
+  server.serve_stream(in, out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const std::string& r : responses) EXPECT_TRUE(is_ok(r)) << r;
+  EXPECT_NE(responses[1].find("\"version\":1"), std::string::npos);
+  EXPECT_NE(responses[2].find("\"version\":2"), std::string::npos);
+}
+
+// --- Event-loop (epoll) front end over real sockets ---------------------
+
+/// Minimal blocking NDJSON client (same shape as the async suite's).
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  bool send_all(std::string_view data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const auto n = ::send(fd_, data.data() + off, data.size() - off,
+                            MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<std::string> recv_line() {
+    while (true) {
+      const auto pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return line;
+      }
+      char chunk[4096];
+      const auto n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::optional<std::string> roundtrip(TestClient& client,
+                                     const std::string& line) {
+  if (!client.send_all(line + "\n")) return std::nullopt;
+  return client.recv_line();
+}
+
+TEST(SvcStream, EventLoopSessionBypassesMemoAndCache) {
+  svc::Server server;
+  svc::EventLoopServer loop(server);
+  std::ostringstream log;
+  ASSERT_TRUE(loop.start(log));
+
+  TestClient client(loop.port());
+  ASSERT_TRUE(client.connected());
+  const EtcMatrix etc = test_matrix(6, 3, 29);
+  const auto sub = roundtrip(client, subscribe_line(etc));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_TRUE(is_ok(*sub)) << *sub;
+
+  // Two byte-identical observe updates: a memoizing front end would replay
+  // the first response, but session responses must never be memoized — the
+  // estimator mean moves on each observation, so the responses differ.
+  const std::string line = update_line(
+      "\"observe\":[{\"task\":0,\"machine\":0,\"runtime\":50.0}]");
+  const auto first = roundtrip(client, line);
+  const auto second = roundtrip(client, line);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(is_ok(*first)) << *first;
+  EXPECT_TRUE(is_ok(*second)) << *second;
+  EXPECT_NE(*first, *second);
+  EXPECT_NE(first->find("\"version\":1"), std::string::npos) << *first;
+  EXPECT_NE(second->find("\"version\":2"), std::string::npos) << *second;
+
+  // A stateless cacheable request still flows normally on the same
+  // connection, twice (cold then memo/cache hit), byte-identically.
+  const std::string measures =
+      "{\"kind\":\"measures\",\"etc\":" + io::to_json(etc) + "}";
+  const auto cold = roundtrip(client, measures);
+  const auto warm = roundtrip(client, measures);
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(is_ok(*cold));
+  EXPECT_EQ(*cold, *warm);
+}
+
+TEST(SvcStream, EventLoopSessionsArePerConnection) {
+  svc::Server server;
+  svc::EventLoopServer loop(server);
+  std::ostringstream log;
+  ASSERT_TRUE(loop.start(log));
+
+  TestClient subscribed(loop.port());
+  TestClient fresh(loop.port());
+  ASSERT_TRUE(subscribed.connected());
+  ASSERT_TRUE(fresh.connected());
+
+  const EtcMatrix etc = test_matrix(5, 3, 31);
+  const auto sub = roundtrip(subscribed, subscribe_line(etc));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_TRUE(is_ok(*sub));
+
+  const std::string line = update_line(
+      "\"set\":[{\"task\":0,\"machine\":0,\"etc\":2.0}]");
+  const auto ok = roundtrip(subscribed, line);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(is_ok(*ok)) << *ok;
+
+  // The other connection never subscribed: its session is independent.
+  const auto rejected = roundtrip(fresh, line);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_TRUE(is_error(*rejected, 400)) << *rejected;
+}
+
+TEST(SvcStream, ResubscribeReplacesView) {
+  svc::Server server;
+  svc::StreamSession session;
+  const EtcMatrix first = test_matrix(6, 3, 51);
+  const EtcMatrix second = test_matrix(10, 5, 52);
+  ASSERT_TRUE(is_ok(server.handle(subscribe_line(first), &session)));
+  const std::string got = server.handle(subscribe_line(second), &session);
+  ASSERT_TRUE(is_ok(got)) << got;
+  EXPECT_NE(got.find("\"tasks\":10"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"machines\":5"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"version\":0"), std::string::npos) << got;
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Inject host metadata into benchmark result JSON files.
+
+run_benchmarks.sh pipes every BENCH_*.json it writes through this script so
+numbers recorded on different machines carry enough context to be compared:
+core count, CPU model, compiler, OS, and the HETERO_SIMD backend override
+in effect for the run.
+
+Usage:
+    tools/bench_meta.py FILE [FILE ...]
+
+Each FILE is rewritten in place with a top-level "host" object added (or
+replaced). google-benchmark output files (a JSON object) gain the key
+directly; single-line harness reports (the perf_service --clients /
+--stream mode) are wrapped as {"host": ..., "report": ...}.
+"""
+
+import json
+import os
+import platform
+import subprocess
+import sys
+
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+def compiler_version():
+    for cc in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if not cc:
+            continue
+        try:
+            out = subprocess.run(
+                [cc, "--version"], capture_output=True, text=True, check=True
+            )
+            return out.stdout.splitlines()[0].strip()
+        except (OSError, subprocess.CalledProcessError, IndexError):
+            continue
+    return "unknown"
+
+
+def host_metadata():
+    return {
+        "cores": os.cpu_count() or 0,
+        "cpu": cpu_model(),
+        "compiler": compiler_version(),
+        "os": f"{platform.system()} {platform.release()}",
+        "machine": platform.machine(),
+        "hetero_simd": os.environ.get("HETERO_SIMD", "auto"),
+    }
+
+
+def inject(path, host):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        print(f"bench_meta: {path}: not valid JSON, skipped", file=sys.stderr)
+        return False
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        doc["host"] = host
+    elif isinstance(doc, dict) and set(doc) == {"host", "report"}:
+        doc["host"] = host  # re-run over an already-wrapped harness report
+    else:
+        doc = {"host": host, "report": doc}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    host = host_metadata()
+    ok = True
+    for path in argv[1:]:
+        ok = inject(path, host) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
