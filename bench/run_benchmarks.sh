@@ -47,12 +47,33 @@
 # harness open loop at each rate (latency-under-offered-load study),
 # recording one JSON array in BENCH_<tag>_service_openloop.json.
 #
+# Set SIM=1 to run only the simulator suite (perf_sim): full discrete-event
+# runs over the shipped scenarios/ files per scheduler, recorded as
+# BENCH_<tag>_sim.json. SCENARIO narrows the sweep to specific files
+# (comma list of paths), e.g.
+#   SIM=1 SCENARIO=scenarios/starvation.sim bench/run_benchmarks.sh pr10
+#
 # Every recorded file is stamped with host metadata (cores, CPU, compiler,
 # HETERO_SIMD backend) via tools/bench_meta.py.
 set -euo pipefail
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD_DIR=${BUILD_DIR:-$REPO_ROOT/build}
+
+# Every result file is piped through bench_meta.py; if python3 is missing
+# the stamping step would die mid-loop leaving unstamped (or, under FILTER,
+# wrongly deleted) BENCH JSON behind. Refuse up front instead.
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "run_benchmarks.sh: python3 not found; refusing to record unstamped" \
+       "BENCH JSON (tools/bench_meta.py cannot run)" >&2
+  exit 1
+fi
+if ! python3 -c 'import json' 2>/dev/null || \
+   [ ! -r "$REPO_ROOT/tools/bench_meta.py" ]; then
+  echo "run_benchmarks.sh: tools/bench_meta.py is not runnable with this" \
+       "python3; refusing to record unstamped BENCH JSON" >&2
+  exit 1
+fi
 
 if [ "${HETERO_NATIVE:-0}" = "1" ]; then
   BUILD_DIR=$REPO_ROOT/build-native
@@ -69,6 +90,30 @@ MIN_TIME=${MIN_TIME:-0.3}
 FILTER=${FILTER:-}
 SIZES=${SIZES:-}
 mkdir -p "$OUT_DIR"
+
+# SIM=1: only the simulator suite. perf_sim defaults to the four shipped
+# scenarios; SCENARIO (comma list of .sim paths) replaces that sweep.
+if [ "${SIM:-0}" = "1" ]; then
+  bench="$BUILD_DIR/bench/perf_sim"
+  if [ ! -x "$bench" ]; then
+    echo "run_benchmarks.sh: $bench not built — build with" \
+         "cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+  scenario_args=
+  for s in $(echo "${SCENARIO:-}" | tr ',' ' '); do
+    scenario_args="$scenario_args --scenario=$s"
+  done
+  out="$OUT_DIR/BENCH_${TAG}_sim.json"
+  echo "== perf_sim${SCENARIO:+ (${SCENARIO})} -> $out"
+  # shellcheck disable=SC2086  # scenario_args is a flag list by design
+  "$bench" $scenario_args \
+           --benchmark_out="$out" --benchmark_out_format=json \
+           --benchmark_min_time="$MIN_TIME" \
+           ${FILTER:+--benchmark_filter="$FILTER"}
+  python3 "$REPO_ROOT/tools/bench_meta.py" "$out"
+  exit 0
+fi
 
 found=0
 for bench in "$BUILD_DIR"/bench/perf_*; do

@@ -1,0 +1,172 @@
+// Example: drive the discrete-event datacenter simulator across one or
+// more scenario files and compare online schedulers on energy, SLA
+// violations, and flow time — next to the scenario's implied-ETC
+// affinity measures (MPH/TDH/TMA), which is the paper's question asked
+// under dynamics: do the measures predict which scheduler wins?
+//
+// Usage:
+//   hetero_sim [options] scenario.sim [more.sim ...]
+//     --schedulers=a,b,c   comma-separated tokens (default: all)
+//     --power-gate         enable the idle power-gating controller
+//     --dvfs               enable the DVFS controller
+//     --migrate            enable the load-balancing migration controller
+//     --trace              print the first trace records of each run
+//
+// Each run also prints a machine-parsable line:
+//   RESULT scenario=<stem> scheduler=<tok> tasks=<n> energy_j=<..>
+//          sla_violations=<n> mean_flow_us=<..> trace=<hex>
+// which tools/ci_sim_smoke.sh diffs across repeated runs for
+// determinism.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "io/table.hpp"
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hetero::io::format_fixed;
+  namespace sim = hetero::sim;
+  namespace core = hetero::core;
+
+  std::vector<std::string> scenario_paths;
+  std::vector<std::string> tokens;
+  sim::SimOptions options;
+  bool show_trace = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--schedulers=", 0) == 0) {
+      tokens = split_csv(arg.substr(std::strlen("--schedulers=")));
+    } else if (arg == "--power-gate") {
+      options.power_gating = true;
+    } else if (arg == "--dvfs") {
+      options.dvfs = true;
+    } else if (arg == "--migrate") {
+      options.migration = true;
+    } else if (arg == "--trace") {
+      show_trace = true;
+      options.record_trace = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << '\n';
+      return 2;
+    } else {
+      scenario_paths.push_back(arg);
+    }
+  }
+  if (scenario_paths.empty()) {
+    std::cerr << "usage: hetero_sim [--schedulers=a,b,c] [--power-gate] "
+                 "[--dvfs] [--migrate] [--trace] scenario.sim ...\n";
+    return 2;
+  }
+  if (tokens.empty()) {
+    for (const std::string_view t : sim::scheduler_tokens())
+      tokens.emplace_back(t);
+  }
+
+  try {
+    for (const std::string& path : scenario_paths) {
+      const sim::Scenario scenario = sim::load_scenario(path);
+      const auto etc = sim::implied_etc(scenario);
+      const auto measures = core::measure_set(etc.to_ecs());
+
+      std::cout << "=== " << stem_of(path) << " ===\n"
+                << "  " << scenario.machine_classes.size()
+                << " machine classes (" << scenario.machine_count()
+                << " machines), " << scenario.task_classes.size()
+                << " task classes\n"
+                << "  implied-ETC measures: MPH "
+                << format_fixed(measures.mph, 3) << "  TDH "
+                << format_fixed(measures.tdh, 3) << "  TMA "
+                << format_fixed(measures.tma, 3) << "\n\n"
+                << "  scheduler       energy(J)   SLA0.viol  SLA1.viol  "
+                   "SLA2.viol  mean flow(ms)  migr  sleeps\n";
+
+      for (const std::string& token : tokens) {
+        const auto scheduler = sim::make_scheduler(token);
+        sim::Engine engine(scenario, options);
+        const sim::SimReport report = engine.run(*scheduler);
+
+        std::cout << "  " << report.scheduler
+                  << std::string(report.scheduler.size() < 16
+                                     ? 16 - report.scheduler.size()
+                                     : 1,
+                                 ' ')
+                  << format_fixed(report.total_energy_j, 1) << "      "
+                  << format_fixed(
+                         report.violation_rate(sim::SlaTier::sla0), 3)
+                  << "      "
+                  << format_fixed(
+                         report.violation_rate(sim::SlaTier::sla1), 3)
+                  << "      "
+                  << format_fixed(
+                         report.violation_rate(sim::SlaTier::sla2), 3)
+                  << "      " << format_fixed(report.mean_flow_time / 1e3, 1)
+                  << "        " << report.migrations << "     "
+                  << report.sleep_transitions << '\n';
+
+        std::size_t violations = 0;
+        for (std::size_t t = 0; t < sim::kSlaTierCount; ++t)
+          violations += report.sla_violated[t];
+        std::cout << "RESULT scenario=" << stem_of(path) << " scheduler="
+                  << report.scheduler << " tasks=" << report.tasks
+                  << " energy_j=" << format_fixed(report.total_energy_j, 6)
+                  << " sla_violations=" << violations << " mean_flow_us="
+                  << format_fixed(report.mean_flow_time, 3) << " trace="
+                  << hex64(report.trace_hash) << '\n';
+
+        if (show_trace) {
+          const std::size_t n = std::min<std::size_t>(8, report.trace.size());
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto& r = report.trace[i];
+            std::cout << "    t=" << format_fixed(r.time, 0) << " kind="
+                      << static_cast<int>(r.kind) << " a=" << r.a << " b="
+                      << r.b << '\n';
+          }
+        }
+      }
+      std::cout << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "hetero_sim: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Pluggable online scheduling for the discrete-event engine.
+//
+// The engine drives a scheduler through four callbacks; the scheduler
+// steers through the Engine control surface (assign / migrate /
+// set_sleep / set_p_state). Callbacks run synchronously inside event
+// handling, so anything the scheduler does is part of the deterministic
+// event order.
+//
+// Shipped schedulers, by token:
+//
+//   greedy_mct     immediate mode: each arrival goes straight to the
+//                  machine with the earliest estimated completion
+//                  (ready_times() + ETC, first strict minimum).
+//   min_min        batch mode, cold reference: on every arrival and
+//                  completion, recall all queued work and re-run the
+//                  O(U^2 M) batch-mode greedy (smallest best completion
+//                  time first) against base_ready_times().
+//   max_min        as min_min with largest best completion time first.
+//   batch_min_min  the same policies planned through the incremental
+//   batch_max_min  sched::BatchEngine epoch interface. Bit-identical
+//                  traces to their cold twins (the `sim_equiv` label
+//                  asserts it), extending the sched_equiv discipline
+//                  into the simulator.
+//
+// Scheduler instances are one-shot and engine-bound, like Engine itself:
+// make a fresh one per run.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace hetero::sim {
+
+class OnlineScheduler {
+ public:
+  virtual ~OnlineScheduler() = default;
+
+  /// Stable token naming the policy (appears in SimReport::scheduler).
+  virtual std::string_view name() const = 0;
+
+  /// A task arrived (id = arrival order) and is pending.
+  virtual void on_arrival(Engine& engine, std::size_t task) = 0;
+  /// A queued task began executing on `machine`.
+  virtual void on_start(Engine& engine, std::size_t task,
+                        std::size_t machine);
+  /// A task finished on `machine` (core and memory already released).
+  virtual void on_completion(Engine& engine, std::size_t task,
+                             std::size_t machine);
+  /// Periodic tick (SimOptions::tick_period), before the engine-level
+  /// controllers run.
+  virtual void on_tick(Engine& engine);
+};
+
+/// Builds the scheduler named by `token`; throws ValueError on an
+/// unknown token (the message lists the valid ones).
+std::unique_ptr<OnlineScheduler> make_scheduler(std::string_view token);
+
+/// Every token make_scheduler() accepts, in registry order.
+std::vector<std::string_view> scheduler_tokens();
+
+}  // namespace hetero::sim

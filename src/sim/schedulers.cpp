@@ -1,0 +1,222 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "base/error.hpp"
+#include "sched/batch_engine.hpp"
+#include "simd/simd.hpp"
+
+namespace hetero::sim {
+
+void OnlineScheduler::on_start(Engine&, std::size_t, std::size_t) {}
+void OnlineScheduler::on_completion(Engine&, std::size_t, std::size_t) {}
+void OnlineScheduler::on_tick(Engine&) {}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// First machine attaining the strict minimum of ready[j] + etc(type, j) —
+// the same kernel scan and tie-break the sched:: heuristics use.
+std::size_t best_machine(const core::EtcMatrix& etc,
+                         const std::vector<double>& ready, std::size_t type,
+                         double* best_ct_out = nullptr) {
+  double best_ct = kInf, second_ct = kInf;
+  std::size_t best = 0;
+  simd::kernels().best_second_scan(etc.values().row(type).data(),
+                                   ready.data(), etc.machine_count(),
+                                   &best_ct, &second_ct, &best);
+  if (best_ct_out) *best_ct_out = best_ct;
+  return best;
+}
+
+// Immediate-mode MCT: each arrival is bound on the spot to the machine
+// with the earliest estimated completion, queued work included.
+class GreedyMct final : public OnlineScheduler {
+ public:
+  std::string_view name() const override { return "greedy_mct"; }
+
+  void on_arrival(Engine& engine, std::size_t task) override {
+    const std::vector<double> ready = engine.ready_times();
+    const std::size_t j =
+        best_machine(engine.etc(), ready, engine.task_class_of(task));
+    engine.assign(task, j);
+  }
+};
+
+// The batch twins re-plan the whole unstarted set on every arrival and
+// completion. Both keep the set in the same *registration order* —
+// arrival order, except that a task returned to the pool by a migration
+// landing re-registers at the back when the next replan discovers it —
+// so the cold reference scan and the BatchEngine's registration-order
+// scan break every priority tie identically.
+class PendingRegistry {
+ public:
+  // Appends unstarted tasks not yet registered (ascending id, so fresh
+  // arrivals land at the back in arrival order).
+  void sync(const std::vector<std::size_t>& unstarted) {
+    for (const std::size_t t : unstarted) {
+      if (t >= tracked_.size()) tracked_.resize(t + 1, 0);
+      if (!tracked_[t]) {
+        tracked_[t] = 1;
+        order_.push_back(t);
+        if (on_add) on_add(t);
+      }
+    }
+  }
+
+  // The task started executing: drop it from the registry.
+  void drop(std::size_t task) {
+    if (task >= tracked_.size() || !tracked_[task]) return;
+    tracked_[task] = 0;
+    order_.erase(std::find(order_.begin(), order_.end(), task));
+    if (on_drop) on_drop(task);
+  }
+
+  const std::vector<std::size_t>& order() const { return order_; }
+
+  std::function<void(std::size_t)> on_add;   // mirror into a planner
+  std::function<void(std::size_t)> on_drop;
+
+ private:
+  std::vector<std::size_t> order_;
+  std::vector<char> tracked_;  // by task id
+};
+
+// Batch-mode replanning, cold reference: every arrival or completion
+// recalls all queued-but-unstarted work and re-runs the O(U^2 M)
+// batch-mode greedy of sched/heuristics.cpp over the registered pending
+// set against base_ready_times(). The equivalence yardstick for the
+// BatchEngine-backed adapters below.
+class ColdBatch final : public OnlineScheduler {
+ public:
+  explicit ColdBatch(bool max_min) : max_min_(max_min) {}
+
+  std::string_view name() const override {
+    return max_min_ ? "max_min" : "min_min";
+  }
+
+  void on_arrival(Engine& engine, std::size_t) override { replan(engine); }
+  void on_start(Engine&, std::size_t task, std::size_t) override {
+    registry_.drop(task);
+  }
+  void on_completion(Engine& engine, std::size_t, std::size_t) override {
+    replan(engine);
+  }
+
+ private:
+  void replan(Engine& engine) {
+    engine.recall_queued();
+    registry_.sync(engine.unstarted());
+    const std::vector<std::size_t>& pending = registry_.order();
+    if (pending.empty()) return;
+    const core::EtcMatrix& etc = engine.etc();
+    std::vector<double> ready = engine.base_ready_times();
+    std::vector<char> mapped(pending.size(), 0);
+
+    for (std::size_t round = 0; round < pending.size(); ++round) {
+      double best_priority = -kInf;
+      std::size_t chosen = 0, chosen_j = 0, chosen_type = 0;
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        if (mapped[k]) continue;
+        const std::size_t type = engine.task_class_of(pending[k]);
+        double best_ct = kInf;
+        const std::size_t j = best_machine(etc, ready, type, &best_ct);
+        const double p = max_min_ ? best_ct : -best_ct;
+        if (p > best_priority) {
+          best_priority = p;
+          chosen = k;
+          chosen_j = j;
+          chosen_type = type;
+        }
+      }
+      engine.assign(pending[chosen], chosen_j);
+      ready[chosen_j] += etc(chosen_type, chosen_j);
+      mapped[chosen] = 1;
+    }
+  }
+
+  bool max_min_;
+  PendingRegistry registry_;
+};
+
+// The same batch policies planned through the incremental BatchEngine:
+// arrivals register slots, starts unregister them, and each replan is a
+// warm epoch (begin_epoch diffs the ready vector and rescans only
+// affected slots). Commit order, tie-breaks, and therefore the whole
+// event trace match the cold twin bit for bit.
+class BatchEngineScheduler final : public OnlineScheduler {
+ public:
+  explicit BatchEngineScheduler(bool max_min) : max_min_(max_min) {}
+
+  std::string_view name() const override {
+    return max_min_ ? "batch_max_min" : "batch_min_min";
+  }
+
+  void on_arrival(Engine& engine, std::size_t) override { replan(engine); }
+
+  void on_start(Engine& engine, std::size_t task, std::size_t) override {
+    planner(engine);  // ensure the registry mirror exists
+    registry_.drop(task);
+  }
+
+  void on_completion(Engine& engine, std::size_t, std::size_t) override {
+    replan(engine);
+  }
+
+ private:
+  sched::BatchEngine& planner(Engine& engine) {
+    if (!planner_) {
+      planner_.emplace(engine.etc(), max_min_ ? sched::BatchPolicy::max_min
+                                              : sched::BatchPolicy::min_min);
+      registry_.on_add = [this, &engine](std::size_t t) {
+        planner_->add_slot(t, engine.task_class_of(t));
+      };
+      registry_.on_drop = [this](std::size_t t) { planner_->remove_slot(t); };
+    }
+    return *planner_;
+  }
+
+  void replan(Engine& engine) {
+    sched::BatchEngine& p = planner(engine);
+    engine.recall_queued();
+    registry_.sync(engine.unstarted());
+    if (p.active_count() == 0) return;
+    p.begin_epoch(engine.base_ready_times());
+    p.plan([&engine](std::size_t slot, std::size_t machine) {
+      engine.assign(slot, machine);
+    });
+  }
+
+  bool max_min_;
+  PendingRegistry registry_;
+  std::optional<sched::BatchEngine> planner_;
+};
+
+}  // namespace
+
+std::unique_ptr<OnlineScheduler> make_scheduler(std::string_view token) {
+  if (token == "greedy_mct") return std::make_unique<GreedyMct>();
+  if (token == "min_min") return std::make_unique<ColdBatch>(false);
+  if (token == "max_min") return std::make_unique<ColdBatch>(true);
+  if (token == "batch_min_min")
+    return std::make_unique<BatchEngineScheduler>(false);
+  if (token == "batch_max_min")
+    return std::make_unique<BatchEngineScheduler>(true);
+  throw ValueError("make_scheduler: unknown scheduler '" +
+                   std::string(token) +
+                   "' (valid: greedy_mct, min_min, max_min, batch_min_min, "
+                   "batch_max_min)");
+}
+
+std::vector<std::string_view> scheduler_tokens() {
+  return {"greedy_mct", "min_min", "max_min", "batch_min_min",
+          "batch_max_min"};
+}
+
+}  // namespace hetero::sim

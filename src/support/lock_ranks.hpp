@@ -64,4 +64,11 @@ inline constexpr int kRankConnectionWrite = 420;
 /// workers back to the owning loop thread.
 inline constexpr int kRankWorkerChannel = 430;
 
+// -- src/sim: no ranks. The discrete-event simulator (sim::Engine) is
+//    single-threaded by construction — one run is a pure function of
+//    (scenario, options, scheduler) and owns all of its state, so it
+//    takes no locks. Concurrent simulations each get their own Engine;
+//    if a shared-state sim variant ever appears, slot its ranks into the
+//    200s (it would sit between admission and the compute pool).
+
 }  // namespace hetero::support

@@ -1,0 +1,231 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace {
+
+using hetero::sim::generate_arrivals;
+using hetero::sim::implied_etc;
+using hetero::sim::instance_etc;
+using hetero::sim::parse_scenario;
+using hetero::sim::Scenario;
+using hetero::sim::ScenarioError;
+using hetero::sim::SlaTier;
+
+// A minimal valid scenario the edge-case tests perturb.
+constexpr const char* kValid = R"(
+machine class:
+{
+        Number of machines: 2
+        CPU type: X86
+        Number of cores: 4
+        Memory: 8192
+        S-States: [100, 50, 0]
+        P-States: [10, 6]
+        C-States: [10, 1]
+        MIPS: [2000, 1000]
+        GPUs: no
+}
+
+task class:
+{
+        Start time: 0
+        End time: 100000
+        Inter arrival: 10000
+        Expected runtime: 50000
+        Memory: 512
+        VM type: LINUX
+        GPU enabled: no
+        SLA type: SLA1
+        CPU type: X86
+        Task type: WEB
+        Seed: 0
+}
+)";
+
+// The exact one-line message of the ScenarioError `body` throws.
+std::string error_of(const std::string& body) {
+  try {
+    parse_scenario(body);
+  } catch (const ScenarioError& e) {
+    return e.what();
+  }
+  return "(no error)";
+}
+
+TEST(SimScenario, ParsesTheValidScenario) {
+  const Scenario s = parse_scenario(kValid);
+  ASSERT_EQ(s.machine_classes.size(), 1u);
+  ASSERT_EQ(s.task_classes.size(), 1u);
+  EXPECT_EQ(s.machine_classes[0].count, 2u);
+  EXPECT_EQ(s.machine_classes[0].cores, 4u);
+  EXPECT_EQ(s.machine_classes[0].mips.size(), 2u);
+  EXPECT_FALSE(s.machine_classes[0].gpus);
+  EXPECT_EQ(s.task_classes[0].sla, SlaTier::sla1);
+  EXPECT_EQ(s.task_classes[0].vm_type, "LINUX");
+  EXPECT_EQ(s.machine_count(), 2u);
+}
+
+TEST(SimScenario, ToleratesCrlfCommentsAndSpacedColons) {
+  std::string crlf;
+  for (const char* p = kValid; *p; ++p) {
+    if (*p == '\n') crlf += "\r\n";
+    else crlf += *p;
+  }
+  crlf += "# trailing comment\r\n// another\r\n";
+  const Scenario s = parse_scenario(crlf);
+  EXPECT_EQ(s.machine_classes.size(), 1u);
+
+  // "machine class :" and "End time :" (space before colon) still parse.
+  std::string spaced(kValid);
+  spaced.replace(spaced.find("machine class:"), 14, "machine  class :");
+  spaced.replace(spaced.find("End time:"), 9, "End time :");
+  EXPECT_EQ(parse_scenario(spaced).task_classes[0].end_time, 100000.0);
+}
+
+TEST(SimScenario, UnknownKeyNamesBlockAndKey) {
+  std::string body(kValid);
+  body.replace(body.find("Memory: 8192"), 12, "Memroy: 8192");
+  EXPECT_EQ(error_of(body),
+            "scenario line 7: machine class #1: unknown key 'Memroy'");
+}
+
+TEST(SimScenario, MissingRequiredKeyNamesIt) {
+  std::string body(kValid);
+  const std::size_t at = body.find("        MIPS: [2000, 1000]\n");
+  body.erase(at, std::string("        MIPS: [2000, 1000]\n").size());
+  EXPECT_EQ(error_of(body),
+            "scenario line 2: machine class #1: missing required key 'MIPS'");
+
+  body = kValid;
+  const std::size_t sla = body.find("        SLA type: SLA1\n");
+  body.erase(sla, std::string("        SLA type: SLA1\n").size());
+  EXPECT_EQ(error_of(body),
+            "scenario line 15: task class #1: missing required key "
+            "'SLA type'");
+}
+
+TEST(SimScenario, MismatchedPStatesAndMips) {
+  std::string body(kValid);
+  body.replace(body.find("P-States: [10, 6]"), 17, "P-States: [10, 6, 3]");
+  EXPECT_EQ(error_of(body),
+            "scenario line 2: machine class #1: P-States and MIPS must have "
+            "the same length (3 vs 2)");
+}
+
+TEST(SimScenario, UnterminatedBlockIsNamed) {
+  // A new header before '}' closes the machine block.
+  std::string body(kValid);
+  const std::size_t brace = body.find("}\n");
+  body.erase(brace, 2);
+  EXPECT_EQ(error_of(body),
+            "scenario line 14: machine class #1: unterminated block "
+            "(missing '}' before 'task class:')");
+
+  // EOF inside a block.
+  EXPECT_EQ(error_of("machine class:\n{\nMemory: 1\n"),
+            "scenario line 4: machine class #1: unterminated block "
+            "(missing '}')");
+}
+
+TEST(SimScenario, MalformedValuesAndDuplicates) {
+  std::string body(kValid);
+  body.replace(body.find("Number of cores: 4"), 18, "Number of cores: 4x");
+  EXPECT_EQ(error_of(body),
+            "scenario line 6: machine class #1: invalid value for "
+            "'Number of cores': '4x'");
+
+  body = kValid;
+  body.replace(body.find("Number of cores: 4"), 18, "Number of cores: 2.5");
+  EXPECT_EQ(error_of(body),
+            "scenario line 6: machine class #1: 'Number of cores' must be a "
+            "positive integer, got '2.5'");
+
+  body = kValid;
+  body.replace(body.find("GPUs: no"), 8, "GPUs: nope");
+  EXPECT_EQ(error_of(body),
+            "scenario line 12: machine class #1: 'GPUs' must be 'yes' or "
+            "'no', got 'nope'");
+
+  body = kValid;
+  body.replace(body.find("SLA type: SLA1"), 14, "SLA type: GOLD");
+  EXPECT_EQ(error_of(body),
+            "scenario line 24: task class #1: 'SLA type' must be SLA0..SLA3, "
+            "got 'GOLD'");
+
+  body = kValid;
+  body.replace(body.find("Seed: 0"), 7, "Memory: 9");
+  EXPECT_EQ(error_of(body),
+            "scenario line 27: task class #1: duplicate key 'Memory'");
+}
+
+TEST(SimScenario, StructuralErrors) {
+  EXPECT_EQ(error_of("bogus\n"),
+            "scenario line 1: expected 'machine class:' or 'task class:', "
+            "got 'bogus'");
+  EXPECT_EQ(error_of("machine class:\nMemory: 1\n"),
+            "scenario line 2: machine class #1: expected '{' after block "
+            "header");
+  EXPECT_EQ(error_of(""), "scenario: no machine class blocks");
+
+  std::string body(kValid);
+  body.replace(body.find("End time: 100000"), 16, "End time: 0");
+  EXPECT_EQ(error_of(body),
+            "scenario line 15: task class #1: 'End time' must be after "
+            "'Start time'");
+}
+
+TEST(SimScenario, CompatibilityValidation) {
+  // ARM task on an X86-only fleet: named and rejected.
+  std::string body(kValid);
+  body.replace(body.find("CPU type: X86\n        Task type"), 13,
+               "CPU type: ARM");
+  EXPECT_EQ(error_of(body),
+            "scenario: task class #1 is compatible with no machine class "
+            "(CPU type/GPU/memory)");
+}
+
+TEST(SimScenario, ImpliedEtcMatchesMipsRatios) {
+  const Scenario s = parse_scenario(kValid);
+  const auto etc = implied_etc(s);
+  ASSERT_EQ(etc.task_count(), 1u);
+  ASSERT_EQ(etc.machine_count(), 1u);
+  // 50000 us on a 1000-MIPS reference over 2000 MIPS top speed.
+  EXPECT_DOUBLE_EQ(etc(0, 0), 25000.0);
+
+  const auto inst = instance_etc(s);
+  ASSERT_EQ(inst.machine_count(), 2u);
+  EXPECT_DOUBLE_EQ(inst(0, 0), 25000.0);
+  EXPECT_DOUBLE_EQ(inst(0, 1), 25000.0);
+  EXPECT_EQ(inst.machine_names()[1], "mc0.1");
+}
+
+TEST(SimScenario, ArrivalsSeededAndDeterministic) {
+  const Scenario s = parse_scenario(kValid);
+  // Seed 0: exact spacing.
+  const auto arrivals = generate_arrivals(s);
+  ASSERT_EQ(arrivals.size(), 10u);
+  EXPECT_DOUBLE_EQ(arrivals[3].time, 30000.0);
+
+  // Nonzero seed: exponential gaps, bit-identical across calls.
+  std::string body(kValid);
+  body.replace(body.find("Seed: 0"), 7, "Seed: 42");
+  const Scenario seeded = parse_scenario(body);
+  const auto a = generate_arrivals(seeded);
+  const auto b = generate_arrivals(seeded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].task_class, b[i].task_class);
+  }
+  ASSERT_GE(a.size(), 2u);
+  EXPECT_NE(a[1].time - a[0].time, 10000.0);  // not the fixed spacing
+
+  // The arrival budget fails loudly, naming the class.
+  EXPECT_THROW(generate_arrivals(s, 5), ScenarioError);
+}
+
+}  // namespace

@@ -6,7 +6,7 @@ thread counts, and SIMD backends. That contract is easy to break with one
 innocuous line — an unseeded rand(), an unordered-container iteration
 feeding a sum, a wall-clock read inside a kernel. This lint scans the
 deterministic directories (src/core, src/linalg, src/simd, src/sched,
-src/etcgen) for the known footguns, plus one tree-wide rule: raw standard
+src/etcgen, src/sim) for the known footguns, plus one tree-wide rule: raw standard
 mutexes outside src/support (everything else must use support::Mutex so it
 participates in lock-rank checking and thread-safety analysis).
 
@@ -40,6 +40,7 @@ DETERMINISTIC_DIRS = (
     "src/simd",
     "src/sched",
     "src/etcgen",
+    "src/sim",
 )
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
